@@ -1,0 +1,350 @@
+// Package adskip is an embeddable main-memory column store with adaptive
+// data skipping, reproducing "Adaptive Data Skipping in Main-Memory
+// Systems" (Qin & Idreos, SIGMOD 2016).
+//
+// The store executes scan-heavy SQL over in-memory columns. Lightweight
+// zone metadata (min/max per row range) lets scans skip data; the adaptive
+// policy reshapes that metadata from per-query feedback — splitting zones
+// where finer bounds would prune, merging zones whose metadata never
+// helps, and disabling skipping entirely on columns where probing cannot
+// pay for itself.
+//
+// Quickstart:
+//
+//	db := adskip.Open(adskip.Options{Policy: adskip.Adaptive})
+//	t, _ := db.CreateTable("sales",
+//		adskip.Col("id", adskip.Int64),
+//		adskip.Col("price", adskip.Float64),
+//		adskip.Col("city", adskip.String))
+//	t.Append(1, 9.99, "oslo")
+//	t.EnableSkipping()
+//	res, _ := db.Exec("SELECT COUNT(*) FROM sales WHERE price < 10")
+package adskip
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"adskip/internal/adaptive"
+	"adskip/internal/core"
+	"adskip/internal/engine"
+	"adskip/internal/sql"
+	"adskip/internal/storage"
+	"adskip/internal/table"
+)
+
+// Type is a column's logical type.
+type Type = storage.Type
+
+// Column types.
+const (
+	Int64   = storage.Int64
+	Float64 = storage.Float64
+	String  = storage.String
+)
+
+// Value is a dynamically typed cell value.
+type Value = storage.Value
+
+// Value constructors, re-exported for result inspection and typed ingest.
+var (
+	IntValue    = storage.IntValue
+	FloatValue  = storage.FloatValue
+	StringValue = storage.StringValue
+	NullValue   = storage.NullValue
+)
+
+// Policy selects the data-skipping policy.
+type Policy = engine.Policy
+
+// Skipping policies.
+const (
+	// None scans every row (baseline).
+	None = engine.PolicyNone
+	// Static uses classic fixed-granularity zonemaps.
+	Static = engine.PolicyStatic
+	// Adaptive uses adaptive zonemaps — the paper's contribution.
+	Adaptive = engine.PolicyAdaptive
+	// Imprint uses static column imprints (bin-occurrence masks per
+	// zone): a second skipping structure under the same framework,
+	// effective on multi-modal zones where min/max hulls cannot prune.
+	Imprint = engine.PolicyImprint
+)
+
+// AdaptiveConfig tunes the adaptive policy; the zero value uses defaults.
+type AdaptiveConfig = adaptive.Config
+
+// SkipperInfo describes a column's skipping metadata.
+type SkipperInfo = core.Metadata
+
+// Result is a query result: a count, aggregate values, and/or projected
+// rows, plus execution statistics (rows scanned/skipped/covered, zones
+// probed).
+type Result = engine.Result
+
+// Options configures a DB.
+type Options struct {
+	// Policy applies to columns on which EnableSkipping is called.
+	Policy Policy
+	// StaticZoneSize is the rows-per-zone for the Static policy
+	// (default 65536).
+	StaticZoneSize int
+	// Adaptive tunes the Adaptive policy.
+	Adaptive AdaptiveConfig
+	// Parallelism sets the number of goroutines for count scans
+	// (default 1; results are identical at any setting).
+	Parallelism int
+}
+
+// ColumnDef defines one column of a new table.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// Col is a convenience constructor for ColumnDef.
+func Col(name string, typ Type) ColumnDef { return ColumnDef{Name: name, Type: typ} }
+
+// DB is a catalog of tables sharing one skipping configuration.
+type DB struct {
+	opts    Options
+	engines map[string]*engine.Engine
+}
+
+// DB-level errors.
+var (
+	ErrNoSuchTable = errors.New("adskip: no such table")
+	ErrTableExists = errors.New("adskip: table already exists")
+)
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	return &DB{opts: opts, engines: make(map[string]*engine.Engine)}
+}
+
+// engineOptions maps DB options onto per-table engine options.
+func (db *DB) engineOptions() engine.Options {
+	return engine.Options{
+		Policy:         db.opts.Policy,
+		StaticZoneSize: db.opts.StaticZoneSize,
+		Adaptive:       db.opts.Adaptive,
+		Parallelism:    db.opts.Parallelism,
+	}
+}
+
+// CreateTable creates a table with the given columns.
+func (db *DB) CreateTable(name string, cols ...ColumnDef) (*Table, error) {
+	if _, dup := db.engines[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
+	}
+	schema := make(table.Schema, len(cols))
+	for i, c := range cols {
+		schema[i] = table.ColumnSpec{Name: c.Name, Type: c.Type}
+	}
+	tbl, err := table.New(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	e := engine.New(tbl, db.engineOptions())
+	db.engines[name] = e
+	return &Table{eng: e}, nil
+}
+
+// Table returns a handle to an existing table.
+func (db *DB) Table(name string) (*Table, error) {
+	e, ok := db.engines[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return &Table{eng: e}, nil
+}
+
+// TableNames lists the catalog in lexicographic order.
+func (db *DB) TableNames() []string {
+	var names []string
+	for n := range db.engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Exec parses and executes a SQL SELECT, routing by the FROM table.
+// EXPLAIN statements return the plan as rows of a single "plan" column.
+func (db *DB) Exec(query string) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := db.engines[stmt.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, stmt.Table)
+	}
+	return sql.ExecParsed(e, stmt)
+}
+
+// SaveTable serializes a table snapshot to w (binary, checksummed).
+func (db *DB) SaveTable(name string, w io.Writer) error {
+	e, ok := db.engines[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	_, err := e.Table().WriteTo(w)
+	return err
+}
+
+// LoadTable reads a table snapshot from r and registers it in the
+// catalog under its stored name.
+func (db *DB) LoadTable(r io.Reader) (*Table, error) {
+	tbl, err := table.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := db.engines[tbl.Name()]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, tbl.Name())
+	}
+	e := engine.New(tbl, db.engineOptions())
+	db.engines[tbl.Name()] = e
+	return &Table{eng: e}, nil
+}
+
+// CSVOptions re-exports the table layer's CSV ingest options.
+type CSVOptions = table.CSVOptions
+
+// LoadCSV ingests a CSV stream as a new table, inferring column types
+// from a data prefix unless opts.Schema is set.
+func (db *DB) LoadCSV(name string, r io.Reader, opts CSVOptions) (*Table, error) {
+	if _, dup := db.engines[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
+	}
+	tbl, err := table.ReadCSV(r, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	e := engine.New(tbl, db.engineOptions())
+	db.engines[name] = e
+	return &Table{eng: e}, nil
+}
+
+// Table is a handle to one table and its query engine.
+type Table struct {
+	eng *engine.Engine
+}
+
+// WriteCSV writes the table's rows as CSV with a header. NULLs render as
+// nullLit.
+func (t *Table) WriteCSV(w io.Writer, nullLit string) error {
+	return t.eng.Table().WriteCSV(w, nullLit)
+}
+
+// SaveSkipping serializes a column's learned adaptive zonemap so the
+// refinement paid for by past queries survives restarts.
+func (t *Table) SaveSkipping(col string, w io.Writer) error {
+	return t.eng.SaveSkipper(col, w)
+}
+
+// LoadSkipping restores a column's adaptive zonemap from a snapshot,
+// verifying it against the column's current contents.
+func (t *Table) LoadSkipping(col string, r io.Reader) error {
+	return t.eng.LoadSkipper(col, r)
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.eng.Table().Name() }
+
+// NumRows returns the current row count.
+func (t *Table) NumRows() int { return t.eng.Table().NumRows() }
+
+// Append ingests one row using native Go values: int/int64 for BIGINT,
+// float64 for DOUBLE, string for VARCHAR, nil for NULL.
+func (t *Table) Append(vals ...interface{}) error {
+	tbl := t.eng.Table()
+	schema := tbl.Schema()
+	if len(vals) != len(schema) {
+		return fmt.Errorf("adskip: got %d values, schema has %d columns", len(vals), len(schema))
+	}
+	converted := make([]Value, len(vals))
+	for i, v := range vals {
+		cv, err := toValue(v, schema[i].Type)
+		if err != nil {
+			return fmt.Errorf("column %q: %w", schema[i].Name, err)
+		}
+		converted[i] = cv
+	}
+	return t.eng.AppendRow(converted...)
+}
+
+// AppendValues ingests one row of typed Values.
+func (t *Table) AppendValues(vals ...Value) error { return t.eng.AppendRow(vals...) }
+
+// Update overwrites one cell in place (BIGINT and DOUBLE columns).
+func (t *Table) Update(col string, row int, v interface{}) error {
+	tbl := t.eng.Table()
+	c, err := tbl.Column(col)
+	if err != nil {
+		return err
+	}
+	cv, err := toValue(v, c.Type())
+	if err != nil {
+		return err
+	}
+	return t.eng.Update(col, row, cv)
+}
+
+// EnableSkipping builds skipping metadata on the named columns (all when
+// none given) using the database's policy.
+func (t *Table) EnableSkipping(cols ...string) error { return t.eng.EnableSkipping(cols...) }
+
+// SkipperInfo reports per-column metadata state.
+func (t *Table) SkipperInfo() map[string]SkipperInfo { return t.eng.SkipperMetadata() }
+
+// Query executes an engine-level query directly (advanced API; most
+// callers use DB.Exec with SQL).
+func (t *Table) Query(q engine.Query) (*Result, error) { return t.eng.Query(q) }
+
+// Engine exposes the underlying engine for advanced integration (the
+// experiment harness uses it).
+func (t *Table) Engine() *engine.Engine { return t.eng }
+
+// toValue converts a native Go value to a typed Value for the target
+// column type.
+func toValue(v interface{}, want Type) (Value, error) {
+	if v == nil {
+		return NullValue(want), nil
+	}
+	switch x := v.(type) {
+	case Value:
+		return x, nil
+	case int:
+		return coerceInt(int64(x), want)
+	case int32:
+		return coerceInt(int64(x), want)
+	case int64:
+		return coerceInt(x, want)
+	case float64:
+		if want != Float64 {
+			return Value{}, fmt.Errorf("adskip: float64 value for %s column", want)
+		}
+		return FloatValue(x), nil
+	case string:
+		if want != String {
+			return Value{}, fmt.Errorf("adskip: string value for %s column", want)
+		}
+		return StringValue(x), nil
+	default:
+		return Value{}, fmt.Errorf("adskip: unsupported Go type %T", v)
+	}
+}
+
+func coerceInt(x int64, want Type) (Value, error) {
+	switch want {
+	case Int64:
+		return IntValue(x), nil
+	case Float64:
+		return FloatValue(float64(x)), nil
+	default:
+		return Value{}, fmt.Errorf("adskip: integer value for %s column", want)
+	}
+}

@@ -1,0 +1,174 @@
+package adskip
+
+// One benchmark per reproduced table/figure (see DESIGN.md §4 and
+// EXPERIMENTS.md). Each bench runs the corresponding harness experiment
+// at a reduced scale so `go test -bench=.` completes quickly; use
+// cmd/adskip-bench for paper-scale runs. Per-query microbenchmarks at the
+// bottom give the raw policy comparison behind the figures.
+
+import (
+	"fmt"
+	"testing"
+
+	"adskip/internal/engine"
+	"adskip/internal/expr"
+	"adskip/internal/harness"
+	"adskip/internal/storage"
+	"adskip/internal/table"
+	"adskip/internal/workload"
+)
+
+// benchConfig is the reduced scale for bench runs.
+func benchConfig() harness.Config {
+	return harness.Config{Rows: 1 << 17, Queries: 64, Seed: 42, StaticZoneRows: 2048}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	ex, ok := harness.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1DistributionSweep(b *testing.B) { benchExperiment(b, "fig1") }
+func BenchmarkFig2Convergence(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkFig3Selectivity(b *testing.B)       { benchExperiment(b, "fig3") }
+func BenchmarkFig4Granularity(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig5Drift(b *testing.B)             { benchExperiment(b, "fig5") }
+func BenchmarkFig6Adversarial(b *testing.B)       { benchExperiment(b, "fig6") }
+func BenchmarkFig7Appends(b *testing.B)           { benchExperiment(b, "fig7") }
+func BenchmarkTab1Metadata(b *testing.B)          { benchExperiment(b, "tab1") }
+func BenchmarkTab2Summary(b *testing.B)           { benchExperiment(b, "tab2") }
+func BenchmarkTab3MultiColumn(b *testing.B)       { benchExperiment(b, "tab3") }
+func BenchmarkAbl1Ablation(b *testing.B)          { benchExperiment(b, "abl1") }
+func BenchmarkAbl2SplitCost(b *testing.B)         { benchExperiment(b, "abl2") }
+
+// BenchmarkQueryPerPolicy measures steady-state per-query latency of a 1%
+// range count on clustered data — the raw numbers behind fig1/tab2. The
+// adaptive engine is warmed before measurement so the benchmark reports
+// converged behavior.
+func BenchmarkQueryPerPolicy(b *testing.B) {
+	const rows = 1 << 20
+	vals := workload.Generate(workload.DataSpec{
+		N: rows, Dist: workload.Clustered, Domain: rows, Seed: 42,
+	})
+	for _, policy := range []engine.Policy{engine.PolicyNone, engine.PolicyStatic, engine.PolicyAdaptive} {
+		b.Run(policy.String(), func(b *testing.B) {
+			tbl := table.MustNew("t", table.Schema{{Name: "v", Type: storage.Int64}})
+			col, _ := tbl.Column("v")
+			for _, v := range vals {
+				if err := col.AppendInt(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			e := engine.New(tbl, engine.Options{Policy: policy, StaticZoneSize: 4096})
+			if err := e.EnableSkipping("v"); err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.NewGen(workload.QuerySpec{
+				Kind: workload.UniformRange, Domain: rows, Selectivity: 0.01, Seed: 43,
+			})
+			mkQuery := func() engine.Query {
+				r := gen.Next()
+				return engine.Query{
+					Where: expr.And(expr.MustPred("v", expr.Between,
+						storage.IntValue(r.Lo), storage.IntValue(r.Hi))),
+					Aggs: []engine.Agg{{Kind: engine.CountStar}},
+				}
+			}
+			// Warm adaptation outside the measured loop.
+			for i := 0; i < 256; i++ {
+				if _, err := e.Query(mkQuery()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Query(mkQuery()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUniformOverheadPerPolicy measures the adversarial bound: the
+// same query stream over uniform random data, where skipping cannot help
+// and must not durably hurt (fig6's raw numbers).
+func BenchmarkUniformOverheadPerPolicy(b *testing.B) {
+	const rows = 1 << 20
+	vals := workload.Generate(workload.DataSpec{
+		N: rows, Dist: workload.Uniform, Domain: rows, Seed: 42,
+	})
+	for _, policy := range []engine.Policy{engine.PolicyNone, engine.PolicyStatic, engine.PolicyAdaptive} {
+		b.Run(policy.String(), func(b *testing.B) {
+			tbl := table.MustNew("t", table.Schema{{Name: "v", Type: storage.Int64}})
+			col, _ := tbl.Column("v")
+			for _, v := range vals {
+				if err := col.AppendInt(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			e := engine.New(tbl, engine.Options{Policy: policy, StaticZoneSize: 4096})
+			if err := e.EnableSkipping("v"); err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.NewGen(workload.QuerySpec{
+				Kind: workload.UniformRange, Domain: rows, Selectivity: 0.01, Seed: 43,
+			})
+			q := func() engine.Query {
+				r := gen.Next()
+				return engine.Query{
+					Where: expr.And(expr.MustPred("v", expr.Between,
+						storage.IntValue(r.Lo), storage.IntValue(r.Hi))),
+					Aggs: []engine.Agg{{Kind: engine.CountStar}},
+				}
+			}
+			for i := 0; i < 256; i++ { // let arbitration settle
+				if _, err := e.Query(q()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Query(q()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIngest measures bulk row ingest through the public API.
+func BenchmarkIngest(b *testing.B) {
+	db := Open(Options{Policy: Adaptive})
+	tab, err := db.CreateTable("bench",
+		Col("a", Int64), Col("f", Float64), Col("s", String))
+	if err != nil {
+		b.Fatal(err)
+	}
+	words := []string{"x", "y", "z"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tab.Append(i, float64(i)*0.5, words[i%3]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = fmt.Sprint(tab.NumRows())
+}
+
+// BenchmarkExt1Parallel regenerates the parallel-scaling extension table.
+func BenchmarkExt1Parallel(b *testing.B) { benchExperiment(b, "ext1") }
+
+// BenchmarkExt2Imprints regenerates the imprints-vs-zonemaps table.
+func BenchmarkExt2Imprints(b *testing.B) { benchExperiment(b, "ext2") }

@@ -1,0 +1,318 @@
+// Command adskip-demo is an interactive SQL REPL over the adaptive column
+// store, in the spirit of the paper's demonstration: run queries, then
+// inspect how the adaptive zonemap reshaped itself.
+//
+// Meta-commands:
+//
+//	\gen <dist> <rows>   create table "data" with a synthetic distribution
+//	\load <file>         load a table snapshot (see adskip-gen)
+//	\save <file>         save table "data"
+//	\skipping [col]      describe zone metadata for a column (default v)
+//	\stats               adaptive lifetime counters per column
+//	\policy              show the active skipping policy
+//	\help                this text
+//	\quit                exit
+//
+// Everything else is parsed as SQL, e.g.:
+//
+//	SELECT COUNT(*) FROM data WHERE v BETWEEN 1000 AND 2000;
+//	SELECT seq, COUNT(*) FROM data WHERE (v < 100 OR v > 900) GROUP BY seq LIMIT 5;
+//	EXPLAIN SELECT COUNT(*) FROM data WHERE v < 1000;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"adskip/internal/adaptive"
+	"adskip/internal/engine"
+	"adskip/internal/sql"
+	"adskip/internal/storage"
+	"adskip/internal/table"
+	"adskip/internal/workload"
+)
+
+type repl struct {
+	opts engine.Options
+	eng  *engine.Engine // current table's engine (nil until \gen or \load)
+	out  *bufio.Writer
+}
+
+func main() {
+	var (
+		policy = flag.String("policy", "adaptive", "skipping policy: none|static|adaptive|imprint")
+		zone   = flag.Int("static-zone", 65536, "zone size for static policy")
+	)
+	flag.Parse()
+
+	opts := engine.Options{StaticZoneSize: *zone}
+	switch *policy {
+	case "none":
+		opts.Policy = engine.PolicyNone
+	case "static":
+		opts.Policy = engine.PolicyStatic
+	case "adaptive":
+		opts.Policy = engine.PolicyAdaptive
+	case "imprint":
+		opts.Policy = engine.PolicyImprint
+	default:
+		fmt.Fprintf(os.Stderr, "adskip-demo: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	r := &repl{opts: opts, out: bufio.NewWriter(os.Stdout)}
+	defer r.out.Flush()
+
+	fmt.Fprintf(r.out, "adskip demo — policy=%s. Type \\help for commands.\n", *policy)
+	r.out.Flush()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(r.out, "adskip> ")
+		r.out.Flush()
+		if !sc.Scan() {
+			fmt.Fprintln(r.out)
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if !r.meta(line) {
+				return
+			}
+		} else {
+			r.query(line)
+		}
+		r.out.Flush()
+	}
+}
+
+// meta executes a backslash command; returns false to exit.
+func (r *repl) meta(line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return false
+	case "\\help":
+		fmt.Fprint(r.out, `\gen <dist> <rows>  create table "data" (dist: sorted|semi-sorted|clustered|uniform|zipf|bimodal)
+\load <file>        load a snapshot        \save <file>  save table "data"
+\loadcsv <file>     load a CSV file (schema inferred)
+\skipping [col]     describe zone metadata \stats        adaptive counters
+\policy             active policy          \quit         exit
+SQL: SELECT [cols|aggs] FROM data [WHERE ...] [GROUP BY c] [ORDER BY c [DESC]] [LIMIT n]
+     predicates: = <> < <= > >= BETWEEN IN IS [NOT] NULL (a=1 OR a=2); EXPLAIN SELECT ... shows the plan
+`)
+	case "\\policy":
+		fmt.Fprintf(r.out, "policy: %s\n", r.opts.Policy)
+	case "\\gen":
+		if len(fields) != 3 {
+			fmt.Fprintln(r.out, "usage: \\gen <dist> <rows>")
+			return true
+		}
+		r.gen(fields[1], fields[2])
+	case "\\load":
+		if len(fields) != 2 {
+			fmt.Fprintln(r.out, "usage: \\load <file>")
+			return true
+		}
+		r.load(fields[1])
+	case "\\loadcsv":
+		if len(fields) != 2 {
+			fmt.Fprintln(r.out, "usage: \\loadcsv <file.csv>")
+			return true
+		}
+		r.loadCSV(fields[1])
+	case "\\save":
+		if len(fields) != 2 || r.eng == nil {
+			fmt.Fprintln(r.out, "usage: \\save <file> (after \\gen or \\load)")
+			return true
+		}
+		r.save(fields[1])
+	case "\\skipping":
+		col := "v"
+		if len(fields) > 1 {
+			col = fields[1]
+		}
+		r.skipping(col)
+	case "\\stats":
+		r.stats()
+	default:
+		fmt.Fprintf(r.out, "unknown command %s (try \\help)\n", fields[0])
+	}
+	return true
+}
+
+func (r *repl) gen(dist, rowsStr string) {
+	n, err := strconv.Atoi(rowsStr)
+	if err != nil || n <= 0 {
+		fmt.Fprintln(r.out, "bad row count")
+		return
+	}
+	var d workload.Distribution
+	switch dist {
+	case "sorted":
+		d = workload.Sorted
+	case "semi-sorted":
+		d = workload.SemiSorted
+	case "clustered":
+		d = workload.Clustered
+	case "uniform":
+		d = workload.Uniform
+	case "zipf":
+		d = workload.Zipf
+	case "bimodal":
+		d = workload.Bimodal
+	default:
+		fmt.Fprintf(r.out, "unknown distribution %q\n", dist)
+		return
+	}
+	vals := workload.Generate(workload.DataSpec{N: n, Dist: d, Domain: int64(n), Seed: 42})
+	tbl := table.MustNew("data", table.Schema{
+		{Name: "v", Type: storage.Int64},
+		{Name: "seq", Type: storage.Int64},
+	})
+	for i, v := range vals {
+		if err := tbl.AppendRow(storage.IntValue(v), storage.IntValue(int64(i))); err != nil {
+			fmt.Fprintf(r.out, "error: %v\n", err)
+			return
+		}
+	}
+	r.attach(tbl)
+	fmt.Fprintf(r.out, "table \"data\": %d rows, distribution %s, skipping on all columns\n", n, dist)
+}
+
+func (r *repl) attach(tbl *table.Table) {
+	r.eng = engine.New(tbl, r.opts)
+	if err := r.eng.EnableSkipping(); err != nil {
+		fmt.Fprintf(r.out, "error enabling skipping: %v\n", err)
+	}
+}
+
+func (r *repl) load(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	defer f.Close()
+	tbl, err := table.Read(f)
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	r.attach(tbl)
+	fmt.Fprintf(r.out, "loaded table %q: %d rows, %d columns\n", tbl.Name(), tbl.NumRows(), tbl.NumColumns())
+}
+
+func (r *repl) loadCSV(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	defer f.Close()
+	tbl, err := table.ReadCSV(f, "data", table.CSVOptions{})
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	r.attach(tbl)
+	fmt.Fprintf(r.out, "loaded CSV as table %q: %d rows, %d columns\n", tbl.Name(), tbl.NumRows(), tbl.NumColumns())
+	for _, cs := range tbl.Schema() {
+		fmt.Fprintf(r.out, "  %-16s %s\n", cs.Name, cs.Type)
+	}
+}
+
+func (r *repl) save(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	n, err := r.eng.Table().WriteTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(r.out, "saved %d bytes to %s\n", n, path)
+}
+
+func (r *repl) skipping(col string) {
+	if r.eng == nil {
+		fmt.Fprintln(r.out, "no table loaded (\\gen or \\load first)")
+		return
+	}
+	s := r.eng.Skipper(col)
+	if s == nil {
+		fmt.Fprintf(r.out, "no skipper on column %q\n", col)
+		return
+	}
+	if z, ok := s.(*adaptive.Zonemap); ok {
+		fmt.Fprint(r.out, z.DescribeZones(24))
+		return
+	}
+	md := s.Metadata()
+	fmt.Fprintf(r.out, "%s skipper: %d zones, %d bytes, enabled=%v\n", md.Kind, md.Zones, md.Bytes, md.Enabled)
+}
+
+func (r *repl) stats() {
+	if r.eng == nil {
+		fmt.Fprintln(r.out, "no table loaded")
+		return
+	}
+	for _, cs := range r.eng.Table().Schema() {
+		s := r.eng.Skipper(cs.Name)
+		if z, ok := s.(*adaptive.Zonemap); ok {
+			st := z.Stats()
+			fmt.Fprintf(r.out, "%-8s queries=%d splits=%d merges=%d disables=%d enables=%d zones=%d\n",
+				cs.Name, st.Queries, st.Splits, st.Merges, st.Disables, st.Enables, z.NumZones())
+		}
+	}
+}
+
+func (r *repl) query(line string) {
+	if r.eng == nil {
+		fmt.Fprintln(r.out, "no table loaded (\\gen or \\load first)")
+		return
+	}
+	start := time.Now()
+	res, err := sql.Exec(r.eng, line)
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	elapsed := time.Since(start)
+	switch {
+	case len(res.Rows) > 0:
+		fmt.Fprintln(r.out, strings.Join(res.Columns, "\t"))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Fprintln(r.out, strings.Join(cells, "\t"))
+		}
+		fmt.Fprintf(r.out, "(%d rows)\n", len(res.Rows))
+	case len(res.Aggs) > 0:
+		cells := make([]string, len(res.Aggs))
+		for i, v := range res.Aggs {
+			cells[i] = v.String()
+		}
+		fmt.Fprintln(r.out, strings.Join(cells, "\t"))
+	default:
+		fmt.Fprintf(r.out, "count: %d\n", res.Count)
+	}
+	fmt.Fprintf(r.out, "-- %.3fms | scanned %d, skipped %d, covered %d rows | %d zone probes\n",
+		float64(elapsed.Nanoseconds())/1e6,
+		res.Stats.RowsScanned, res.Stats.RowsSkipped, res.Stats.RowsCovered, res.Stats.ZonesProbed)
+}

@@ -1,0 +1,57 @@
+package adskip
+
+import (
+	"math/rand"
+	"testing"
+
+	"adskip/internal/adaptive"
+	"adskip/internal/engine"
+	"adskip/internal/expr"
+	"adskip/internal/storage"
+	"adskip/internal/table"
+	"adskip/internal/workload"
+)
+
+func TestConvergenceOnFineClusters(t *testing.T) {
+	const rows = 2_000_000
+	vals := workload.Generate(workload.DataSpec{N: rows, Dist: workload.Clustered, Domain: rows, Clusters: 2048, Seed: 5})
+	tbl := table.MustNew("t", table.Schema{{Name: "key", Type: storage.Int64}})
+	col, _ := tbl.Column("key")
+	for _, v := range vals {
+		col.AppendInt(v)
+	}
+	e := engine.New(tbl, engine.Options{Policy: engine.PolicyAdaptive,
+		Adaptive: adaptive.Config{InitialZoneRows: rows / 256, MinZoneRows: 256}})
+	e.EnableSkipping("key")
+	rng := rand.New(rand.NewSource(2))
+	q := func() engine.Query {
+		lo := int64(rows/4) + rng.Int63n(rows/10)
+		return engine.Query{
+			Where: expr.And(expr.MustPred("key", expr.Between, storage.IntValue(lo), storage.IntValue(lo+rows/500))),
+			Aggs:  []engine.Agg{{Kind: engine.CountStar}},
+		}
+	}
+	for i := 0; i < 800; i++ {
+		e.Query(q())
+	}
+	z := e.Skipper("key").(*adaptive.Zonemap)
+	if !z.Enabled() {
+		t.Fatal("arbitration disabled skipping on a skippable workload")
+	}
+	var scanned int
+	for i := 0; i < 50; i++ {
+		res, err := e.Query(q())
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanned += res.Stats.RowsScanned
+	}
+	scanned /= 50
+	// A hot-range workload over 2048 narrow clusters must converge well
+	// below a 35% scan fraction (the pre-crack-alignment behavior scanned
+	// ~45% of the table forever; see learn.go planSplit coalescing).
+	if frac := float64(scanned) / rows; frac > 0.35 {
+		t.Fatalf("steady-state scan fraction %.0f%% (scanned %d rows/query, %d zones) — convergence regressed",
+			frac*100, scanned, z.NumZones())
+	}
+}

@@ -1,0 +1,109 @@
+package adskip_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"adskip"
+)
+
+// The canonical flow: create, ingest, enable skipping, query.
+func Example() {
+	db := adskip.Open(adskip.Options{Policy: adskip.Adaptive})
+	t, err := db.CreateTable("sales",
+		adskip.Col("id", adskip.Int64),
+		adskip.Col("price", adskip.Float64),
+		adskip.Col("city", adskip.String))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := []struct {
+		id    int
+		price float64
+		city  string
+	}{
+		{1, 10.5, "oslo"}, {2, 20.0, "rome"}, {3, 5.25, "oslo"}, {4, 99.0, "cairo"},
+	}
+	for _, r := range rows {
+		if err := t.Append(r.id, r.price, r.city); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := t.EnableSkipping(); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Exec("SELECT COUNT(*), AVG(price) FROM sales WHERE city = 'oslo'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Aggs[0], res.Aggs[1])
+	// Output: 2 7.875
+}
+
+// GROUP BY aggregates per key; groups come back in key order.
+func ExampleDB_Exec_groupBy() {
+	db := adskip.Open(adskip.Options{})
+	t, _ := db.CreateTable("orders",
+		adskip.Col("region", adskip.String), adskip.Col("amount", adskip.Int64))
+	for _, r := range []struct {
+		region string
+		amount int
+	}{
+		{"emea", 10}, {"apac", 5}, {"emea", 7}, {"apac", 3}, {"noram", 1},
+	} {
+		t.Append(r.region, r.amount)
+	}
+	res, _ := db.Exec("SELECT region, SUM(amount) FROM orders GROUP BY region")
+	for _, row := range res.Rows {
+		fmt.Println(row[0], row[1])
+	}
+	// Output:
+	// apac 8
+	// emea 17
+	// noram 1
+}
+
+// EXPLAIN shows how metadata will prune a query before running it.
+func ExampleDB_Exec_explain() {
+	db := adskip.Open(adskip.Options{Policy: adskip.Adaptive})
+	t, _ := db.CreateTable("t", adskip.Col("v", adskip.Int64))
+	for i := 0; i < 10; i++ {
+		t.Append(i)
+	}
+	t.EnableSkipping()
+	res, _ := db.Exec("EXPLAIN SELECT COUNT(*) FROM t WHERE v < 3")
+	fmt.Println(res.Columns[0], "lines:", len(res.Rows) > 0)
+	// Output: plan lines: true
+}
+
+// CSV ingest infers column types from the data.
+func ExampleDB_LoadCSV() {
+	db := adskip.Open(adskip.Options{})
+	csvData := "id,price\n1,9.5\n2,20\n"
+	t, err := db.LoadCSV("items", strings.NewReader(csvData), adskip.CSVOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t.NumRows())
+	// Output: 2
+}
+
+// Tables round-trip through a checksummed binary snapshot.
+func ExampleDB_SaveTable() {
+	db := adskip.Open(adskip.Options{})
+	t, _ := db.CreateTable("t", adskip.Col("v", adskip.Int64))
+	t.Append(42)
+	var buf bytes.Buffer
+	if err := db.SaveTable("t", &buf); err != nil {
+		log.Fatal(err)
+	}
+	db2 := adskip.Open(adskip.Options{})
+	restored, err := db2.LoadTable(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(restored.Name(), restored.NumRows())
+	// Output: t 1
+}

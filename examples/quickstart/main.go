@@ -1,0 +1,66 @@
+// Quickstart: create a table, ingest rows, enable adaptive skipping, and
+// run SQL — the smallest end-to-end use of the adskip public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adskip"
+)
+
+func main() {
+	db := adskip.Open(adskip.Options{Policy: adskip.Adaptive})
+
+	tab, err := db.CreateTable("sales",
+		adskip.Col("id", adskip.Int64),
+		adskip.Col("price", adskip.Float64),
+		adskip.Col("city", adskip.String),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cities := []string{"oslo", "rome", "cairo", "lima", "kyoto"}
+	for i := 0; i < 100_000; i++ {
+		// Prices arrive loosely ordered (a promotion ramp), cities cycle.
+		price := float64(i%10_000) + float64(i)/1_000
+		if err := tab.Append(i, price, cities[(i/20_000)%len(cities)]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tab.EnableSkipping(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d rows\n", tab.NumRows())
+
+	queries := []string{
+		"SELECT COUNT(*) FROM sales WHERE price BETWEEN 100 AND 200",
+		"SELECT COUNT(*), AVG(price) FROM sales WHERE city = 'rome'",
+		"SELECT id, price FROM sales WHERE city = 'kyoto' AND price < 5 LIMIT 3",
+		"SELECT MIN(price), MAX(price) FROM sales WHERE id >= 90000",
+	}
+	for _, q := range queries {
+		res, err := db.Exec(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s\n", q)
+		switch {
+		case len(res.Rows) > 0:
+			for _, row := range res.Rows {
+				fmt.Printf("  %v\n", row)
+			}
+		default:
+			fmt.Printf("  -> %v\n", res.Aggs)
+		}
+		fmt.Printf("  scanned=%d skipped=%d covered=%d rows\n",
+			res.Stats.RowsScanned, res.Stats.RowsSkipped, res.Stats.RowsCovered)
+	}
+
+	fmt.Println("\nskipping metadata:")
+	for col, info := range tab.SkipperInfo() {
+		fmt.Printf("  %-6s %s: %d zones, %d bytes, enabled=%v\n",
+			col, info.Kind, info.Zones, info.Bytes, info.Enabled)
+	}
+}

@@ -1,0 +1,3 @@
+module adskip
+
+go 1.22

@@ -1,0 +1,55 @@
+package bitvec
+
+// SelVec is a selection vector: an ordered list of qualifying row indices.
+// Scan kernels can emit either a BitVec or a SelVec; SelVec is preferred for
+// low selectivities where materializing positions is cheaper than walking a
+// mostly-zero bitmap.
+type SelVec struct {
+	rows []uint32
+}
+
+// NewSelVec returns a selection vector with capacity for capHint rows.
+func NewSelVec(capHint int) *SelVec {
+	return &SelVec{rows: make([]uint32, 0, capHint)}
+}
+
+// Append adds a row index. Indices must be appended in ascending order for
+// Rows to be a valid ordered selection; kernels guarantee this.
+func (s *SelVec) Append(row uint32) { s.rows = append(s.rows, row) }
+
+// AppendRange adds all rows in [lo, hi).
+func (s *SelVec) AppendRange(lo, hi uint32) {
+	for r := lo; r < hi; r++ {
+		s.rows = append(s.rows, r)
+	}
+}
+
+// Len returns the number of selected rows.
+func (s *SelVec) Len() int { return len(s.rows) }
+
+// Rows returns the selected row indices in ascending order. The returned
+// slice aliases internal storage and is valid until the next Append/Reset.
+func (s *SelVec) Rows() []uint32 { return s.rows }
+
+// Reset empties the vector, retaining capacity.
+func (s *SelVec) Reset() { s.rows = s.rows[:0] }
+
+// Truncate shortens the selection to its first n rows. Used by in-place
+// refinement: callers that filtered Rows() in place keep the surviving
+// prefix.
+func (s *SelVec) Truncate(n int) { s.rows = s.rows[:n] }
+
+// ToBitVec converts the selection into a bit vector of n bits.
+func (s *SelVec) ToBitVec(n int) *BitVec {
+	v := New(n)
+	for _, r := range s.rows {
+		v.Set(int(r))
+	}
+	return v
+}
+
+// FromBitVec replaces the selection with the set bits of v.
+func (s *SelVec) FromBitVec(v *BitVec) {
+	s.rows = s.rows[:0]
+	v.ForEachSet(func(i int) { s.rows = append(s.rows, uint32(i)) })
+}

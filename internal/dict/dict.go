@@ -1,0 +1,123 @@
+// Package dict implements order-preserving dictionary encoding for string
+// columns.
+//
+// A main-memory column store stores string columns as fixed-width integer
+// codes plus a dictionary. For data skipping to work on string predicates,
+// the encoding must be order-preserving: code(a) < code(b) iff a < b. This
+// package provides both a mutable builder (codes assigned in insertion
+// order, not order-preserving) and a sealed, order-preserving dictionary
+// produced by Seal, which remaps codes so that zonemap min/max pruning on
+// codes is sound for string range predicates.
+package dict
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrSealed is returned when inserting into a sealed dictionary.
+var ErrSealed = errors.New("dict: dictionary is sealed")
+
+// Dict maps strings to dense int64 codes and back.
+type Dict struct {
+	byStr  map[string]int64
+	byCode []string
+	sealed bool
+	sorted bool // codes are in lexicographic order of values
+}
+
+// New returns an empty, unsealed dictionary.
+func New() *Dict {
+	return &Dict{byStr: make(map[string]int64)}
+}
+
+// Len returns the number of distinct values.
+func (d *Dict) Len() int { return len(d.byCode) }
+
+// Sealed reports whether the dictionary is sealed (immutable,
+// order-preserving).
+func (d *Dict) Sealed() bool { return d.sealed }
+
+// Insert returns the code for s, adding it if absent. Insertion-order codes
+// are NOT order-preserving until Seal is called.
+func (d *Dict) Insert(s string) (int64, error) {
+	if c, ok := d.byStr[s]; ok {
+		return c, nil
+	}
+	if d.sealed {
+		return 0, ErrSealed
+	}
+	c := int64(len(d.byCode))
+	d.byStr[s] = c
+	d.byCode = append(d.byCode, s)
+	d.sorted = false
+	return c, nil
+}
+
+// Code returns the code for s and whether it is present.
+func (d *Dict) Code(s string) (int64, bool) {
+	c, ok := d.byStr[s]
+	return c, ok
+}
+
+// Value returns the string for code c. Panics on out-of-range codes, which
+// indicate a corrupted column.
+func (d *Dict) Value(c int64) string { return d.byCode[c] }
+
+// Seal sorts the dictionary lexicographically, reassigns codes in sorted
+// order, and returns a remap slice such that remap[oldCode] = newCode.
+// After Seal the dictionary is immutable and order-preserving; callers must
+// rewrite existing column codes through the remap. Sealing a sealed
+// dictionary returns an identity remap.
+func (d *Dict) Seal() []int64 {
+	remap := make([]int64, len(d.byCode))
+	if d.sealed || d.sorted {
+		for i := range remap {
+			remap[i] = int64(i)
+		}
+		d.sealed = true
+		d.sorted = true
+		return remap
+	}
+	type pair struct {
+		s   string
+		old int64
+	}
+	pairs := make([]pair, len(d.byCode))
+	for i, s := range d.byCode {
+		pairs[i] = pair{s, int64(i)}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s < pairs[j].s })
+	for newCode, p := range pairs {
+		remap[p.old] = int64(newCode)
+		d.byCode[newCode] = p.s
+		d.byStr[p.s] = int64(newCode)
+	}
+	d.sealed = true
+	d.sorted = true
+	return remap
+}
+
+// LowerBound returns the smallest code whose value is >= s, i.e. the
+// position s would occupy. Valid only on sealed (sorted) dictionaries;
+// returns Len() if every value is < s. This converts string range
+// predicates into code range predicates.
+func (d *Dict) LowerBound(s string) int64 {
+	if !d.sorted {
+		panic("dict: LowerBound on unsealed dictionary")
+	}
+	return int64(sort.SearchStrings(d.byCode, s))
+}
+
+// UpperBound returns the smallest code whose value is > s. Valid only on
+// sealed dictionaries.
+func (d *Dict) UpperBound(s string) int64 {
+	if !d.sorted {
+		panic("dict: UpperBound on unsealed dictionary")
+	}
+	return int64(sort.Search(len(d.byCode), func(i int) bool { return d.byCode[i] > s }))
+}
+
+// Values returns the dictionary values in code order. The slice aliases
+// internal storage; callers must not mutate it.
+func (d *Dict) Values() []string { return d.byCode }

@@ -1,0 +1,174 @@
+package dict
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertAndLookup(t *testing.T) {
+	d := New()
+	c1, err := d.Insert("banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := d.Insert("apple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Fatal("distinct values share a code")
+	}
+	again, err := d.Insert("banana")
+	if err != nil || again != c1 {
+		t.Fatalf("re-insert gave %d want %d", again, c1)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len=%d want 2", d.Len())
+	}
+	if got := d.Value(c2); got != "apple" {
+		t.Fatalf("Value(%d)=%q want apple", c2, got)
+	}
+	if _, ok := d.Code("cherry"); ok {
+		t.Fatal("Code found absent value")
+	}
+}
+
+func TestSealOrderPreserving(t *testing.T) {
+	d := New()
+	words := []string{"pear", "apple", "zebra", "mango", "apple", "banana"}
+	oldCodes := make(map[string]int64)
+	for _, w := range words {
+		c, err := d.Insert(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldCodes[w] = c
+	}
+	remap := d.Seal()
+	if !d.Sealed() {
+		t.Fatal("not sealed after Seal")
+	}
+	// Order preservation: for any two values, code order == string order.
+	uniq := []string{"apple", "banana", "mango", "pear", "zebra"}
+	for i := 0; i < len(uniq); i++ {
+		for j := 0; j < len(uniq); j++ {
+			ci, _ := d.Code(uniq[i])
+			cj, _ := d.Code(uniq[j])
+			if (uniq[i] < uniq[j]) != (ci < cj) {
+				t.Fatalf("order not preserved: %q=%d %q=%d", uniq[i], ci, uniq[j], cj)
+			}
+		}
+	}
+	// Remap consistency: remap[old] must be the new code of the same value.
+	for w, old := range oldCodes {
+		newC, _ := d.Code(w)
+		if remap[old] != newC {
+			t.Fatalf("remap[%d]=%d but Code(%q)=%d", old, remap[old], w, newC)
+		}
+		if d.Value(newC) != w {
+			t.Fatalf("Value(remap) = %q want %q", d.Value(newC), w)
+		}
+	}
+}
+
+func TestInsertAfterSeal(t *testing.T) {
+	d := New()
+	if _, err := d.Insert("a"); err != nil {
+		t.Fatal(err)
+	}
+	d.Seal()
+	if _, err := d.Insert("b"); err != ErrSealed {
+		t.Fatalf("insert after seal: err=%v want ErrSealed", err)
+	}
+	// Re-inserting an existing value is still fine (lookup path).
+	if c, err := d.Insert("a"); err != nil || c != 0 {
+		t.Fatalf("lookup-insert after seal: c=%d err=%v", c, err)
+	}
+}
+
+func TestSealIdempotent(t *testing.T) {
+	d := New()
+	d.Insert("b")
+	d.Insert("a")
+	d.Seal()
+	remap := d.Seal()
+	for i, m := range remap {
+		if m != int64(i) {
+			t.Fatalf("second Seal remap not identity: %v", remap)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d := New()
+	for _, w := range []string{"d", "b", "f"} {
+		d.Insert(w)
+	}
+	d.Seal() // codes: b=0 d=1 f=2
+	cases := []struct {
+		s     string
+		lower int64
+		upper int64
+	}{
+		{"a", 0, 0},
+		{"b", 0, 1},
+		{"c", 1, 1},
+		{"d", 1, 2},
+		{"e", 2, 2},
+		{"f", 2, 3},
+		{"g", 3, 3},
+	}
+	for _, c := range cases {
+		if got := d.LowerBound(c.s); got != c.lower {
+			t.Fatalf("LowerBound(%q)=%d want %d", c.s, got, c.lower)
+		}
+		if got := d.UpperBound(c.s); got != c.upper {
+			t.Fatalf("UpperBound(%q)=%d want %d", c.s, got, c.upper)
+		}
+	}
+}
+
+func TestBoundsUnsealedPanics(t *testing.T) {
+	d := New()
+	d.Insert("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LowerBound on unsealed dict did not panic")
+		}
+	}()
+	d.LowerBound("x")
+}
+
+// Property: after sealing a random dictionary, codes sort exactly like
+// values, and remapped codes round-trip through Value.
+func TestQuickSealProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New()
+		n := 1 + rng.Intn(200)
+		vals := make([]string, n)
+		olds := make([]int64, n)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("w%04d", rng.Intn(100))
+			c, err := d.Insert(vals[i])
+			if err != nil {
+				return false
+			}
+			olds[i] = c
+		}
+		remap := d.Seal()
+		for i := range vals {
+			if d.Value(remap[olds[i]]) != vals[i] {
+				return false
+			}
+		}
+		codes := d.Values()
+		return sort.StringsAreSorted(codes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"adskip/internal/expr"
+	"adskip/internal/storage"
+)
+
+// TestConcurrentQueriesAndMutations hammers one engine from many
+// goroutines (run under -race in CI): queries, appends, and updates
+// interleave while adaptive metadata reshapes. Correctness of counts is
+// checked against a quiesced final state.
+func TestConcurrentQueriesAndMutations(t *testing.T) {
+	tb := buildTable(t, 2000, 80)
+	e := newEngine(t, tb, PolicyAdaptive)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 100; i++ {
+				switch rng.Intn(10) {
+				case 0:
+					_ = e.AppendRow(storage.IntValue(rng.Int63n(5000)), storage.IntValue(1),
+						storage.FloatValue(1), storage.StringValue("ant"))
+				case 1:
+					_ = e.Update("b", rng.Intn(2000), storage.IntValue(rng.Int63n(1000)))
+				default:
+					lo := rng.Int63n(2000)
+					_, err := e.Query(Query{
+						Where: expr.And(intPred("a", expr.Between, lo, lo+100)),
+						Aggs:  []Agg{{Kind: CountStar}},
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	// Quiesced: engine result matches a naive count.
+	res, err := e.Query(Query{Where: expr.And(intPred("a", expr.GE, 0)), Aggs: []Agg{{Kind: CountStar}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colA, _ := tb.Column("a")
+	want := 0
+	for i := 0; i < colA.Len(); i++ {
+		if !colA.IsNull(i) && colA.Value(i).Int() >= 0 {
+			want++
+		}
+	}
+	if res.Count != want {
+		t.Fatalf("count=%d want %d", res.Count, want)
+	}
+}

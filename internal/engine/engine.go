@@ -1,0 +1,272 @@
+// Package engine executes queries over tables with pluggable data-skipping
+// policies, closing the adaptive feedback loop: it probes skippers for
+// candidate row windows, scans them with the fast kernels, and hands
+// per-zone observations (with piggybacked statistics) back to the
+// skippers.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"adskip/internal/adaptive"
+	"adskip/internal/core"
+	"adskip/internal/imprint"
+	"adskip/internal/storage"
+	"adskip/internal/table"
+)
+
+// Policy selects the data-skipping policy applied to indexed columns.
+type Policy int
+
+const (
+	// PolicyNone scans everything (baseline).
+	PolicyNone Policy = iota
+	// PolicyStatic uses fixed-granularity zonemaps.
+	PolicyStatic
+	// PolicyAdaptive uses adaptive zonemaps (the paper's contribution).
+	PolicyAdaptive
+	// PolicyImprint uses static column imprints (bin-occurrence masks per
+	// zone) — a second skipping structure under the same framework.
+	PolicyImprint
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyStatic:
+		return "static"
+	case PolicyAdaptive:
+		return "adaptive"
+	case PolicyImprint:
+		return "imprint"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Policy is the skipping policy for columns registered with
+	// EnableSkipping.
+	Policy Policy
+	// StaticZoneSize is the zone size for PolicyStatic. Default 65536.
+	StaticZoneSize int
+	// Adaptive configures PolicyAdaptive (zero value = defaults).
+	Adaptive adaptive.Config
+	// Parallelism is the number of goroutines used by the COUNT fast
+	// path's scans. Default 1 (serial; the experiment harness measures
+	// single-threaded behavior like the paper). Results are identical at
+	// any setting — counting is associative and observations are
+	// per-zone.
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.StaticZoneSize <= 0 {
+		o.StaticZoneSize = 65536
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
+	}
+	return o
+}
+
+// Engine executes queries over one table.
+//
+// All public methods are safe for concurrent use: queries are serialized
+// with a mutex because even read-only SQL mutates adaptive metadata (the
+// feedback loop is what makes the structure adaptive). The scan work
+// inside one query can still fan out across goroutines via
+// Options.Parallelism.
+type Engine struct {
+	mu       sync.Mutex
+	tbl      *table.Table
+	opts     Options
+	skippers map[string]core.Skipper
+}
+
+// Errors returned by the engine.
+var (
+	ErrUnsupportedAgg = errors.New("engine: unsupported aggregate")
+	ErrBadLimit       = errors.New("engine: negative limit")
+)
+
+// New creates an engine over tbl. Skipping starts disabled on all columns;
+// call EnableSkipping to build metadata.
+func New(tbl *table.Table, opts Options) *Engine {
+	return &Engine{tbl: tbl, opts: opts.withDefaults(), skippers: make(map[string]core.Skipper)}
+}
+
+// Table returns the underlying table.
+func (e *Engine) Table() *table.Table { return e.tbl }
+
+// EnableSkipping builds skipping metadata for the named columns (all
+// columns when none are named) according to the engine's policy. String
+// columns get their dictionaries sealed first so code order is value
+// order.
+func (e *Engine) EnableSkipping(cols ...string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(cols) == 0 {
+		for _, cs := range e.tbl.Schema() {
+			cols = append(cols, cs.Name)
+		}
+	}
+	for _, name := range cols {
+		col, err := e.tbl.Column(name)
+		if err != nil {
+			return err
+		}
+		if col.Type() == storage.String {
+			col.SealDict()
+		}
+		switch e.opts.Policy {
+		case PolicyNone:
+			e.skippers[name] = core.NewNoSkipper(col.Len())
+		case PolicyStatic:
+			e.skippers[name] = core.NewStaticSkipper(col.Codes(), col.Nulls(), e.opts.StaticZoneSize)
+		case PolicyAdaptive:
+			e.skippers[name] = adaptive.New(col.Codes(), col.Nulls(), e.opts.Adaptive)
+		case PolicyImprint:
+			e.skippers[name] = core.NewImprintSkipper(imprint.Build(col.Codes(), col.Nulls(), e.opts.StaticZoneSize))
+		default:
+			return fmt.Errorf("engine: unknown policy %d", e.opts.Policy)
+		}
+	}
+	return nil
+}
+
+// Skipper returns the skipper for a column, or nil if none is registered.
+func (e *Engine) Skipper(col string) core.Skipper { return e.skippers[col] }
+
+// SkipperMetadata reports metadata for every registered skipper, keyed by
+// column name.
+func (e *Engine) SkipperMetadata() map[string]core.Metadata {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]core.Metadata, len(e.skippers))
+	for name, s := range e.skippers {
+		out[name] = s.Metadata()
+	}
+	return out
+}
+
+// AppendRow appends one row, validating types first so a rejected row
+// cannot skew column lengths. Skipper metadata is synchronized lazily at
+// the next query, so bulk ingest pays no per-row metadata cost.
+func (e *Engine) AppendRow(vals ...storage.Value) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.tbl.ValidateRow(vals...); err != nil {
+		return err
+	}
+	return e.tbl.AppendRow(vals...)
+}
+
+// Update overwrites a cell in place and keeps skipping metadata sound by
+// widening the enclosing zone's bounds.
+func (e *Engine) Update(colName string, row int, v storage.Value) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	col, err := e.tbl.Column(colName)
+	if err != nil {
+		return err
+	}
+	if row < 0 || row >= col.Len() {
+		return fmt.Errorf("%w: %d of %d", table.ErrOutOfRange, row, col.Len())
+	}
+	if v.IsNull() {
+		return errors.New("engine: updating a cell to NULL is unsupported (zone null counts would drift)")
+	}
+	wasNull := col.IsNull(row)
+	switch col.Type() {
+	case storage.Int64:
+		if err := col.SetInt(row, v.Int()); err != nil {
+			return err
+		}
+	case storage.Float64:
+		if err := col.SetFloat(row, v.Float()); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("engine: updates on %s columns are unsupported", col.Type())
+	}
+	if s, ok := e.skippers[colName]; ok {
+		code, _, err := col.EncodeValue(v)
+		if err != nil {
+			return err
+		}
+		if row < s.Rows() {
+			s.Widen(row, code)
+			if wasNull {
+				s.NoteNonNull(row)
+			}
+		}
+	}
+	return nil
+}
+
+// SaveSkipper serializes a column's learned adaptive zonemap. Only the
+// adaptive policy has state worth persisting; other policies error.
+func (e *Engine) SaveSkipper(colName string, w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.skippers[colName]
+	if !ok {
+		return fmt.Errorf("engine: no skipper on column %q", colName)
+	}
+	z, ok := s.(*adaptive.Zonemap)
+	if !ok {
+		return fmt.Errorf("engine: skipper on %q is %q, only adaptive zonemaps snapshot", colName, s.Metadata().Kind)
+	}
+	_, err := z.WriteTo(w)
+	return err
+}
+
+// LoadSkipper restores a column's adaptive zonemap from a snapshot,
+// replacing any registered skipper. The snapshot is validated against the
+// column's current physical state (one O(n) pass) so stale metadata can
+// never prune unsoundly.
+func (e *Engine) LoadSkipper(colName string, r io.Reader) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	col, err := e.tbl.Column(colName)
+	if err != nil {
+		return err
+	}
+	z, err := adaptive.Read(r, e.opts.Adaptive)
+	if err != nil {
+		return err
+	}
+	if z.Rows() > col.Len() {
+		return fmt.Errorf("engine: snapshot covers %d rows, column %q has %d", z.Rows(), colName, col.Len())
+	}
+	if err := z.CheckInvariants(col.Codes()[:z.Rows()], col.Nulls(), false); err != nil {
+		return fmt.Errorf("engine: snapshot does not match column %q: %w", colName, err)
+	}
+	if col.Type() == storage.String {
+		col.SealDict()
+	}
+	e.skippers[colName] = z
+	return nil
+}
+
+// syncSkippers brings every skipper up to date with appended rows. Called
+// at the start of each query so bulk appends amortize metadata
+// maintenance.
+func (e *Engine) syncSkippers() {
+	for name, s := range e.skippers {
+		col, err := e.tbl.Column(name)
+		if err != nil {
+			continue
+		}
+		if s.Rows() != col.Len() {
+			s.Extend(col.Codes(), col.Nulls())
+		}
+	}
+}

@@ -1,0 +1,490 @@
+package engine
+
+import (
+	"fmt"
+
+	"adskip/internal/bitvec"
+	"adskip/internal/core"
+	"adskip/internal/expr"
+	"adskip/internal/scan"
+	"adskip/internal/storage"
+)
+
+// Query is the engine-level query form the SQL planner lowers to: a
+// conjunctive filter plus either an aggregate list or a projection.
+type Query struct {
+	Where  expr.Conj
+	Aggs   []Agg    // aggregate query when non-empty
+	Select []string // projection query otherwise (empty = count only)
+	// GroupBy names a single grouping column. When set, Aggs are computed
+	// per group, Select may contain only the grouping column itself, and
+	// result rows are one per group in key order (NULL group last).
+	GroupBy string
+	// OrderBy names a column to sort projected rows by (value order,
+	// NULLs last; OrderDesc reverses). Projection queries only.
+	OrderBy   string
+	OrderDesc bool
+	Limit     int // row cap (groups for GROUP BY); 0 = unlimited
+}
+
+// ExecStats instruments one query execution; the experiment harness reads
+// these to report pruning behavior alongside wall-clock time.
+type ExecStats struct {
+	RowsScanned  int // rows whose codes were read by a kernel
+	RowsSkipped  int // rows pruned by metadata probes
+	RowsCovered  int // rows short-circuited by covered windows
+	ZonesProbed  int
+	SkippersUsed int // predicate columns where skipping participated
+}
+
+// Result is a query result.
+type Result struct {
+	Count   int             // qualifying rows (projection: rows returned)
+	Aggs    []storage.Value // one per Query.Aggs
+	Columns []string        // projection column names
+	Rows    [][]storage.Value
+	Stats   ExecStats
+}
+
+// maxPredicateColumns bounds the per-segment evaluation bitmask.
+const maxPredicateColumns = 64
+
+// colPlan is the per-predicate-column execution state.
+type colPlan struct {
+	name    string
+	col     *storage.Column
+	pred    expr.ColPred
+	skipper core.Skipper
+	res     core.PruneResult
+	active  bool // skipper participated (enabled)
+}
+
+// Query plans and executes q, returning the result and feeding
+// observations back into any adaptive skippers involved.
+func (e *Engine) Query(q Query) (*Result, error) {
+	if q.Limit < 0 {
+		return nil, ErrBadLimit
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.syncSkippers()
+	if err := q.Where.Validate(); err != nil {
+		return nil, err
+	}
+
+	n := e.tbl.NumRows()
+	res := &Result{}
+
+	// Validate aggregates and projections up front.
+	accs := make([]*aggAcc, len(q.Aggs))
+	aggCols := make([]*storage.Column, len(q.Aggs))
+	for i, a := range q.Aggs {
+		col, err := e.validateAgg(a)
+		if err != nil {
+			return nil, err
+		}
+		accs[i] = newAggAcc(a.Kind, col)
+		aggCols[i] = col
+	}
+	var grp *grouper
+	if q.GroupBy != "" {
+		gcol, err := e.tbl.Column(q.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range q.Select {
+			if name != q.GroupBy {
+				return nil, fmt.Errorf("engine: column %q in select list is not the GROUP BY column", name)
+			}
+		}
+		grp = newGrouper(gcol, q.Aggs, aggCols)
+	}
+	var projCols []*storage.Column
+	if grp == nil {
+		for _, name := range q.Select {
+			col, err := e.tbl.Column(name)
+			if err != nil {
+				return nil, err
+			}
+			projCols = append(projCols, col)
+			res.Columns = append(res.Columns, name)
+		}
+	}
+	var orderCol *storage.Column
+	if q.OrderBy != "" {
+		if grp != nil {
+			return nil, fmt.Errorf("engine: ORDER BY with GROUP BY is unsupported (groups come back in key order)")
+		}
+		if len(projCols) == 0 {
+			return nil, fmt.Errorf("engine: ORDER BY requires a projection")
+		}
+		var err error
+		orderCol, err = e.tbl.Column(q.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Lower predicates per column and probe skippers.
+	plans, unsat, err := e.plan(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	if len(plans) > maxPredicateColumns {
+		return nil, fmt.Errorf("engine: more than %d predicate columns", maxPredicateColumns)
+	}
+	for i := range plans {
+		p := &plans[i]
+		res.Stats.ZonesProbed += p.res.ZonesProbed
+		res.Stats.RowsSkipped += p.res.RowsSkipped
+		if p.active {
+			res.Stats.SkippersUsed++
+		}
+	}
+	if unsat {
+		// A contradiction (or empty interval) on some column: no rows can
+		// match. Skippers still observe a zero-work query.
+		for i := range plans {
+			if plans[i].skipper != nil {
+				plans[i].skipper.Observe(plans[i].res, nil)
+			}
+		}
+		return e.finish(res, accs, grp, q.Limit), nil
+	}
+
+	switch {
+	case grp == nil && len(plans) == 1 && len(projCols) == 0 && countOnly(accs):
+		e.execFastCount(&plans[0], res, accs, n)
+	case orderCol != nil:
+		if err := e.execOrdered(plans, res, accs, projCols, orderCol, q.OrderDesc, q.Limit, n); err != nil {
+			return nil, err
+		}
+	default:
+		if err := e.execGeneral(plans, res, accs, projCols, grp, q.Limit, n); err != nil {
+			return nil, err
+		}
+	}
+	return e.finish(res, accs, grp, q.Limit), nil
+}
+
+// finish materializes aggregate or grouped output onto the result.
+func (e *Engine) finish(res *Result, accs []*aggAcc, grp *grouper, limit int) *Result {
+	if grp != nil {
+		res.Columns, res.Rows = grp.result()
+		if limit > 0 && len(res.Rows) > limit {
+			res.Rows = res.Rows[:limit]
+		}
+		return res
+	}
+	e.finishAggs(res, accs)
+	return res
+}
+
+// plan lowers the conjunction per referenced column and probes skippers.
+// unsat is true when some column's intervals are empty (no row can match).
+func (e *Engine) plan(where expr.Conj) ([]colPlan, bool, error) {
+	var plans []colPlan
+	unsat := false
+	for _, name := range where.Columns() {
+		col, err := e.tbl.Column(name)
+		if err != nil {
+			return nil, false, err
+		}
+		cp, err := expr.LowerColumn(where, col)
+		if err != nil {
+			return nil, false, err
+		}
+		p := colPlan{name: name, col: col, pred: cp, skipper: e.skippers[name]}
+		if cp.Empty() {
+			unsat = true
+		}
+		if p.skipper != nil {
+			if cp.NullOnly {
+				p.res = p.skipper.PruneNulls()
+			} else {
+				p.res = p.skipper.Prune(cp.R)
+			}
+			p.active = p.res.Enabled
+		}
+		plans = append(plans, p)
+	}
+	return plans, unsat, nil
+}
+
+// countOnly reports whether every accumulator is COUNT(*) (data-free).
+func countOnly(accs []*aggAcc) bool {
+	for _, a := range accs {
+		if a.kind != CountStar {
+			return false
+		}
+	}
+	return true
+}
+
+// finishAggs materializes aggregate results from the accumulated state
+// plus the final count.
+func (e *Engine) finishAggs(res *Result, accs []*aggAcc) {
+	for _, a := range accs {
+		// COUNT(*) accumulators may have been bypassed by the fast count
+		// path, which tracks res.Count directly.
+		if a.kind == CountStar && a.rows == 0 {
+			a.rows = int64(res.Count)
+		}
+		res.Aggs = append(res.Aggs, a.result())
+	}
+}
+
+// execFastCount is the hot path: one predicate column, COUNT(*)-only.
+// It scans zone-aligned so adaptive skippers receive exact per-zone
+// feedback with piggybacked statistics.
+func (e *Engine) execFastCount(p *colPlan, res *Result, accs []*aggAcc, n int) {
+	workers := e.opts.Parallelism
+	if !p.active {
+		// Full scan, no metadata.
+		res.Count = e.parallelCountFull(p, n, workers)
+		res.Stats.RowsScanned = n
+		if p.skipper != nil {
+			p.skipper.Observe(p.res, nil)
+		}
+		return
+	}
+	count, obs, stats := e.parallelCountZones(p, p.res.Zones, workers)
+	res.Count = count
+	res.Stats.RowsScanned += stats.RowsScanned
+	res.Stats.RowsCovered += stats.RowsCovered
+	p.skipper.Observe(p.res, obs)
+}
+
+// seg is one contiguous row window of the intersected candidate set.
+// needEval has bit i set when plans[i]'s predicate must still be evaluated
+// over the window (its metadata did not prove coverage).
+type seg struct {
+	lo, hi   int
+	needEval uint64
+}
+
+// execGeneral handles every other query shape: multi-column conjunctions,
+// aggregates over data, and projections.
+func (e *Engine) execGeneral(plans []colPlan, res *Result, accs []*aggAcc, projCols []*storage.Column, grp *grouper, limit, n int) error {
+	segs := []seg{{lo: 0, hi: n}}
+	for i := range plans {
+		segs = intersectPlan(segs, &plans[i], uint64(1)<<uint(i), n)
+	}
+
+	sel := bitvec.NewSelVec(1024)
+	done := false
+	for _, s := range segs {
+		if done {
+			break
+		}
+		if s.needEval == 0 {
+			// Every row in the window qualifies.
+			if grp != nil {
+				res.Count += s.hi - s.lo
+				res.Stats.RowsCovered += s.hi - s.lo
+				grp.addWindow(s.lo, s.hi)
+				continue
+			}
+			if len(projCols) == 0 {
+				res.Count += s.hi - s.lo
+				res.Stats.RowsCovered += s.hi - s.lo
+				for _, a := range accs {
+					a.addWindow(s.lo, s.hi)
+				}
+				continue
+			}
+			for row := s.lo; row < s.hi && !done; row++ {
+				done = e.emitRow(res, accs, projCols, row, limit)
+			}
+			continue
+		}
+		// Evaluate the first needed predicate into a selection, then
+		// refine with the rest.
+		sel.Reset()
+		first := true
+		matched := 0
+		for i := range plans {
+			if s.needEval&(uint64(1)<<uint(i)) == 0 {
+				continue
+			}
+			p := &plans[i]
+			if first {
+				if p.pred.NullOnly {
+					matched = scan.FilterNullSel(p.col.Nulls(), s.lo, s.hi, sel)
+				} else {
+					matched = scan.FilterSel(p.col.Codes(), s.lo, s.hi, p.pred.R, p.col.Nulls(), 0, sel)
+				}
+				res.Stats.RowsScanned += s.hi - s.lo
+				first = false
+				continue
+			}
+			res.Stats.RowsScanned += sel.Len()
+			matched = refineSel(sel, p)
+			if matched == 0 {
+				break
+			}
+		}
+		if grp != nil {
+			res.Count += matched
+			for _, row := range sel.Rows() {
+				grp.addRow(int(row))
+			}
+			continue
+		}
+		if len(projCols) == 0 {
+			res.Count += matched
+			for _, row := range sel.Rows() {
+				for _, a := range accs {
+					a.addRow(int(row))
+				}
+			}
+			continue
+		}
+		for _, row := range sel.Rows() {
+			if done = e.emitRow(res, accs, projCols, int(row), limit); done {
+				break
+			}
+		}
+	}
+
+	e.feedbackGeneral(plans, segs)
+	return nil
+}
+
+// emitRow appends one projected row; returns true when the limit is hit.
+func (e *Engine) emitRow(res *Result, accs []*aggAcc, projCols []*storage.Column, row, limit int) bool {
+	vals := make([]storage.Value, len(projCols))
+	for ci, col := range projCols {
+		vals[ci] = col.Value(row)
+	}
+	res.Rows = append(res.Rows, vals)
+	res.Count++
+	for _, a := range accs {
+		a.addRow(row)
+	}
+	return limit > 0 && len(res.Rows) >= limit
+}
+
+// refineSel keeps only selected rows matching plan p's predicate; returns
+// the surviving count.
+func refineSel(sel *bitvec.SelVec, p *colPlan) int {
+	rows := sel.Rows()
+	codes := p.col.Codes()
+	nulls := p.col.Nulls()
+	kept := rows[:0]
+	if p.pred.NullOnly {
+		for _, row := range rows {
+			if nulls != nil && int(row) < nulls.Len() && nulls.Get(int(row)) {
+				kept = append(kept, row)
+			}
+		}
+		sel.Truncate(len(kept))
+		return len(kept)
+	}
+	single := p.pred.R.Len() == 1
+	var rlo, rhi int64
+	if single {
+		rlo, rhi = p.pred.R.Lo[0], p.pred.R.Hi[0]
+	}
+	for _, row := range rows {
+		if nulls != nil && nulls.Get(int(row)) {
+			continue
+		}
+		c := codes[row]
+		var ok bool
+		if single {
+			ok = c >= rlo && c <= rhi
+		} else {
+			ok = p.pred.R.Contains(c)
+		}
+		if ok {
+			kept = append(kept, row)
+		}
+	}
+	// kept aliases the selection's backing array (in-place filter); shrink
+	// the selection to the surviving prefix.
+	sel.Truncate(len(kept))
+	return len(kept)
+}
+
+// intersectPlan intersects the current segment list with one plan's
+// candidate windows, OR-ing the plan's eval bit into windows it does not
+// cover. Plans whose skipper declined contribute the full range,
+// uncovered.
+func intersectPlan(segs []seg, p *colPlan, bit uint64, n int) []seg {
+	if !p.active {
+		out := make([]seg, len(segs))
+		for i, s := range segs {
+			s.needEval |= bit
+			out[i] = s
+		}
+		return out
+	}
+	var out []seg
+	zi := 0
+	zones := p.res.Zones
+	for _, s := range segs {
+		for zi < len(zones) && zones[zi].Hi <= s.lo {
+			zi++
+		}
+		for zj := zi; zj < len(zones) && zones[zj].Lo < s.hi; zj++ {
+			z := zones[zj]
+			lo, hi := z.Lo, z.Hi
+			if lo < s.lo {
+				lo = s.lo
+			}
+			if hi > s.hi {
+				hi = s.hi
+			}
+			if lo >= hi {
+				continue
+			}
+			ns := seg{lo: lo, hi: hi, needEval: s.needEval}
+			if !z.Covered {
+				ns.needEval |= bit
+			}
+			out = append(out, ns)
+		}
+	}
+	return out
+}
+
+// feedbackGeneral sends coarse observations to skippers after a general
+// execution. Multi-column intersections scan zones partially, so zones get
+// heat-only feedback (Partial), never split statistics; covered candidates
+// are acknowledged as useful. This keeps adaptation conservative and
+// sound: structural refinement only happens on exact single-column
+// evidence (the fast path).
+func (e *Engine) feedbackGeneral(plans []colPlan, segs []seg) {
+	for i := range plans {
+		p := &plans[i]
+		if p.skipper == nil {
+			continue
+		}
+		if !p.active {
+			p.skipper.Observe(p.res, nil)
+			continue
+		}
+		var obs []core.ZoneObservation
+		si := 0
+		for _, z := range p.res.Zones {
+			if z.ID == core.NoZoneID {
+				continue
+			}
+			ob := core.ZoneObservation{ID: z.ID, Lo: z.Lo, Hi: z.Hi, Covered: z.Covered}
+			if !z.Covered {
+				// Was any part of this zone visited?
+				for si < len(segs) && segs[si].hi <= z.Lo {
+					si++
+				}
+				visited := si < len(segs) && segs[si].lo < z.Hi
+				if !visited {
+					continue // fully pruned by other columns; no signal
+				}
+				ob.Partial = true
+			}
+			obs = append(obs, ob)
+		}
+		p.skipper.Observe(p.res, obs)
+	}
+}

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"fmt"
+)
+
+// Explain plans q without executing its scans and renders one line per
+// plan element: the query shape, each predicate column's lowered intervals,
+// its skipper's pruning outcome, and the resulting candidate windows.
+//
+// Explain performs a real metadata probe (that is what makes the output
+// truthful), so on adaptive columns it nudges the same probe-time
+// bookkeeping a query would — it is EXPLAIN over live metadata, not a dry
+// simulation.
+func (e *Engine) Explain(q Query) ([]string, error) {
+	if q.Limit < 0 {
+		return nil, ErrBadLimit
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.syncSkippers()
+	if err := q.Where.Validate(); err != nil {
+		return nil, err
+	}
+	for _, a := range q.Aggs {
+		if _, err := e.validateAgg(a); err != nil {
+			return nil, err
+		}
+	}
+	n := e.tbl.NumRows()
+	var out []string
+	out = append(out, fmt.Sprintf("scan table %q (%d rows)", e.tbl.Name(), n))
+
+	shape := "count-only"
+	switch {
+	case q.GroupBy != "":
+		shape = fmt.Sprintf("group by %q, %d aggregate(s)", q.GroupBy, len(q.Aggs))
+	case len(q.Select) > 0:
+		shape = fmt.Sprintf("project %d column(s)", len(q.Select))
+	case len(q.Aggs) > 0:
+		shape = fmt.Sprintf("%d aggregate(s)", len(q.Aggs))
+	}
+	out = append(out, "output: "+shape)
+
+	plans, unsat, err := e.plan(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	if len(plans) == 0 {
+		out = append(out, "no predicates: full scan")
+		return out, nil
+	}
+	for i := range plans {
+		p := &plans[i]
+		var predDesc string
+		if p.pred.NullOnly {
+			predDesc = "IS NULL"
+		} else {
+			predDesc = p.pred.R.String()
+		}
+		line := fmt.Sprintf("predicate on %q: %s", p.name, predDesc)
+		if p.skipper == nil {
+			out = append(out, line+" — no skipper, full evaluation")
+			continue
+		}
+		md := p.skipper.Metadata()
+		if !p.active {
+			out = append(out, fmt.Sprintf("%s — %s skipper declined (disabled), full evaluation", line, md.Kind))
+			continue
+		}
+		covered := 0
+		candRows := 0
+		for _, z := range p.res.Zones {
+			candRows += z.Hi - z.Lo
+			if z.Covered {
+				covered++
+			}
+		}
+		out = append(out, fmt.Sprintf(
+			"%s — %s skipper: %d zones (%d probes), %d candidate windows (%d covered), %d rows skippable (%.1f%%)",
+			line, md.Kind, md.Zones, p.res.ZonesProbed, len(p.res.Zones), covered,
+			p.res.RowsSkipped, pct(p.res.RowsSkipped, n)))
+	}
+	if unsat {
+		out = append(out, "predicates are unsatisfiable: no scan will run")
+	} else if len(plans) > 1 {
+		out = append(out, fmt.Sprintf("intersect candidate windows across %d columns", len(plans)))
+	}
+	return out, nil
+}
+
+func pct(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole) * 100
+}

@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"adskip/internal/expr"
+	"adskip/internal/storage"
+	"adskip/internal/table"
+)
+
+// nullTable builds a table whose "b" column has NULLs concentrated in one
+// region (so null skipping has something to prune) plus scattered ones.
+func nullTable(t testing.TB, n int) *table.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	tb := table.MustNew("t", table.Schema{
+		{Name: "a", Type: storage.Int64},
+		{Name: "b", Type: storage.Int64},
+	})
+	for i := 0; i < n; i++ {
+		b := storage.Value(storage.IntValue(rng.Int63n(1000)))
+		switch {
+		case i >= n/2 && i < n/2+n/10: // dense NULL region
+			b = storage.NullValue(storage.Int64)
+		case rng.Intn(200) == 0: // scattered NULLs
+			b = storage.NullValue(storage.Int64)
+		}
+		if err := tb.AppendRow(storage.IntValue(int64(i)), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func naiveNullCount(t *testing.T, tb *table.Table, col string) int {
+	t.Helper()
+	c, err := tb.Column(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for i := 0; i < c.Len(); i++ {
+		if c.IsNull(i) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestIsNullAcrossPolicies(t *testing.T) {
+	tb := nullTable(t, 2000)
+	want := naiveNullCount(t, tb, "b")
+	if want == 0 {
+		t.Fatal("test table has no nulls")
+	}
+	for _, policy := range []Policy{PolicyNone, PolicyStatic, PolicyAdaptive, PolicyImprint} {
+		e := newEngine(t, tb, policy)
+		res, err := e.Query(Query{
+			Where: expr.And(expr.MustPred("b", expr.IsNull)),
+			Aggs:  []Agg{{Kind: CountStar}},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if res.Count != want {
+			t.Fatalf("%v: IS NULL count=%d want %d", policy, res.Count, want)
+		}
+		// Metadata must have pruned something for skipping policies (most
+		// zones are null-free).
+		if policy != PolicyNone && res.Stats.RowsSkipped == 0 {
+			t.Fatalf("%v: IS NULL pruned nothing: %+v", policy, res.Stats)
+		}
+	}
+}
+
+func TestIsNotNull(t *testing.T) {
+	tb := nullTable(t, 2000)
+	nulls := naiveNullCount(t, tb, "b")
+	for _, policy := range []Policy{PolicyNone, PolicyStatic, PolicyAdaptive, PolicyImprint} {
+		e := newEngine(t, tb, policy)
+		res, err := e.Query(Query{
+			Where: expr.And(expr.MustPred("b", expr.IsNotNull)),
+			Aggs:  []Agg{{Kind: CountStar}},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if res.Count != 2000-nulls {
+			t.Fatalf("%v: IS NOT NULL count=%d want %d", policy, res.Count, 2000-nulls)
+		}
+	}
+}
+
+func TestIsNullConjunctions(t *testing.T) {
+	tb := nullTable(t, 2000)
+	e := newEngine(t, tb, PolicyAdaptive)
+
+	// b IS NULL AND a in the dense region: count nulls with a-range filter.
+	res, err := e.Query(Query{
+		Where: expr.And(
+			expr.MustPred("b", expr.IsNull),
+			intPred("a", expr.Between, 1000, 1099),
+		),
+		Aggs: []Agg{{Kind: CountStar}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colB, _ := tb.Column("b")
+	want := 0
+	for i := 1000; i <= 1099; i++ {
+		if colB.IsNull(i) {
+			want++
+		}
+	}
+	if res.Count != want {
+		t.Fatalf("conj count=%d want %d", res.Count, want)
+	}
+
+	// b IS NULL AND b > 5 is unsatisfiable (comparison implies NOT NULL).
+	res, err = e.Query(Query{
+		Where: expr.And(expr.MustPred("b", expr.IsNull), intPred("b", expr.GT, 5)),
+		Aggs:  []Agg{{Kind: CountStar}},
+	})
+	if err != nil || res.Count != 0 || res.Stats.RowsScanned != 0 {
+		t.Fatalf("IS NULL ∧ cmp: count=%d scanned=%d err=%v", res.Count, res.Stats.RowsScanned, err)
+	}
+
+	// b IS NULL AND b IS NOT NULL likewise.
+	res, err = e.Query(Query{
+		Where: expr.And(expr.MustPred("b", expr.IsNull), expr.MustPred("b", expr.IsNotNull)),
+		Aggs:  []Agg{{Kind: CountStar}},
+	})
+	if err != nil || res.Count != 0 {
+		t.Fatalf("IS NULL ∧ IS NOT NULL: count=%d err=%v", res.Count, err)
+	}
+
+	// IS NOT NULL AND comparison behaves like the comparison alone.
+	a, err := e.Query(Query{
+		Where: expr.And(expr.MustPred("b", expr.IsNotNull), intPred("b", expr.LT, 500)),
+		Aggs:  []Agg{{Kind: CountStar}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Query(Query{
+		Where: expr.And(intPred("b", expr.LT, 500)),
+		Aggs:  []Agg{{Kind: CountStar}},
+	})
+	if err != nil || a.Count != b.Count {
+		t.Fatalf("IS NOT NULL ∧ cmp: %d vs %d (err=%v)", a.Count, b.Count, err)
+	}
+}
+
+func TestIsNullProjection(t *testing.T) {
+	tb := nullTable(t, 500)
+	e := newEngine(t, tb, PolicyStatic)
+	res, err := e.Query(Query{
+		Where:  expr.And(expr.MustPred("b", expr.IsNull)),
+		Select: []string{"a", "b"},
+		Limit:  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if !row[1].IsNull() {
+			t.Fatalf("projected non-null row: %v", row)
+		}
+	}
+}
+
+func TestIsNullOnNullFreeColumn(t *testing.T) {
+	tb := nullTable(t, 500)
+	for _, policy := range []Policy{PolicyNone, PolicyAdaptive} {
+		e := newEngine(t, tb, policy)
+		res, err := e.Query(Query{
+			Where: expr.And(expr.MustPred("a", expr.IsNull)),
+			Aggs:  []Agg{{Kind: CountStar}},
+		})
+		if err != nil || res.Count != 0 {
+			t.Fatalf("%v: count=%d err=%v", policy, res.Count, err)
+		}
+	}
+}
+
+func TestIsNullAggregatesOverOtherColumn(t *testing.T) {
+	tb := nullTable(t, 1000)
+	e := newEngine(t, tb, PolicyAdaptive)
+	res, err := e.Query(Query{
+		Where: expr.And(expr.MustPred("b", expr.IsNull)),
+		Aggs:  []Agg{{Kind: Sum, Col: "a"}, {Kind: CountCol, Col: "b"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colB, _ := tb.Column("b")
+	var wantSum int64
+	for i := 0; i < 1000; i++ {
+		if colB.IsNull(i) {
+			wantSum += int64(i)
+		}
+	}
+	if !res.Aggs[0].Equal(storage.IntValue(wantSum)) {
+		t.Fatalf("SUM(a)=%v want %d", res.Aggs[0], wantSum)
+	}
+	// COUNT(b) over rows where b IS NULL is 0.
+	if !res.Aggs[1].Equal(storage.IntValue(0)) {
+		t.Fatalf("COUNT(b)=%v want 0", res.Aggs[1])
+	}
+}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"sort"
+
+	"adskip/internal/bitvec"
+	"adskip/internal/scan"
+	"adskip/internal/storage"
+)
+
+// execOrdered handles ORDER BY projections: it gathers every qualifying
+// row id (no early exit — ordering needs the full match set), sorts ids by
+// the order column's codes (code order equals value order; NULLs last),
+// truncates to the limit, then materializes. Aggregates, if present, fold
+// over the full match set before truncation.
+func (e *Engine) execOrdered(plans []colPlan, res *Result, accs []*aggAcc, projCols []*storage.Column, orderCol *storage.Column, desc bool, limit, n int) error {
+	segs := []seg{{lo: 0, hi: n}}
+	for i := range plans {
+		segs = intersectPlan(segs, &plans[i], uint64(1)<<uint(i), n)
+	}
+
+	var rows []uint32
+	sel := bitvec.NewSelVec(1024)
+	for _, s := range segs {
+		if s.needEval == 0 {
+			for r := s.lo; r < s.hi; r++ {
+				rows = append(rows, uint32(r))
+			}
+			continue
+		}
+		sel.Reset()
+		first := true
+		for i := range plans {
+			if s.needEval&(uint64(1)<<uint(i)) == 0 {
+				continue
+			}
+			p := &plans[i]
+			if first {
+				if p.pred.NullOnly {
+					scan.FilterNullSel(p.col.Nulls(), s.lo, s.hi, sel)
+				} else {
+					scan.FilterSel(p.col.Codes(), s.lo, s.hi, p.pred.R, p.col.Nulls(), 0, sel)
+				}
+				res.Stats.RowsScanned += s.hi - s.lo
+				first = false
+				continue
+			}
+			res.Stats.RowsScanned += sel.Len()
+			if refineSel(sel, p) == 0 {
+				break
+			}
+		}
+		rows = append(rows, sel.Rows()...)
+	}
+
+	for _, r := range rows {
+		for _, a := range accs {
+			a.addRow(int(r))
+		}
+	}
+
+	codes := orderCol.Codes()
+	isNull := func(r uint32) bool { return orderCol.IsNull(int(r)) }
+	// Code order equals value order except on unsealed string dictionaries,
+	// whose codes are insertion-ordered; compare their values directly.
+	less := func(ri, rj uint32) bool { return codes[ri] < codes[rj] }
+	if orderCol.Type() == storage.String && !orderCol.DictSorted() {
+		d := orderCol.Dict()
+		less = func(ri, rj uint32) bool { return d.Value(codes[ri]) < d.Value(codes[rj]) }
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		ri, rj := rows[i], rows[j]
+		ni, nj := isNull(ri), isNull(rj)
+		if ni || nj {
+			return !ni && nj // NULLs sort last regardless of direction
+		}
+		if desc {
+			return less(rj, ri)
+		}
+		return less(ri, rj)
+	})
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	for _, r := range rows {
+		vals := make([]storage.Value, len(projCols))
+		for ci, col := range projCols {
+			vals[ci] = col.Value(int(r))
+		}
+		res.Rows = append(res.Rows, vals)
+	}
+	res.Count = len(res.Rows)
+	e.feedbackGeneral(plans, segs)
+	return nil
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"sync"
+
+	"adskip/internal/core"
+	"adskip/internal/scan"
+)
+
+// Parallel scan execution for the COUNT fast path. Candidate windows are
+// partitioned into contiguous groups of roughly equal row volume, one per
+// worker; each worker runs the same kernels over its group and the
+// partial counts, statistics, and zone observations merge losslessly
+// (counting is associative, observations are per-zone). Results are
+// therefore bit-identical to the serial path.
+
+// minRowsPerWorker keeps tiny scans serial: goroutine fan-out only pays
+// off when each worker gets substantial contiguous work.
+const minRowsPerWorker = 1 << 16
+
+// parallelCountFull counts matches over [0, n) with p workers.
+func (e *Engine) parallelCountFull(p *colPlan, n, workers int) int {
+	codes := p.col.Codes()
+	nulls := p.col.Nulls()
+	count := func(lo, hi int) int {
+		if p.pred.NullOnly {
+			return scan.CountNulls(nulls, lo, hi)
+		}
+		return scan.CountRanges(codes, lo, hi, p.pred.R, nulls, 0)
+	}
+	if workers <= 1 || n < minRowsPerWorker*2 {
+		return count(0, n)
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			counts[w] = count(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// zoneWork is one worker's slice of the candidate list.
+type zoneWork struct {
+	zones []core.CandidateZone
+	count int
+	obs   []core.ZoneObservation
+	stats ExecStats
+}
+
+// parallelCountZones executes the candidate zones across workers and
+// returns the merged count, observations (in candidate order), and stats.
+func (e *Engine) parallelCountZones(p *colPlan, zones []core.CandidateZone, workers int) (int, []core.ZoneObservation, ExecStats) {
+	totalRows := 0
+	for _, z := range zones {
+		totalRows += z.Hi - z.Lo
+	}
+	if workers <= 1 || totalRows < minRowsPerWorker*2 {
+		w := zoneWork{zones: zones}
+		e.scanZoneGroup(p, &w)
+		return w.count, w.obs, w.stats
+	}
+	// Partition candidates into contiguous groups of ~equal row volume.
+	groups := make([]zoneWork, 0, workers)
+	target := (totalRows + workers - 1) / workers
+	start, acc := 0, 0
+	for i, z := range zones {
+		acc += z.Hi - z.Lo
+		if acc >= target || i == len(zones)-1 {
+			groups = append(groups, zoneWork{zones: zones[start : i+1]})
+			start, acc = i+1, 0
+		}
+	}
+	var wg sync.WaitGroup
+	for g := range groups {
+		wg.Add(1)
+		go func(w *zoneWork) {
+			defer wg.Done()
+			e.scanZoneGroup(p, w)
+		}(&groups[g])
+	}
+	wg.Wait()
+	count := 0
+	var obs []core.ZoneObservation
+	var stats ExecStats
+	for _, g := range groups {
+		count += g.count
+		obs = append(obs, g.obs...)
+		stats.RowsScanned += g.stats.RowsScanned
+		stats.RowsCovered += g.stats.RowsCovered
+	}
+	return count, obs, stats
+}
+
+// scanZoneGroup runs the fast-count kernels over one group of candidate
+// zones, accumulating into w.
+func (e *Engine) scanZoneGroup(p *colPlan, w *zoneWork) {
+	codes := p.col.Codes()
+	nulls := p.col.Nulls()
+	for _, c := range w.zones {
+		ob := core.ZoneObservation{ID: c.ID, Lo: c.Lo, Hi: c.Hi, Covered: c.Covered}
+		switch {
+		case c.Covered:
+			w.count += c.Hi - c.Lo
+			w.stats.RowsCovered += c.Hi - c.Lo
+		case p.pred.NullOnly:
+			m := scan.CountNulls(nulls, c.Lo, c.Hi)
+			w.count += m
+			w.stats.RowsScanned += c.Hi - c.Lo
+			ob.Matched = m
+		case c.WantStats:
+			m, stats := scan.CountWithStats(codes, c.Lo, c.Hi, p.pred.R, nulls, 0, c.StatParts)
+			w.count += m
+			w.stats.RowsScanned += c.Hi - c.Lo
+			ob.Matched = m
+			ob.Stats = stats
+		default:
+			m := scan.CountRanges(codes, c.Lo, c.Hi, p.pred.R, nulls, 0)
+			w.count += m
+			w.stats.RowsScanned += c.Hi - c.Lo
+			ob.Matched = m
+		}
+		if c.ID != core.NoZoneID {
+			w.obs = append(w.obs, ob)
+		}
+	}
+}

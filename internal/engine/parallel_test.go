@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"adskip/internal/expr"
+	"adskip/internal/storage"
+	"adskip/internal/table"
+	"adskip/internal/workload"
+)
+
+// bigTable builds a single-column table large enough to exceed the
+// parallel threshold.
+func bigTable(t testing.TB, n int, dist workload.Distribution) *table.Table {
+	t.Helper()
+	tb := table.MustNew("t", table.Schema{{Name: "v", Type: storage.Int64}})
+	col, _ := tb.Column("v")
+	for _, v := range workload.Generate(workload.DataSpec{N: n, Dist: dist, Domain: int64(n), Seed: 5}) {
+		if err := col.AppendInt(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestParallelCountMatchesSerial(t *testing.T) {
+	const n = 1 << 18
+	for _, policy := range []Policy{PolicyNone, PolicyStatic, PolicyAdaptive} {
+		for _, dist := range []workload.Distribution{workload.Sorted, workload.Uniform, workload.Clustered} {
+			serialEng := New(bigTable(t, n, dist), Options{Policy: policy, StaticZoneSize: 2048})
+			parallelEng := New(bigTable(t, n, dist), Options{Policy: policy, StaticZoneSize: 2048, Parallelism: 8})
+			if err := serialEng.EnableSkipping("v"); err != nil {
+				t.Fatal(err)
+			}
+			if err := parallelEng.EnableSkipping("v"); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(6))
+			for q := 0; q < 40; q++ {
+				lo := rng.Int63n(n)
+				where := expr.And(expr.MustPred("v", expr.Between,
+					storage.IntValue(lo), storage.IntValue(lo+rng.Int63n(n/10))))
+				query := Query{Where: where, Aggs: []Agg{{Kind: CountStar}}}
+				a, err := serialEng.Query(query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := parallelEng.Query(query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a.Count != b.Count {
+					t.Fatalf("%v/%v q%d: serial %d parallel %d", policy, dist, q, a.Count, b.Count)
+				}
+			}
+		}
+	}
+}
+
+// Adaptive learning must behave identically under parallel execution:
+// observations carry the same per-zone evidence regardless of worker
+// partitioning.
+func TestParallelAdaptiveStillLearns(t *testing.T) {
+	const n = 1 << 18
+	e := New(bigTable(t, n, workload.Clustered), Options{Policy: PolicyAdaptive, Parallelism: 4})
+	if err := e.EnableSkipping("v"); err != nil {
+		t.Fatal(err)
+	}
+	zonesBefore := e.Skipper("v").Metadata().Zones
+	rng := rand.New(rand.NewSource(7))
+	for q := 0; q < 60; q++ {
+		lo := rng.Int63n(n - n/100)
+		where := expr.And(expr.MustPred("v", expr.Between,
+			storage.IntValue(lo), storage.IntValue(lo+int64(n/100))))
+		if _, err := e.Query(Query{Where: where, Aggs: []Agg{{Kind: CountStar}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Skipper("v").Metadata().Zones <= zonesBefore {
+		t.Fatalf("no refinement under parallel execution: %d -> %d",
+			zonesBefore, e.Skipper("v").Metadata().Zones)
+	}
+}
+
+func TestParallelSmallInputStaysSerial(t *testing.T) {
+	// Below the threshold the partitioner must not fan out (observable
+	// only through correctness here; the fast path is exercised).
+	tb := table.MustNew("t", table.Schema{{Name: "v", Type: storage.Int64}})
+	col, _ := tb.Column("v")
+	for i := int64(0); i < 100; i++ {
+		col.AppendInt(i)
+	}
+	e := New(tb, Options{Policy: PolicyNone, Parallelism: 16})
+	if err := e.EnableSkipping("v"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(Query{
+		Where: expr.And(expr.MustPred("v", expr.LT, storage.IntValue(50))),
+		Aggs:  []Agg{{Kind: CountStar}},
+	})
+	if err != nil || res.Count != 50 {
+		t.Fatalf("count=%d err=%v", res.Count, err)
+	}
+}
+
+func BenchmarkParallelCount(b *testing.B) {
+	const n = 1 << 22
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "serial", 2: "2workers", 4: "4workers", 8: "8workers"}[workers], func(b *testing.B) {
+			tb := bigTable(b, n, workload.Uniform)
+			e := New(tb, Options{Policy: PolicyNone, Parallelism: workers})
+			if err := e.EnableSkipping("v"); err != nil {
+				b.Fatal(err)
+			}
+			q := Query{
+				Where: expr.And(expr.MustPred("v", expr.Between,
+					storage.IntValue(0), storage.IntValue(n/2))),
+				Aggs: []Agg{{Kind: CountStar}},
+			}
+			b.SetBytes(8 * n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,253 @@
+// Package expr defines the typed predicate AST used by the query layer and
+// its lowering into physical code intervals.
+//
+// A Pred is a single-column comparison; a Conj is a conjunction of Preds
+// (the WHERE-clause shape the paper's scan-heavy workloads use). Lowering a
+// Pred against a concrete column produces a Ranges value: a sorted set of
+// disjoint inclusive [lo, hi] intervals over the column's int64 code space.
+// Ranges is the lingua franca of the system — zone pruning asks "does the
+// zone's [min,max] overlap any interval?" and scan kernels ask "is this
+// code inside any interval?" — so data skipping and scanning can never
+// disagree about predicate semantics.
+package expr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"adskip/internal/storage"
+)
+
+// Op is a comparison operator.
+type Op uint8
+
+// Comparison operators supported in predicates.
+const (
+	EQ        Op = iota // =
+	NE                  // <>
+	LT                  // <
+	LE                  // <=
+	GT                  // >
+	GE                  // >=
+	Between             // BETWEEN lo AND hi (inclusive)
+	In                  // IN (v1, ..., vk)
+	IsNull              // IS NULL
+	IsNotNull           // IS NOT NULL
+	Or                  // (p1 OR p2 OR ...): same-column disjunction, in Sub
+)
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	case Between:
+		return "BETWEEN"
+	case In:
+		return "IN"
+	case IsNull:
+		return "IS NULL"
+	case IsNotNull:
+		return "IS NOT NULL"
+	case Or:
+		return "OR"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Errors returned by predicate validation and lowering.
+var (
+	ErrArity        = errors.New("expr: wrong number of arguments for operator")
+	ErrNullLiteral  = errors.New("expr: NULL literal in comparison (use IS NULL, unsupported)")
+	ErrTypeMismatch = errors.New("expr: literal type does not match column type")
+	ErrUnknownOp    = errors.New("expr: unknown operator")
+)
+
+// Pred is a single-column predicate: a comparison, a null test, or a
+// same-column disjunction of comparisons (Op==Or, disjuncts in Sub).
+// Disjunctions across different columns would require a union of row sets
+// rather than of code intervals and are intentionally unsupported — the
+// conjunctive shape is what the paper's scan workloads use.
+type Pred struct {
+	Col  string
+	Op   Op
+	Args []storage.Value
+	Sub  []Pred // Op==Or only
+}
+
+// NewOrPred builds a same-column disjunction of comparison predicates.
+func NewOrPred(subs ...Pred) (Pred, error) {
+	if len(subs) < 2 {
+		return Pred{}, fmt.Errorf("%w: OR wants >=2 disjuncts", ErrArity)
+	}
+	p := Pred{Col: subs[0].Col, Op: Or, Sub: subs}
+	if err := p.Validate(); err != nil {
+		return Pred{}, err
+	}
+	return p, nil
+}
+
+// NewPred builds a predicate, validating arity.
+func NewPred(col string, op Op, args ...storage.Value) (Pred, error) {
+	p := Pred{Col: col, Op: op, Args: args}
+	if err := p.Validate(); err != nil {
+		return Pred{}, err
+	}
+	return p, nil
+}
+
+// MustPred is NewPred that panics on error; for tests and generators.
+func MustPred(col string, op Op, args ...storage.Value) Pred {
+	p, err := NewPred(col, op, args...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Validate checks operator arity and rejects NULL literals.
+func (p Pred) Validate() error {
+	switch p.Op {
+	case EQ, NE, LT, LE, GT, GE:
+		if len(p.Args) != 1 {
+			return fmt.Errorf("%w: %s wants 1 arg, got %d", ErrArity, p.Op, len(p.Args))
+		}
+	case Between:
+		if len(p.Args) != 2 {
+			return fmt.Errorf("%w: BETWEEN wants 2 args, got %d", ErrArity, len(p.Args))
+		}
+	case In:
+		if len(p.Args) == 0 {
+			return fmt.Errorf("%w: IN wants >=1 arg", ErrArity)
+		}
+	case IsNull, IsNotNull:
+		if len(p.Args) != 0 {
+			return fmt.Errorf("%w: %s wants no args, got %d", ErrArity, p.Op, len(p.Args))
+		}
+	case Or:
+		if len(p.Sub) < 2 {
+			return fmt.Errorf("%w: OR wants >=2 disjuncts", ErrArity)
+		}
+		for _, sub := range p.Sub {
+			if sub.Col != p.Col {
+				return fmt.Errorf("expr: OR mixes columns %q and %q (only same-column disjunction is supported)", p.Col, sub.Col)
+			}
+			switch sub.Op {
+			case Or:
+				return fmt.Errorf("expr: nested OR is unsupported")
+			case IsNull, IsNotNull:
+				return fmt.Errorf("expr: %s inside OR is unsupported", sub.Op)
+			}
+			if err := sub.Validate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: %d", ErrUnknownOp, uint8(p.Op))
+	}
+	for _, a := range p.Args {
+		if a.IsNull() {
+			return ErrNullLiteral
+		}
+	}
+	return nil
+}
+
+// String renders the predicate in SQL syntax.
+func (p Pred) String() string {
+	switch p.Op {
+	case Or:
+		parts := make([]string, len(p.Sub))
+		for i, sub := range p.Sub {
+			parts[i] = sub.String()
+		}
+		return "(" + strings.Join(parts, " OR ") + ")"
+	case IsNull, IsNotNull:
+		return fmt.Sprintf("%s %s", p.Col, p.Op)
+	case Between:
+		return fmt.Sprintf("%s BETWEEN %s AND %s", p.Col, lit(p.Args[0]), lit(p.Args[1]))
+	case In:
+		parts := make([]string, len(p.Args))
+		for i, a := range p.Args {
+			parts[i] = lit(a)
+		}
+		return fmt.Sprintf("%s IN (%s)", p.Col, strings.Join(parts, ", "))
+	default:
+		return fmt.Sprintf("%s %s %s", p.Col, p.Op, lit(p.Args[0]))
+	}
+}
+
+func lit(v storage.Value) string {
+	if v.Type() == storage.String && !v.IsNull() {
+		return "'" + strings.ReplaceAll(v.Str(), "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// Conj is a conjunction (AND) of single-column predicates. An empty Conj is
+// TRUE (matches every row).
+type Conj struct {
+	Preds []Pred
+}
+
+// And returns a conjunction of the given predicates.
+func And(preds ...Pred) Conj { return Conj{Preds: preds} }
+
+// Validate validates every conjunct.
+func (c Conj) Validate() error {
+	for _, p := range c.Preds {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("%v: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// Columns returns the distinct column names referenced, in first-mention
+// order.
+func (c Conj) Columns() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, p := range c.Preds {
+		if !seen[p.Col] {
+			seen[p.Col] = true
+			out = append(out, p.Col)
+		}
+	}
+	return out
+}
+
+// ByColumn groups the conjuncts by column, preserving order within a
+// column.
+func (c Conj) ByColumn() map[string][]Pred {
+	m := make(map[string][]Pred)
+	for _, p := range c.Preds {
+		m[p.Col] = append(m[p.Col], p)
+	}
+	return m
+}
+
+// String renders the conjunction in SQL syntax ("TRUE" when empty).
+func (c Conj) String() string {
+	if len(c.Preds) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(c.Preds))
+	for i, p := range c.Preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}

@@ -1,0 +1,400 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adskip/internal/storage"
+)
+
+// Ranges is a set of disjoint, sorted, inclusive intervals [Lo[i], Hi[i]]
+// over a column's int64 code space. It is the physical form of a predicate:
+// a row qualifies iff its code falls inside some interval.
+//
+// The empty Ranges matches nothing; Full() matches everything.
+type Ranges struct {
+	Lo []int64
+	Hi []int64
+}
+
+// Full returns the range set matching every code.
+func Full() Ranges {
+	return Ranges{Lo: []int64{math.MinInt64}, Hi: []int64{math.MaxInt64}}
+}
+
+// Empty reports whether the set matches nothing.
+func (r Ranges) Empty() bool { return len(r.Lo) == 0 }
+
+// Len returns the number of intervals.
+func (r Ranges) Len() int { return len(r.Lo) }
+
+// Contains reports whether code c is inside some interval (binary search;
+// kernels use specialized fast paths for 1-interval sets instead).
+func (r Ranges) Contains(c int64) bool {
+	// Find first interval with Hi >= c; c matches iff its Lo <= c.
+	i := sort.Search(len(r.Hi), func(i int) bool { return r.Hi[i] >= c })
+	return i < len(r.Lo) && r.Lo[i] <= c
+}
+
+// Overlaps reports whether [lo, hi] (inclusive) intersects any interval.
+// This is the zone-pruning primitive: a zone with bounds [lo, hi] can be
+// skipped iff Overlaps is false.
+func (r Ranges) Overlaps(lo, hi int64) bool {
+	i := sort.Search(len(r.Hi), func(i int) bool { return r.Hi[i] >= lo })
+	return i < len(r.Lo) && r.Lo[i] <= hi
+}
+
+// Covers reports whether [lo, hi] (inclusive) is fully inside one interval.
+// When a zone is covered, every non-null row in it qualifies and the scan
+// can short-circuit (count += zone size without touching data).
+func (r Ranges) Covers(lo, hi int64) bool {
+	i := sort.Search(len(r.Hi), func(i int) bool { return r.Hi[i] >= lo })
+	return i < len(r.Lo) && r.Lo[i] <= lo && hi <= r.Hi[i]
+}
+
+// Intersect returns r ∩ o as a new normalized range set.
+func (r Ranges) Intersect(o Ranges) Ranges {
+	var out Ranges
+	i, j := 0, 0
+	for i < len(r.Lo) && j < len(o.Lo) {
+		lo := max64(r.Lo[i], o.Lo[j])
+		hi := min64(r.Hi[i], o.Hi[j])
+		if lo <= hi {
+			out.Lo = append(out.Lo, lo)
+			out.Hi = append(out.Hi, hi)
+		}
+		if r.Hi[i] < o.Hi[j] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// Normalize sorts intervals, drops empty ones, and merges overlapping or
+// adjacent intervals. It returns the receiver value for chaining.
+func (r Ranges) Normalize() Ranges {
+	type iv struct{ lo, hi int64 }
+	ivs := make([]iv, 0, len(r.Lo))
+	for i := range r.Lo {
+		if r.Lo[i] <= r.Hi[i] {
+			ivs = append(ivs, iv{r.Lo[i], r.Hi[i]})
+		}
+	}
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].lo < ivs[b].lo })
+	out := Ranges{}
+	for _, v := range ivs {
+		n := len(out.Lo)
+		if n > 0 && (v.lo <= out.Hi[n-1] || (out.Hi[n-1] != math.MaxInt64 && v.lo == out.Hi[n-1]+1)) {
+			if v.hi > out.Hi[n-1] {
+				out.Hi[n-1] = v.hi
+			}
+			continue
+		}
+		out.Lo = append(out.Lo, v.lo)
+		out.Hi = append(out.Hi, v.hi)
+	}
+	return out
+}
+
+// String renders the interval set for debugging.
+func (r Ranges) String() string {
+	if r.Empty() {
+		return "∅"
+	}
+	s := ""
+	for i := range r.Lo {
+		if i > 0 {
+			s += " ∪ "
+		}
+		s += fmt.Sprintf("[%d,%d]", r.Lo[i], r.Hi[i])
+	}
+	return s
+}
+
+// Lower compiles the predicate against a concrete column into code
+// intervals. This is where logical types disappear:
+//
+//   - Int64 literals become codes directly.
+//   - Float64 literals go through the order-preserving encoding. Because
+//     the encoding is a bijection on non-NaN floats, strict/inclusive
+//     bounds translate exactly.
+//   - String literals on a sealed dictionary translate via
+//     LowerBound/UpperBound so that range predicates are correct even for
+//     strings absent from the dictionary. On an unsealed dictionary only
+//     EQ/NE/IN are representable (code order is meaningless); range ops
+//     return an error telling the caller to seal first.
+func Lower(p Pred, col *storage.Column) (Ranges, error) {
+	if err := p.Validate(); err != nil {
+		return Ranges{}, err
+	}
+	for _, a := range p.Args {
+		if a.Type() != col.Type() {
+			return Ranges{}, fmt.Errorf("%w: %s literal against %s column %q",
+				ErrTypeMismatch, a.Type(), col.Type(), col.Name())
+		}
+	}
+	if col.Type() == storage.String && !col.DictSorted() {
+		switch p.Op {
+		case EQ, NE, In, Or:
+			// point ops work on unsorted dictionaries; Or defers to its
+			// disjuncts' own checks.
+		default:
+			return Ranges{}, fmt.Errorf("expr: %s on string column %q requires a sealed dictionary", p.Op, col.Name())
+		}
+	}
+
+	switch p.Op {
+	case IsNull, IsNotNull:
+		return Ranges{}, fmt.Errorf("expr: %s has no code-interval form (use LowerColumn)", p.Op)
+	case Or:
+		out := Ranges{}
+		for _, sub := range p.Sub {
+			r, err := Lower(sub, col)
+			if err != nil {
+				return Ranges{}, err
+			}
+			out.Lo = append(out.Lo, r.Lo...)
+			out.Hi = append(out.Hi, r.Hi...)
+		}
+		return out.Normalize(), nil
+	case EQ:
+		return pointRanges(col, p.Args[0], false)
+	case NE:
+		return pointRanges(col, p.Args[0], true)
+	case In:
+		out := Ranges{}
+		for _, a := range p.Args {
+			r, err := pointRanges(col, a, false)
+			if err != nil {
+				return Ranges{}, err
+			}
+			out.Lo = append(out.Lo, r.Lo...)
+			out.Hi = append(out.Hi, r.Hi...)
+		}
+		return out.Normalize(), nil
+	case LT:
+		hi, ok, err := boundBelow(col, p.Args[0], false)
+		if err != nil || !ok {
+			return Ranges{}, err
+		}
+		return Ranges{Lo: []int64{math.MinInt64}, Hi: []int64{hi}}, nil
+	case LE:
+		hi, ok, err := boundBelow(col, p.Args[0], true)
+		if err != nil || !ok {
+			return Ranges{}, err
+		}
+		return Ranges{Lo: []int64{math.MinInt64}, Hi: []int64{hi}}, nil
+	case GT:
+		lo, ok, err := boundAbove(col, p.Args[0], false)
+		if err != nil || !ok {
+			return Ranges{}, err
+		}
+		return Ranges{Lo: []int64{lo}, Hi: []int64{math.MaxInt64}}, nil
+	case GE:
+		lo, ok, err := boundAbove(col, p.Args[0], true)
+		if err != nil || !ok {
+			return Ranges{}, err
+		}
+		return Ranges{Lo: []int64{lo}, Hi: []int64{math.MaxInt64}}, nil
+	case Between:
+		lo, okLo, err := boundAbove(col, p.Args[0], true)
+		if err != nil {
+			return Ranges{}, err
+		}
+		hi, okHi, err := boundBelow(col, p.Args[1], true)
+		if err != nil {
+			return Ranges{}, err
+		}
+		if !okLo || !okHi || lo > hi {
+			return Ranges{}, nil
+		}
+		return Ranges{Lo: []int64{lo}, Hi: []int64{hi}}, nil
+	}
+	return Ranges{}, fmt.Errorf("%w: %d", ErrUnknownOp, uint8(p.Op))
+}
+
+// LowerConj lowers every comparison conjunct of c that targets column col
+// and intersects the results, yielding the per-column code intervals for
+// that column. Conjuncts on other columns are ignored; IS NULL conjuncts
+// are rejected (use LowerColumn). An empty result means the predicate is
+// unsatisfiable on this column.
+func LowerConj(c Conj, col *storage.Column) (Ranges, error) {
+	cp, err := LowerColumn(c, col)
+	if err != nil {
+		return Ranges{}, err
+	}
+	if cp.NullOnly {
+		return Ranges{}, fmt.Errorf("expr: IS NULL on %q has no code-interval form (use LowerColumn)", col.Name())
+	}
+	return cp.R, nil
+}
+
+// ColPred is the physical per-column predicate: either code intervals over
+// non-null rows (the normal case; kernels mask NULLs) or "exactly the NULL
+// rows" (NullOnly). The two are mutually exclusive: any comparison implies
+// NOT NULL in SQL, so a conjunction mixing IS NULL with comparisons is
+// unsatisfiable.
+type ColPred struct {
+	R        Ranges
+	NullOnly bool
+}
+
+// Empty reports whether the predicate provably matches nothing, before
+// consulting data or metadata.
+func (c ColPred) Empty() bool { return !c.NullOnly && c.R.Empty() }
+
+// LowerColumn lowers all conjuncts of c targeting col into a ColPred.
+//
+//   - IS NOT NULL adds no interval constraint: kernels exclude NULL rows
+//     from every comparison anyway, so it lowers to the full code range.
+//   - IS NULL alone yields NullOnly.
+//   - IS NULL combined with any comparison or IS NOT NULL is empty.
+func LowerColumn(c Conj, col *storage.Column) (ColPred, error) {
+	r := Full()
+	hasNull, constrained := false, false
+	for _, p := range c.Preds {
+		if p.Col != col.Name() {
+			continue
+		}
+		switch p.Op {
+		case IsNull:
+			if err := p.Validate(); err != nil {
+				return ColPred{}, err
+			}
+			hasNull = true
+			continue
+		case IsNotNull:
+			if err := p.Validate(); err != nil {
+				return ColPred{}, err
+			}
+			constrained = true
+			continue
+		}
+		constrained = true
+		pr, err := Lower(p, col)
+		if err != nil {
+			return ColPred{}, err
+		}
+		r = r.Intersect(pr)
+		if r.Empty() {
+			return ColPred{R: r}, nil
+		}
+	}
+	if hasNull {
+		if constrained {
+			return ColPred{}, nil // IS NULL ∧ comparison: nothing matches
+		}
+		return ColPred{NullOnly: true}, nil
+	}
+	return ColPred{R: r}, nil
+}
+
+// pointRanges lowers an equality (or its negation) to intervals.
+func pointRanges(col *storage.Column, v storage.Value, negate bool) (Ranges, error) {
+	code, ok, err := col.EncodeValue(v)
+	if err != nil {
+		return Ranges{}, err
+	}
+	if !ok {
+		// Value absent (string not in dictionary): EQ matches nothing,
+		// NE matches everything (nulls are masked elsewhere).
+		if negate {
+			return Full(), nil
+		}
+		return Ranges{}, nil
+	}
+	if !negate {
+		return Ranges{Lo: []int64{code}, Hi: []int64{code}}, nil
+	}
+	out := Ranges{}
+	if code != math.MinInt64 {
+		out.Lo = append(out.Lo, math.MinInt64)
+		out.Hi = append(out.Hi, code-1)
+	}
+	if code != math.MaxInt64 {
+		out.Lo = append(out.Lo, code+1)
+		out.Hi = append(out.Hi, math.MaxInt64)
+	}
+	return out, nil
+}
+
+// boundBelow returns the largest code satisfying "code < v" (inclusive
+// false) or "code <= v" (inclusive true); ok=false means no code can
+// satisfy the predicate (empty result).
+func boundBelow(col *storage.Column, v storage.Value, inclusive bool) (int64, bool, error) {
+	switch col.Type() {
+	case storage.Int64, storage.Float64:
+		code, _, err := col.EncodeValue(v)
+		if err != nil {
+			return 0, false, err
+		}
+		if inclusive {
+			return code, true, nil
+		}
+		if code == math.MinInt64 {
+			return 0, false, nil
+		}
+		return code - 1, true, nil
+	case storage.String:
+		d := col.Dict()
+		var cut int64
+		if inclusive {
+			cut = d.UpperBound(v.Str()) // first code with value > v
+		} else {
+			cut = d.LowerBound(v.Str()) // first code with value >= v
+		}
+		if cut == 0 {
+			return 0, false, nil
+		}
+		return cut - 1, true, nil
+	}
+	return 0, false, fmt.Errorf("expr: unsupported column type %v", col.Type())
+}
+
+// boundAbove returns the smallest code satisfying "code > v" / "code >= v".
+func boundAbove(col *storage.Column, v storage.Value, inclusive bool) (int64, bool, error) {
+	switch col.Type() {
+	case storage.Int64, storage.Float64:
+		code, _, err := col.EncodeValue(v)
+		if err != nil {
+			return 0, false, err
+		}
+		if inclusive {
+			return code, true, nil
+		}
+		if code == math.MaxInt64 {
+			return 0, false, nil
+		}
+		return code + 1, true, nil
+	case storage.String:
+		d := col.Dict()
+		var cut int64
+		if inclusive {
+			cut = d.LowerBound(v.Str())
+		} else {
+			cut = d.UpperBound(v.Str())
+		}
+		if cut >= int64(d.Len()) {
+			return 0, false, nil
+		}
+		return cut, true, nil
+	}
+	return 0, false, fmt.Errorf("expr: unsupported column type %v", col.Type())
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment runtime in milliseconds for unit tests.
+func tinyConfig() Config {
+	return Config{Rows: 20000, Queries: 48, Seed: 7, StaticZoneRows: 512}
+}
+
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	for _, ex := range Experiments() {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			tbl, err := ex.Run(tinyConfig())
+			if err != nil {
+				t.Fatalf("%s: %v", ex.ID, err)
+			}
+			if tbl.ID != ex.ID {
+				t.Fatalf("table id %q want %q", tbl.ID, ex.ID)
+			}
+			if len(tbl.Rows) == 0 || len(tbl.Header) == 0 {
+				t.Fatalf("%s: empty table", ex.ID)
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Fatalf("%s row %d: %d cells for %d headers", ex.ID, i, len(row), len(tbl.Header))
+				}
+			}
+			var buf bytes.Buffer
+			tbl.Fprint(&buf)
+			if !strings.Contains(buf.String(), ex.ID) {
+				t.Fatalf("%s: Fprint missing id", ex.ID)
+			}
+			buf.Reset()
+			tbl.CSV(&buf)
+			lines := strings.Count(buf.String(), "\n")
+			if lines != len(tbl.Rows)+1 {
+				t.Fatalf("%s: CSV has %d lines want %d", ex.ID, lines, len(tbl.Rows)+1)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig1"); !ok {
+		t.Fatal("fig1 missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Rows != 1<<21 || c.Queries != 512 || c.Seed != 42 || c.StaticZoneRows != 4096 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	a := c.adaptiveConfig()
+	if a.InitialZoneRows != (1<<21)/256 || a.MinZoneRows < 256 {
+		t.Fatalf("adaptive scaling: %+v", a)
+	}
+}
+
+func TestSamplePoints(t *testing.T) {
+	pts := samplePoints(100)
+	if pts[0] != 0 || pts[len(pts)-1] != 99 {
+		t.Fatalf("pts=%v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i] <= pts[i-1] {
+			t.Fatalf("not increasing: %v", pts)
+		}
+	}
+	if got := samplePoints(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("n=1: %v", got)
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if fmtNs(500) != "0.5µs" || fmtNs(2.5e6) != "2.500ms" || fmtNs(3e9) != "3.000s" {
+		t.Fatalf("fmtNs: %s %s %s", fmtNs(500), fmtNs(2.5e6), fmtNs(3e9))
+	}
+	if fmtBytes(100) != "100B" || fmtBytes(2048) != "2.0KiB" || fmtBytes(3<<20) != "3.0MiB" {
+		t.Fatal("fmtBytes wrong")
+	}
+}
+
+func TestStreamResultWindows(t *testing.T) {
+	sr := streamResult{perQueryNs: []int64{10, 20, 30, 40}}
+	if sr.avgNs(0, 4) != 25 || sr.avgNs(2, 4) != 35 {
+		t.Fatalf("avg: %f %f", sr.avgNs(0, 4), sr.avgNs(2, 4))
+	}
+	if sr.avgNs(3, 3) != 0 || sr.avgNs(0, 100) != 25 {
+		t.Fatal("avg edge cases")
+	}
+	if sr.medianNs(0, 4) != 30 { // upper median
+		t.Fatalf("median: %f", sr.medianNs(0, 4))
+	}
+	if sr.medianNs(2, 2) != 0 {
+		t.Fatal("empty median")
+	}
+}

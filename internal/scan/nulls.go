@@ -1,0 +1,38 @@
+package scan
+
+import "adskip/internal/bitvec"
+
+// Null-seeking kernels: IS NULL predicates scan the null bitmap instead of
+// the code vector. nulls may be nil (a column with no NULLs), in which
+// case nothing matches.
+
+// CountNulls returns the number of NULL rows in [lo, hi).
+func CountNulls(nulls *bitvec.BitVec, lo, hi int) int {
+	if nulls == nil || lo >= hi {
+		return 0
+	}
+	if hi > nulls.Len() {
+		hi = nulls.Len()
+	}
+	if lo >= hi {
+		return 0
+	}
+	return nulls.CountRange(lo, hi)
+}
+
+// FilterNullSel appends the NULL row indices in [lo, hi) to sel, in
+// ascending order, returning the match count.
+func FilterNullSel(nulls *bitvec.BitVec, lo, hi int, sel *bitvec.SelVec) int {
+	if nulls == nil {
+		return 0
+	}
+	if hi > nulls.Len() {
+		hi = nulls.Len()
+	}
+	n := 0
+	for i := nulls.NextSet(lo); i >= 0 && i < hi; i = nulls.NextSet(i + 1) {
+		sel.Append(uint32(i))
+		n++
+	}
+	return n
+}

@@ -1,0 +1,36 @@
+package sql
+
+import "testing"
+
+// FuzzParse exercises the lexer and parser with arbitrary input: they must
+// never panic, and any statement that parses must render to a canonical
+// form that re-parses to itself.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM t",
+		"SELECT COUNT(*), SUM(a) FROM t WHERE a BETWEEN 1 AND 2 GROUP BY b LIMIT 3",
+		"SELECT a FROM t WHERE (a < 1 OR a > 2) AND b IS NOT NULL ORDER BY a DESC",
+		"EXPLAIN SELECT a FROM t WHERE s IN ('x', 'it''s') AND f >= -2.5e3",
+		"SELECT FROM WHERE AND",
+		"SELECT 'unterminated",
+		"SELECT a FROM t WHERE a = \x00",
+		"((((((((((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := stmt.String()
+		stmt2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", rendered, err)
+		}
+		if stmt2.String() != rendered {
+			t.Fatalf("unstable canonical form: %q -> %q", rendered, stmt2.String())
+		}
+	})
+}

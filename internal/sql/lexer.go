@@ -1,0 +1,167 @@
+// Package sql implements a small SQL front-end for the column store: a
+// hand-written lexer and recursive-descent parser for single-table
+// SELECT statements with conjunctive WHERE clauses, and a binder/planner
+// that lowers statements onto the engine's query form. The subset matches
+// the scan-heavy query shapes of the paper's evaluation.
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+// token is one lexeme with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; idents keep original case
+	pos  int
+}
+
+// keywords recognized by the lexer (case-insensitive).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"BETWEEN": true, "IN": true, "LIMIT": true, "COUNT": true,
+	"SUM": true, "MIN": true, "MAX": true, "AVG": true,
+	"NOT": true, "TRUE": true, "FALSE": true, "NULL": true, "IS": true,
+	"GROUP": true, "BY": true, "EXPLAIN": true, "OR": true,
+	"ORDER": true, "ASC": true, "DESC": true,
+}
+
+// ErrSyntax is wrapped by all lexer/parser errors.
+var ErrSyntax = errors.New("sql: syntax error")
+
+// lexError formats a positioned syntax error.
+func lexError(pos int, format string, args ...interface{}) error {
+	return fmt.Errorf("%w at offset %d: %s", ErrSyntax, pos, fmt.Sprintf(format, args...))
+}
+
+// lex tokenizes input. String literals use single quotes with ” escaping.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, lexError(start, "unterminated string literal")
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case unicode.IsDigit(c) || (c == '-' && i+1 < n && unicode.IsDigit(rune(input[i+1])) && startsValue(toks)):
+			start := i
+			if c == '-' {
+				i++
+			}
+			seenDot, seenExp := false, false
+			for i < n {
+				d := input[i]
+				if unicode.IsDigit(rune(d)) {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i > start {
+					seenExp = true
+					i++
+					if i < n && (input[i] == '+' || input[i] == '-') {
+						i++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		default:
+			start := i
+			// Multi-char operators first.
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, token{kind: tokSymbol, text: two, pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '(', ')', ',', '*', ';':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: start})
+				i++
+			default:
+				return nil, lexError(start, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+// startsValue reports whether a '-' at the current point begins a numeric
+// literal (after an operator/keyword/'(', not after a value). This keeps
+// "a > -5" working without general unary-expression support.
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return false
+	}
+	t := toks[len(toks)-1]
+	switch t.kind {
+	case tokSymbol:
+		return t.text != ")" && t.text != "*"
+	case tokKeyword:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,283 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"adskip/internal/bitvec"
+	"adskip/internal/dict"
+)
+
+// Common column errors.
+var (
+	ErrTypeMismatch = errors.New("storage: value type does not match column type")
+	ErrNaN          = errors.New("storage: NaN is not storable (no total order)")
+)
+
+// Column is a typed, append-only column vector. The physical representation
+// is always []int64 codes in value order (see package doc); logical type
+// only affects encode/decode at the boundary.
+//
+// A Column is not safe for concurrent mutation; concurrent reads are safe.
+type Column struct {
+	name  string
+	typ   Type
+	codes []int64
+	nulls *bitvec.BitVec // lazily allocated; set bit = NULL at that row
+	nNull int
+	dict  *dict.Dict // non-nil iff typ == String
+}
+
+// NewColumn returns an empty column of the given logical type.
+func NewColumn(name string, typ Type) *Column {
+	c := &Column{name: name, typ: typ}
+	if typ == String {
+		c.dict = dict.New()
+	}
+	return c
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Type returns the column's logical type.
+func (c *Column) Type() Type { return c.typ }
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return len(c.codes) }
+
+// NullCount returns the number of NULL rows.
+func (c *Column) NullCount() int { return c.nNull }
+
+// Codes exposes the physical code vector for scan kernels and metadata
+// builders. The slice aliases column storage: callers must treat it as
+// read-only and must not retain it across appends.
+func (c *Column) Codes() []int64 { return c.codes }
+
+// Dict returns the string dictionary, or nil for non-string columns.
+func (c *Column) Dict() *dict.Dict { return c.dict }
+
+// HasNulls reports whether any row is NULL.
+func (c *Column) HasNulls() bool { return c.nNull > 0 }
+
+// Nulls returns the null bitmap (set bit = NULL), or nil when the column
+// has no NULLs. Read-only.
+func (c *Column) Nulls() *bitvec.BitVec {
+	if c.nNull == 0 {
+		return nil
+	}
+	return c.nulls
+}
+
+// IsNull reports whether row i is NULL.
+func (c *Column) IsNull(i int) bool {
+	return c.nulls != nil && i < c.nulls.Len() && c.nulls.Get(i)
+}
+
+// AppendInt appends an int64; the column must be Int64.
+func (c *Column) AppendInt(v int64) error {
+	if c.typ != Int64 {
+		return fmt.Errorf("%w: AppendInt on %s column %q", ErrTypeMismatch, c.typ, c.name)
+	}
+	c.codes = append(c.codes, v)
+	c.growNulls(len(c.codes))
+	return nil
+}
+
+// AppendFloat appends a float64; the column must be Float64. NaN is
+// rejected because it has no position in the total order that data
+// skipping relies on.
+func (c *Column) AppendFloat(v float64) error {
+	if c.typ != Float64 {
+		return fmt.Errorf("%w: AppendFloat on %s column %q", ErrTypeMismatch, c.typ, c.name)
+	}
+	if math.IsNaN(v) {
+		return ErrNaN
+	}
+	c.codes = append(c.codes, EncodeFloat64(v))
+	c.growNulls(len(c.codes))
+	return nil
+}
+
+// AppendString appends a string; the column must be String. If the
+// dictionary has been sealed and v is unknown, the append fails with
+// dict.ErrSealed — callers should Seal only after bulk load, or use
+// table-level load paths that seal at snapshot time.
+func (c *Column) AppendString(v string) error {
+	if c.typ != String {
+		return fmt.Errorf("%w: AppendString on %s column %q", ErrTypeMismatch, c.typ, c.name)
+	}
+	code, err := c.dict.Insert(v)
+	if err != nil {
+		return err
+	}
+	c.codes = append(c.codes, code)
+	c.growNulls(len(c.codes))
+	return nil
+}
+
+// AppendNull appends a NULL row. The physical code slot holds the minimum
+// int64 so that metadata builders which consult the null bitmap can skip it
+// and kernels that forget would at worst over-select (they don't: kernels
+// mask nulls).
+func (c *Column) AppendNull() {
+	row := len(c.codes)
+	c.codes = append(c.codes, math.MinInt64)
+	if c.nulls == nil {
+		c.nulls = bitvec.New(0)
+	}
+	c.growNulls(row + 1)
+	c.nulls.Set(row)
+	c.nNull++
+}
+
+// AppendValue appends a dynamically typed value.
+func (c *Column) AppendValue(v Value) error {
+	if v.IsNull() {
+		c.AppendNull()
+		return nil
+	}
+	if v.Type() != c.typ {
+		return fmt.Errorf("%w: %s value into %s column %q", ErrTypeMismatch, v.Type(), c.typ, c.name)
+	}
+	switch c.typ {
+	case Int64:
+		return c.AppendInt(v.Int())
+	case Float64:
+		return c.AppendFloat(v.Float())
+	case String:
+		return c.AppendString(v.Str())
+	}
+	return fmt.Errorf("storage: unknown column type %v", c.typ)
+}
+
+// SetInt overwrites row i with v (Int64 columns). Used by the update path;
+// the caller (engine) is responsible for informing skippers so zone bounds
+// stay sound.
+func (c *Column) SetInt(i int, v int64) error {
+	if c.typ != Int64 {
+		return fmt.Errorf("%w: SetInt on %s column %q", ErrTypeMismatch, c.typ, c.name)
+	}
+	c.clearNull(i)
+	c.codes[i] = v
+	return nil
+}
+
+// SetFloat overwrites row i with v (Float64 columns).
+func (c *Column) SetFloat(i int, v float64) error {
+	if c.typ != Float64 {
+		return fmt.Errorf("%w: SetFloat on %s column %q", ErrTypeMismatch, c.typ, c.name)
+	}
+	if math.IsNaN(v) {
+		return ErrNaN
+	}
+	c.clearNull(i)
+	c.codes[i] = EncodeFloat64(v)
+	return nil
+}
+
+// Value materializes row i as a dynamic Value.
+func (c *Column) Value(i int) Value {
+	if c.IsNull(i) {
+		return NullValue(c.typ)
+	}
+	code := c.codes[i]
+	switch c.typ {
+	case Int64:
+		return IntValue(code)
+	case Float64:
+		return FloatValue(DecodeFloat64(code))
+	case String:
+		return StringValue(c.dict.Value(code))
+	}
+	panic("storage: unknown column type")
+}
+
+// EncodeValue converts a non-null dynamic value of the column's type into
+// its physical code, without appending. For strings it requires the value
+// to already exist in the dictionary (comma-ok semantics): absent strings
+// return ok=false, which predicate planners use to recognize trivially
+// empty EQ predicates and to clamp range bounds.
+func (c *Column) EncodeValue(v Value) (code int64, ok bool, err error) {
+	if v.IsNull() {
+		return 0, false, errors.New("storage: cannot encode NULL")
+	}
+	if v.Type() != c.typ {
+		return 0, false, fmt.Errorf("%w: %s vs column %s", ErrTypeMismatch, v.Type(), c.typ)
+	}
+	switch c.typ {
+	case Int64:
+		return v.Int(), true, nil
+	case Float64:
+		if math.IsNaN(v.Float()) {
+			return 0, false, ErrNaN
+		}
+		return EncodeFloat64(v.Float()), true, nil
+	case String:
+		code, ok := c.dict.Code(v.Str())
+		return code, ok, nil
+	}
+	return 0, false, fmt.Errorf("storage: unknown column type %v", c.typ)
+}
+
+// Truncate removes rows from the end, keeping the first n. Dictionary
+// entries of removed strings are retained (harmless: unused codes). Used
+// for rolling back partially applied multi-column appends.
+func (c *Column) Truncate(n int) {
+	if n < 0 || n > len(c.codes) {
+		panic(fmt.Sprintf("storage: Truncate(%d) out of range for %d rows", n, len(c.codes)))
+	}
+	if c.nulls != nil && c.nulls.Len() > n {
+		c.nNull -= c.nulls.CountRange(n, c.nulls.Len())
+		trimmed := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			if c.nulls.Get(i) {
+				trimmed.Set(i)
+			}
+		}
+		c.nulls = trimmed
+	}
+	c.codes = c.codes[:n]
+}
+
+// SealDict seals a string column's dictionary into order-preserving form,
+// rewriting all stored codes through the remap. Returns the remap (or nil
+// for non-string columns). After sealing, code order equals string order
+// and zonemap pruning on this column is sound for range predicates.
+func (c *Column) SealDict() []int64 {
+	if c.typ != String || c.dict.Sealed() {
+		return nil
+	}
+	remap := c.dict.Seal()
+	for i, code := range c.codes {
+		if c.IsNull(i) {
+			continue
+		}
+		c.codes[i] = remap[code]
+	}
+	return remap
+}
+
+// DictSorted reports whether string predicates can be planned as code
+// ranges on this column (always true for non-string columns).
+func (c *Column) DictSorted() bool {
+	return c.typ != String || c.dict.Sealed()
+}
+
+// growNulls keeps the null bitmap exactly as long as the column so that
+// range operations over the bitmap (zone builders, kernels) never index
+// past its end.
+func (c *Column) growNulls(n int) {
+	if c.nulls == nil {
+		return
+	}
+	c.nulls.Grow(n)
+}
+
+func (c *Column) clearNull(i int) {
+	if c.nulls != nil && i < c.nulls.Len() && c.nulls.Get(i) {
+		c.nulls.Clear(i)
+		c.nNull--
+	}
+}

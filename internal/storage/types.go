@@ -1,0 +1,147 @@
+// Package storage implements the in-memory columnar storage engine.
+//
+// Every column, regardless of logical type, is physically a vector of int64
+// "codes" with an order-preserving encoding:
+//
+//   - Int64 columns store values directly.
+//   - Float64 columns store a monotone bijection of the float's bit pattern
+//     (sign-magnitude flip), so numeric order equals code order.
+//   - String columns store dictionary codes from an order-preserving
+//     (sealed) dictionary.
+//
+// Because code order always equals value order, a single integer scan
+// kernel and a single zonemap implementation serve all types, mirroring how
+// main-memory column stores normalize storage for fast scans.
+package storage
+
+import (
+	"fmt"
+	"math"
+)
+
+// Type is the logical type of a column.
+type Type uint8
+
+const (
+	// Int64 is a signed 64-bit integer column.
+	Int64 Type = iota
+	// Float64 is a 64-bit floating-point column.
+	Float64
+	// String is a dictionary-encoded string column.
+	String
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case String:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// EncodeFloat64 maps f to an int64 such that for all a, b:
+// a < b  <=>  EncodeFloat64(a) < EncodeFloat64(b)  (with -0 == +0 collapsing
+// to the same code and NaN excluded — callers must reject NaN).
+func EncodeFloat64(f float64) int64 {
+	if f == 0 {
+		f = 0 // collapse -0 to +0
+	}
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		u = ^u // negative: flip all bits
+	} else {
+		u |= 1 << 63 // positive: flip sign bit
+	}
+	return int64(u - (1 << 63)) // recentre so code order == signed int64 order
+}
+
+// DecodeFloat64 inverts EncodeFloat64.
+func DecodeFloat64(c int64) float64 {
+	u := uint64(c) + (1 << 63)
+	if u&(1<<63) != 0 {
+		u &^= 1 << 63
+	} else {
+		u = ^u
+	}
+	return math.Float64frombits(u)
+}
+
+// Value is a dynamically typed cell value used at API boundaries (ingest,
+// result materialization, SQL literals). Scans never allocate Values.
+type Value struct {
+	typ  Type
+	null bool
+	i    int64
+	f    float64
+	s    string
+}
+
+// NullValue returns a NULL of the given type.
+func NullValue(t Type) Value { return Value{typ: t, null: true} }
+
+// IntValue returns an Int64 value.
+func IntValue(v int64) Value { return Value{typ: Int64, i: v} }
+
+// FloatValue returns a Float64 value.
+func FloatValue(v float64) Value { return Value{typ: Float64, f: v} }
+
+// StringValue returns a String value.
+func StringValue(v string) Value { return Value{typ: String, s: v} }
+
+// Type returns the value's logical type.
+func (v Value) Type() Type { return v.typ }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.null }
+
+// Int returns the int64 payload; valid only when Type()==Int64 and not null.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float64 payload; valid only when Type()==Float64.
+func (v Value) Float() float64 { return v.f }
+
+// Str returns the string payload; valid only when Type()==String.
+func (v Value) Str() string { return v.s }
+
+// String renders the value for display.
+func (v Value) String() string {
+	if v.null {
+		return "NULL"
+	}
+	switch v.typ {
+	case Int64:
+		return fmt.Sprintf("%d", v.i)
+	case Float64:
+		return fmt.Sprintf("%g", v.f)
+	case String:
+		return v.s
+	default:
+		return "?"
+	}
+}
+
+// Equal reports deep equality of two values (NULL equals NULL here; SQL
+// three-valued logic lives in the predicate layer, not in Value).
+func (v Value) Equal(o Value) bool {
+	if v.typ != o.typ || v.null != o.null {
+		return false
+	}
+	if v.null {
+		return true
+	}
+	switch v.typ {
+	case Int64:
+		return v.i == o.i
+	case Float64:
+		return v.f == o.f
+	case String:
+		return v.s == o.s
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+package table
+
+import (
+	"bytes"
+	"testing"
+
+	"adskip/internal/storage"
+)
+
+// FuzzRead feeds arbitrary bytes to the snapshot decoder: it must reject
+// garbage with an error, never panic, and never fabricate a table from
+// corrupt input that then violates basic invariants.
+func FuzzRead(f *testing.F) {
+	// Seed with a genuine snapshot so mutations explore deep decoder paths.
+	tb := MustNew("seed", Schema{
+		{Name: "a", Type: storage.Int64},
+		{Name: "s", Type: storage.String},
+	})
+	tb.AppendRow(storage.IntValue(1), storage.StringValue("x"))
+	tb.AppendRow(storage.NullValue(storage.Int64), storage.StringValue("y"))
+	tb.SealDicts()
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("ADSKTBL1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.CheckInvariants(); err != nil {
+			t.Fatalf("decoded table violates invariants: %v", err)
+		}
+	})
+}
+
+// FuzzReadCSV feeds arbitrary text to the CSV loader.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,x\n")
+	f.Add("a\n\n")
+	f.Add("")
+	f.Add("a,b\n1\n2,3,4\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadCSV(bytes.NewReader([]byte(data)), "t", CSVOptions{})
+		if err != nil {
+			return
+		}
+		if err := got.CheckInvariants(); err != nil {
+			t.Fatalf("loaded CSV violates invariants: %v", err)
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package table provides the schema/table abstraction over columnar
+// storage: named, typed columns of equal length, row-wise ingest for
+// convenience, and a compact binary persistence format.
+package table
+
+import (
+	"errors"
+	"fmt"
+
+	"adskip/internal/storage"
+)
+
+// Errors returned by table operations.
+var (
+	ErrColumnExists = errors.New("table: column already exists")
+	ErrNoSuchColumn = errors.New("table: no such column")
+	ErrRowArity     = errors.New("table: row arity does not match schema")
+	ErrLengthSkew   = errors.New("table: column lengths differ")
+	ErrOutOfRange   = errors.New("table: row index out of range")
+)
+
+// ColumnSpec describes one column of a schema.
+type ColumnSpec struct {
+	Name string
+	Type storage.Type
+}
+
+// Schema is an ordered list of column specs.
+type Schema []ColumnSpec
+
+// Table is a named collection of equal-length columns.
+type Table struct {
+	name    string
+	columns []*storage.Column
+	index   map[string]int
+}
+
+// New creates an empty table with the given schema. Column names must be
+// unique and non-empty.
+func New(name string, schema Schema) (*Table, error) {
+	t := &Table{name: name, index: make(map[string]int, len(schema))}
+	for _, cs := range schema {
+		if cs.Name == "" {
+			return nil, fmt.Errorf("table %q: empty column name", name)
+		}
+		if _, dup := t.index[cs.Name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrColumnExists, cs.Name)
+		}
+		t.index[cs.Name] = len(t.columns)
+		t.columns = append(t.columns, storage.NewColumn(cs.Name, cs.Type))
+	}
+	return t, nil
+}
+
+// MustNew is New that panics on error, for tests and generators.
+func MustNew(name string, schema Schema) *Table {
+	t, err := New(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table's schema in column order.
+func (t *Table) Schema() Schema {
+	s := make(Schema, len(t.columns))
+	for i, c := range t.columns {
+		s[i] = ColumnSpec{Name: c.Name(), Type: c.Type()}
+	}
+	return s
+}
+
+// NumColumns returns the number of columns.
+func (t *Table) NumColumns() int { return len(t.columns) }
+
+// NumRows returns the number of rows (0 for a table with no columns).
+func (t *Table) NumRows() int {
+	if len(t.columns) == 0 {
+		return 0
+	}
+	return t.columns[0].Len()
+}
+
+// Column returns the column with the given name.
+func (t *Table) Column(name string) (*storage.Column, error) {
+	i, ok := t.index[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in table %q", ErrNoSuchColumn, name, t.name)
+	}
+	return t.columns[i], nil
+}
+
+// ColumnAt returns the i-th column.
+func (t *Table) ColumnAt(i int) *storage.Column { return t.columns[i] }
+
+// AppendRow appends one row; vals must match the schema in order and
+// arity. NULLs are expressed with storage.NullValue. The append is atomic:
+// on any error (type mismatch, sealed dictionary, NaN) columns appended so
+// far are rolled back, so column lengths never skew.
+func (t *Table) AppendRow(vals ...storage.Value) error {
+	if len(vals) != len(t.columns) {
+		return fmt.Errorf("%w: got %d values, schema has %d columns", ErrRowArity, len(vals), len(t.columns))
+	}
+	n := t.NumRows()
+	for i, v := range vals {
+		if err := t.columns[i].AppendValue(v); err != nil {
+			for j := 0; j < i; j++ {
+				t.columns[j].Truncate(n)
+			}
+			return fmt.Errorf("column %q: %w", t.columns[i].Name(), err)
+		}
+	}
+	return nil
+}
+
+// ValidateRow type-checks a row without mutating the table. Use before
+// AppendRow when ingesting untrusted data so failed appends cannot skew
+// column lengths.
+func (t *Table) ValidateRow(vals ...storage.Value) error {
+	if len(vals) != len(t.columns) {
+		return fmt.Errorf("%w: got %d values, schema has %d columns", ErrRowArity, len(vals), len(t.columns))
+	}
+	for i, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		if v.Type() != t.columns[i].Type() {
+			return fmt.Errorf("column %q: %w", t.columns[i].Name(), storage.ErrTypeMismatch)
+		}
+	}
+	return nil
+}
+
+// Row materializes row i as dynamic values in schema order.
+func (t *Table) Row(i int) ([]storage.Value, error) {
+	if i < 0 || i >= t.NumRows() {
+		return nil, fmt.Errorf("%w: %d of %d", ErrOutOfRange, i, t.NumRows())
+	}
+	out := make([]storage.Value, len(t.columns))
+	for ci, c := range t.columns {
+		out[ci] = c.Value(i)
+	}
+	return out, nil
+}
+
+// SealDicts seals every string column's dictionary (order-preserving
+// codes). Call after bulk load, before building skippers on string
+// columns.
+func (t *Table) SealDicts() {
+	for _, c := range t.columns {
+		c.SealDict()
+	}
+}
+
+// CheckInvariants verifies that all columns have equal length; the engine
+// calls this in tests and after bulk mutations.
+func (t *Table) CheckInvariants() error {
+	if len(t.columns) == 0 {
+		return nil
+	}
+	n := t.columns[0].Len()
+	for _, c := range t.columns[1:] {
+		if c.Len() != n {
+			return fmt.Errorf("%w: %q has %d rows, %q has %d", ErrLengthSkew, t.columns[0].Name(), n, c.Name(), c.Len())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+package zonemap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adskip/internal/bitvec"
+	"adskip/internal/expr"
+)
+
+func seq(n int, f func(i int) int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}
+
+func oneRange(lo, hi int64) expr.Ranges {
+	return expr.Ranges{Lo: []int64{lo}, Hi: []int64{hi}}
+}
+
+func TestBuildBasics(t *testing.T) {
+	codes := seq(100, func(i int) int64 { return int64(i) })
+	m := Build(codes, nil, 10)
+	if m.NumZones() != 10 || m.Rows() != 100 || m.ZoneSize() != 10 {
+		t.Fatalf("zones=%d rows=%d", m.NumZones(), m.Rows())
+	}
+	for zi := 0; zi < 10; zi++ {
+		z := m.Zone(zi)
+		if z.Min != int64(zi*10) || z.Max != int64(zi*10+9) || z.NonNull != 10 {
+			t.Fatalf("zone %d = %+v", zi, z)
+		}
+	}
+	if m.MemoryBytes() != 10*24 {
+		t.Fatalf("MemoryBytes=%d", m.MemoryBytes())
+	}
+}
+
+func TestBuildPartialLastZone(t *testing.T) {
+	codes := seq(25, func(i int) int64 { return int64(i) })
+	m := Build(codes, nil, 10)
+	if m.NumZones() != 3 {
+		t.Fatalf("zones=%d want 3", m.NumZones())
+	}
+	z := m.Zone(2)
+	if z.Min != 20 || z.Max != 24 || z.NonNull != 5 {
+		t.Fatalf("partial zone = %+v", z)
+	}
+}
+
+func TestBuildZeroZoneSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Build(nil, nil, 0)
+}
+
+func TestBuildWithNulls(t *testing.T) {
+	codes := seq(20, func(i int) int64 { return int64(i) })
+	nulls := bitvec.New(20)
+	for i := 10; i < 20; i++ {
+		nulls.Set(i) // second zone all null
+	}
+	nulls.Set(3)
+	m := Build(codes, nulls, 10)
+	z0 := m.Zone(0)
+	if z0.NonNull != 9 || z0.Min != 0 || z0.Max != 9 {
+		t.Fatalf("zone0 = %+v", z0)
+	}
+	z1 := m.Zone(1)
+	if z1.NonNull != 0 {
+		t.Fatalf("zone1 = %+v", z1)
+	}
+	// All-null zone is always skipped.
+	cands, st := m.Prune(oneRange(-1000, 1000), nil)
+	if len(cands) != 1 || cands[0].Lo != 0 || cands[0].Hi != 10 {
+		t.Fatalf("cands=%v", cands)
+	}
+	if st.ZonesSkipped != 1 || st.RowsSkipped != 10 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+func TestExtendIncremental(t *testing.T) {
+	codes := seq(25, func(i int) int64 { return int64(i) })
+	m := Build(codes[:7], nil, 10)
+	if m.NumZones() != 1 || m.Zone(0).NonNull != 7 {
+		t.Fatalf("initial: zones=%d", m.NumZones())
+	}
+	m.Extend(codes, nil)
+	if m.NumZones() != 3 || m.Rows() != 25 {
+		t.Fatalf("extended: zones=%d rows=%d", m.NumZones(), m.Rows())
+	}
+	// Must be identical to a fresh build.
+	fresh := Build(codes, nil, 10)
+	for zi := 0; zi < 3; zi++ {
+		if m.Zone(zi) != fresh.Zone(zi) {
+			t.Fatalf("zone %d: extend %+v vs fresh %+v", zi, m.Zone(zi), fresh.Zone(zi))
+		}
+	}
+	// Extending with no new rows is a no-op.
+	m.Extend(codes, nil)
+	if m.NumZones() != 3 {
+		t.Fatal("no-op extend changed zones")
+	}
+}
+
+func TestPruneSkipAndCover(t *testing.T) {
+	// 10 zones of 10; values = zone index (constant within a zone).
+	codes := seq(100, func(i int) int64 { return int64(i / 10) })
+	m := Build(codes, nil, 10)
+	// Predicate [3,5]: zones 3,4,5 covered, others skipped.
+	cands, st := m.Prune(oneRange(3, 5), nil)
+	if len(cands) != 1 || cands[0].Lo != 30 || cands[0].Hi != 60 || !cands[0].Covered {
+		t.Fatalf("cands=%v", cands)
+	}
+	if st.ZonesProbed != 10 || st.ZonesSkipped != 7 || st.ZonesCovered != 3 || st.RowsSkipped != 70 {
+		t.Fatalf("stats=%+v", st)
+	}
+	// Empty predicate skips everything.
+	cands, st = m.Prune(expr.Ranges{}, nil)
+	if len(cands) != 0 || st.ZonesSkipped != 10 {
+		t.Fatalf("empty pred: %v %+v", cands, st)
+	}
+}
+
+func TestPruneMergesOnlySameCoverage(t *testing.T) {
+	// Zone 0: values 0..9 (partial overlap with [5,15]); zone 1: constant 10
+	// (covered); zone 2: values 20..29 (skipped).
+	codes := append(append(seq(10, func(i int) int64 { return int64(i) }),
+		seq(10, func(i int) int64 { return 10 })...),
+		seq(10, func(i int) int64 { return int64(20 + i) })...)
+	m := Build(codes, nil, 10)
+	cands, _ := m.Prune(oneRange(5, 15), nil)
+	if len(cands) != 2 {
+		t.Fatalf("cands=%v", cands)
+	}
+	if cands[0].Covered || !cands[1].Covered {
+		t.Fatalf("coverage flags wrong: %v", cands)
+	}
+	if cands[0].Lo != 0 || cands[0].Hi != 10 || cands[1].Lo != 10 || cands[1].Hi != 20 {
+		t.Fatalf("windows wrong: %v", cands)
+	}
+}
+
+func TestPruneAppendsToDst(t *testing.T) {
+	codes := seq(20, func(i int) int64 { return int64(i) })
+	m := Build(codes, nil, 10)
+	dst := []Candidate{{Lo: 777, Hi: 778}}
+	cands, _ := m.Prune(oneRange(0, 100), dst)
+	if len(cands) != 2 || cands[0].Lo != 777 {
+		t.Fatalf("dst not preserved: %v", cands)
+	}
+}
+
+func TestWidenAndNoteNonNull(t *testing.T) {
+	codes := seq(20, func(i int) int64 { return int64(i) })
+	m := Build(codes, nil, 10)
+	m.Widen(5, 1000)
+	z := m.Zone(0)
+	if z.Min != 0 || z.Max != 1000 {
+		t.Fatalf("widened zone = %+v", z)
+	}
+	// Widening an all-null zone initializes bounds.
+	nulls := bitvec.New(10)
+	nulls.SetAll()
+	m2 := Build(codes[:10], nulls, 10)
+	m2.Widen(3, 42)
+	m2.NoteNonNull(3)
+	z = m2.Zone(0)
+	if z.Min != 42 || z.Max != 42 || z.NonNull != 1 {
+		t.Fatalf("null-zone widen = %+v", z)
+	}
+	cands, _ := m2.Prune(oneRange(42, 42), nil)
+	if len(cands) != 1 {
+		t.Fatalf("widened null zone should now be a candidate: %v", cands)
+	}
+}
+
+// Property: pruning is sound — every row whose code matches the predicate
+// lies inside some emitted candidate window — and candidates are disjoint,
+// ordered, and covered candidates contain only matching non-null rows.
+func TestQuickPruneSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		zoneSize := 1 + rng.Intn(40)
+		codes := make([]int64, n)
+		for i := range codes {
+			codes[i] = rng.Int63n(100)
+		}
+		var nulls *bitvec.BitVec
+		if rng.Intn(2) == 0 {
+			nulls = bitvec.New(n)
+			for k := 0; k < n/8; k++ {
+				nulls.Set(rng.Intn(n))
+			}
+		}
+		m := Build(codes, nulls, zoneSize)
+		lo := rng.Int63n(120) - 10
+		r := oneRange(lo, lo+rng.Int63n(50))
+		cands, st := m.Prune(r, nil)
+
+		inCand := make([]bool, n)
+		covered := make([]bool, n)
+		prevHi := -1
+		for _, c := range cands {
+			if c.Lo >= c.Hi || c.Lo < prevHi {
+				return false // unordered or empty window
+			}
+			prevHi = c.Hi
+			for i := c.Lo; i < c.Hi; i++ {
+				inCand[i] = true
+				covered[i] = c.Covered
+			}
+		}
+		skipped := 0
+		for i := 0; i < n; i++ {
+			isNull := nulls != nil && nulls.Get(i)
+			matches := !isNull && r.Contains(codes[i])
+			if matches && !inCand[i] {
+				return false // unsound skip
+			}
+			if covered[i] && !matches {
+				return false // covered implies every row (incl. non-null) matches
+			}
+			if !inCand[i] {
+				skipped++
+			}
+		}
+		return skipped == st.RowsSkipped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Extend in random increments matches a fresh Build.
+func TestQuickExtendMatchesBuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		zoneSize := 1 + rng.Intn(30)
+		codes := make([]int64, n)
+		for i := range codes {
+			codes[i] = rng.Int63n(1000)
+		}
+		m := Build(codes[:1+rng.Intn(n)], nil, zoneSize)
+		for m.Rows() < n {
+			next := m.Rows() + 1 + rng.Intn(n-m.Rows())
+			m.Extend(codes[:next], nil)
+		}
+		fresh := Build(codes, nil, zoneSize)
+		if m.NumZones() != fresh.NumZones() {
+			return false
+		}
+		for zi := 0; zi < m.NumZones(); zi++ {
+			if m.Zone(zi) != fresh.Zone(zi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PruneNulls is sound — every NULL row lies inside an emitted
+// candidate window, covered windows contain only NULL rows, and null-free
+// zones are skipped.
+func TestQuickPruneNullsSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(400)
+		zoneSize := 1 + rng.Intn(30)
+		codes := make([]int64, n)
+		nulls := bitvec.New(n)
+		for i := range codes {
+			codes[i] = rng.Int63n(50)
+			if rng.Intn(4) == 0 {
+				nulls.Set(i)
+			}
+		}
+		m := Build(codes, nulls, zoneSize)
+		cands, st := m.PruneNulls(nil)
+		inCand := make([]bool, n)
+		covered := make([]bool, n)
+		prevHi := -1
+		for _, c := range cands {
+			if c.Lo >= c.Hi || c.Lo < prevHi {
+				return false
+			}
+			prevHi = c.Hi
+			for i := c.Lo; i < c.Hi; i++ {
+				inCand[i] = true
+				covered[i] = c.Covered
+			}
+		}
+		skipped := 0
+		for i := 0; i < n; i++ {
+			isNull := nulls.Get(i)
+			if isNull && !inCand[i] {
+				return false // a NULL row was wrongly skipped
+			}
+			if covered[i] && !isNull {
+				return false // covered window with a non-NULL row
+			}
+			if !inCand[i] {
+				skipped++
+			}
+		}
+		return skipped == st.RowsSkipped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

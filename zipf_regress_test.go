@@ -1,0 +1,49 @@
+package adskip
+
+import (
+	"testing"
+	"time"
+
+	"adskip/internal/engine"
+	"adskip/internal/expr"
+	"adskip/internal/storage"
+	"adskip/internal/table"
+	"adskip/internal/workload"
+)
+
+func TestZipfRegression(t *testing.T) {
+	const rows = 1 << 21
+	vals := workload.Generate(workload.DataSpec{N: rows, Dist: workload.Zipf, Domain: rows, Seed: 42})
+	run := func(policy engine.Policy) time.Duration {
+		tbl := table.MustNew("t", table.Schema{{Name: "v", Type: storage.Int64}})
+		col, _ := tbl.Column("v")
+		for _, v := range vals {
+			col.AppendInt(v)
+		}
+		e := engine.New(tbl, engine.Options{Policy: policy, StaticZoneSize: 4096})
+		e.EnableSkipping("v")
+		gen := workload.NewGen(workload.QuerySpec{Kind: workload.UniformRange, Domain: rows, Selectivity: 0.01, Seed: 43})
+		var steady time.Duration
+		for q := 0; q < 256; q++ {
+			r := gen.Next()
+			qr := engine.Query{
+				Where: expr.And(expr.MustPred("v", expr.Between, storage.IntValue(r.Lo), storage.IntValue(r.Hi))),
+				Aggs:  []engine.Agg{{Kind: engine.CountStar}},
+			}
+			start := time.Now()
+			if _, err := e.Query(qr); err != nil {
+				t.Fatal(err)
+			}
+			if q >= 128 {
+				steady += time.Since(start)
+			}
+		}
+		return steady / 128
+	}
+	none := run(engine.PolicyNone)
+	adp := run(engine.PolicyAdaptive)
+	t.Logf("zipf: none=%v adaptive=%v ratio=%.2f", none, adp, float64(none)/float64(adp))
+	if float64(adp) > 1.25*float64(none) {
+		t.Fatalf("adaptive regresses on zipf: none=%v adaptive=%v", none, adp)
+	}
+}
