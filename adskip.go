@@ -30,6 +30,7 @@ import (
 	"adskip/internal/adaptive"
 	"adskip/internal/core"
 	"adskip/internal/engine"
+	"adskip/internal/obs"
 	"adskip/internal/sql"
 	"adskip/internal/storage"
 	"adskip/internal/table"
@@ -81,8 +82,24 @@ type SkipperInfo = core.Metadata
 
 // Result is a query result: a count, aggregate values, and/or projected
 // rows, plus execution statistics (rows scanned/skipped/covered, zones
-// probed).
+// probed) and a per-query trace (Result.Trace).
 type Result = engine.Result
+
+// Metrics is the engine-wide metrics registry: atomic counters, gauges,
+// and fixed-bucket histograms, exposable in Prometheus text format
+// (WritePrometheus) or JSON (WriteJSON). One registry is shared by every
+// table of a DB; instrumentation is always on.
+type Metrics = obs.Registry
+
+// QueryTrace is the per-query execution trace attached to Result.Trace:
+// phase timings (plan → metadata probe → scan → feedback) and the
+// skipping decision each predicate column's skipper made.
+type QueryTrace = obs.QueryTrace
+
+// AdaptationEvent is one structural or arbitration change to a column's
+// skipping metadata (zone split/merge, skipping disabled/enabled, tail
+// fold, metadata built/loaded).
+type AdaptationEvent = obs.Event
 
 // Options configures a DB.
 type Options struct {
@@ -107,10 +124,13 @@ type ColumnDef struct {
 // Col is a convenience constructor for ColumnDef.
 func Col(name string, typ Type) ColumnDef { return ColumnDef{Name: name, Type: typ} }
 
-// DB is a catalog of tables sharing one skipping configuration.
+// DB is a catalog of tables sharing one skipping configuration and one
+// observability plane (metrics registry + adaptation-event log).
 type DB struct {
 	opts    Options
 	engines map[string]*engine.Engine
+	reg     *obs.Registry
+	events  *obs.EventLog
 }
 
 // DB-level errors.
@@ -121,7 +141,12 @@ var (
 
 // Open creates an empty database.
 func Open(opts Options) *DB {
-	return &DB{opts: opts, engines: make(map[string]*engine.Engine)}
+	return &DB{
+		opts:    opts,
+		engines: make(map[string]*engine.Engine),
+		reg:     obs.NewRegistry(),
+		events:  obs.NewEventLog(0),
+	}
 }
 
 // engineOptions maps DB options onto per-table engine options.
@@ -131,7 +156,37 @@ func (db *DB) engineOptions() engine.Options {
 		StaticZoneSize: db.opts.StaticZoneSize,
 		Adaptive:       db.opts.Adaptive,
 		Parallelism:    db.opts.Parallelism,
+		Metrics:        db.reg,
+		Events:         db.events,
 	}
+}
+
+// Metrics returns the database's metrics registry, shared by all tables.
+// Use WritePrometheus or WriteJSON on it for exposition.
+func (db *DB) Metrics() *Metrics { return db.reg }
+
+// AdaptationEvents returns a chronological copy of the retained
+// adaptation events across all tables (bounded ring; oldest drop first).
+func (db *DB) AdaptationEvents() []AdaptationEvent { return db.events.Events() }
+
+// ExplainAnalyze parses and executes a SQL SELECT, returning the rendered
+// EXPLAIN ANALYZE plan (phase timings, per-predicate estimated vs actual
+// pruning) alongside the executed result. Equivalent to Exec with an
+// "EXPLAIN ANALYZE" prefix, but returns the lines directly.
+func (db *DB) ExplainAnalyze(query string) ([]string, *Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, ok := db.engines[stmt.Table]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchTable, stmt.Table)
+	}
+	q, err := sql.Plan(stmt, e.Table())
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.ExplainAnalyze(q)
 }
 
 // CreateTable creates a table with the given columns.

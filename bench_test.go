@@ -51,14 +51,14 @@ func BenchmarkTab3MultiColumn(b *testing.B)       { benchExperiment(b, "tab3") }
 func BenchmarkAbl1Ablation(b *testing.B)          { benchExperiment(b, "abl1") }
 func BenchmarkAbl2SplitCost(b *testing.B)         { benchExperiment(b, "abl2") }
 
-// BenchmarkQueryPerPolicy measures steady-state per-query latency of a 1%
-// range count on clustered data — the raw numbers behind fig1/tab2. The
-// adaptive engine is warmed before measurement so the benchmark reports
-// converged behavior.
-func BenchmarkQueryPerPolicy(b *testing.B) {
+// benchPolicyStream measures steady-state per-query latency of a 1% range
+// count over the given distribution, one sub-benchmark per policy. The
+// engine is warmed with 256 queries before measurement so adaptive
+// structures (and arbitration, on hostile data) have converged.
+func benchPolicyStream(b *testing.B, dist workload.Distribution) {
 	const rows = 1 << 20
 	vals := workload.Generate(workload.DataSpec{
-		N: rows, Dist: workload.Clustered, Domain: rows, Seed: 42,
+		N: rows, Dist: dist, Domain: rows, Seed: 42,
 	})
 	for _, policy := range []engine.Policy{engine.PolicyNone, engine.PolicyStatic, engine.PolicyAdaptive} {
 		b.Run(policy.String(), func(b *testing.B) {
@@ -101,52 +101,26 @@ func BenchmarkQueryPerPolicy(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryPerPolicy measures steady-state per-query latency of a 1%
+// range count on clustered data — the raw numbers behind fig1/tab2.
+func BenchmarkQueryPerPolicy(b *testing.B) {
+	benchPolicyStream(b, workload.Clustered)
+}
+
 // BenchmarkUniformOverheadPerPolicy measures the adversarial bound: the
 // same query stream over uniform random data, where skipping cannot help
 // and must not durably hurt (fig6's raw numbers).
 func BenchmarkUniformOverheadPerPolicy(b *testing.B) {
-	const rows = 1 << 20
-	vals := workload.Generate(workload.DataSpec{
-		N: rows, Dist: workload.Uniform, Domain: rows, Seed: 42,
-	})
-	for _, policy := range []engine.Policy{engine.PolicyNone, engine.PolicyStatic, engine.PolicyAdaptive} {
-		b.Run(policy.String(), func(b *testing.B) {
-			tbl := table.MustNew("t", table.Schema{{Name: "v", Type: storage.Int64}})
-			col, _ := tbl.Column("v")
-			for _, v := range vals {
-				if err := col.AppendInt(v); err != nil {
-					b.Fatal(err)
-				}
-			}
-			e := engine.New(tbl, engine.Options{Policy: policy, StaticZoneSize: 4096})
-			if err := e.EnableSkipping("v"); err != nil {
-				b.Fatal(err)
-			}
-			gen := workload.NewGen(workload.QuerySpec{
-				Kind: workload.UniformRange, Domain: rows, Selectivity: 0.01, Seed: 43,
-			})
-			q := func() engine.Query {
-				r := gen.Next()
-				return engine.Query{
-					Where: expr.And(expr.MustPred("v", expr.Between,
-						storage.IntValue(r.Lo), storage.IntValue(r.Hi))),
-					Aggs: []engine.Agg{{Kind: engine.CountStar}},
-				}
-			}
-			for i := 0; i < 256; i++ { // let arbitration settle
-				if _, err := e.Query(q()); err != nil {
-					b.Fatal(err)
-				}
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := e.Query(q()); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
+	benchPolicyStream(b, workload.Uniform)
+}
+
+// BenchmarkScan is the canonical scan-path benchmark family for overhead
+// tracking: the always-on observability layer (per-query trace + atomic
+// metric updates) must keep these within 2% of an uninstrumented build.
+// Sub-benchmarks cover the skipping-friendly and skipping-hostile ends.
+func BenchmarkScan(b *testing.B) {
+	b.Run("clustered", func(b *testing.B) { benchPolicyStream(b, workload.Clustered) })
+	b.Run("uniform", func(b *testing.B) { benchPolicyStream(b, workload.Uniform) })
 }
 
 // BenchmarkIngest measures bulk row ingest through the public API.

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"adskip/internal/harness"
+	"adskip/internal/obs"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 		staticZone = flag.Int("static-zone", 4096, "zone size for the static baseline")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
+		metrics    = flag.String("metrics", "", "after the run, dump cumulative engine metrics to stderr: prom|json")
 	)
 	flag.Parse()
 
@@ -37,8 +39,19 @@ func main() {
 		return
 	}
 
+	var reg *obs.Registry
+	switch *metrics {
+	case "":
+	case "prom", "json":
+		reg = obs.NewRegistry()
+	default:
+		fmt.Fprintf(os.Stderr, "adskip-bench: unknown -metrics format %q (want prom or json)\n", *metrics)
+		os.Exit(2)
+	}
+
 	cfg := harness.Config{
 		Rows: *rows, Queries: *queries, Seed: *seed, StaticZoneRows: *staticZone,
+		Metrics: reg,
 	}
 
 	var selected []harness.Experiment
@@ -63,6 +76,19 @@ func main() {
 			tbl.CSV(os.Stdout)
 		} else {
 			tbl.Fprint(os.Stdout)
+		}
+	}
+
+	if reg != nil {
+		var err error
+		if *metrics == "json" {
+			err = reg.WriteJSON(os.Stderr)
+		} else {
+			err = reg.WritePrometheus(os.Stderr)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adskip-bench: metrics dump: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -31,6 +31,7 @@ import (
 
 	"adskip/internal/adaptive"
 	"adskip/internal/engine"
+	"adskip/internal/obs"
 	"adskip/internal/sql"
 	"adskip/internal/storage"
 	"adskip/internal/table"
@@ -41,16 +42,24 @@ type repl struct {
 	opts engine.Options
 	eng  *engine.Engine // current table's engine (nil until \gen or \load)
 	out  *bufio.Writer
+	perq bool // --metrics: print per-query trace after each statement
 }
 
 func main() {
 	var (
-		policy = flag.String("policy", "adaptive", "skipping policy: none|static|adaptive|imprint")
-		zone   = flag.Int("static-zone", 65536, "zone size for static policy")
+		policy  = flag.String("policy", "adaptive", "skipping policy: none|static|adaptive|imprint")
+		zone    = flag.Int("static-zone", 65536, "zone size for static policy")
+		metrics = flag.Bool("metrics", false, "print the per-query trace after every statement")
 	)
 	flag.Parse()
 
-	opts := engine.Options{StaticZoneSize: *zone}
+	opts := engine.Options{
+		StaticZoneSize: *zone,
+		// One registry and event log for the whole session: \metrics and
+		// \events survive table reloads (attach rebuilds the engine).
+		Metrics: obs.NewRegistry(),
+		Events:  obs.NewEventLog(0),
+	}
 	switch *policy {
 	case "none":
 		opts.Policy = engine.PolicyNone
@@ -65,7 +74,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	r := &repl{opts: opts, out: bufio.NewWriter(os.Stdout)}
+	r := &repl{opts: opts, out: bufio.NewWriter(os.Stdout), perq: *metrics}
 	defer r.out.Flush()
 
 	fmt.Fprintf(r.out, "adskip demo — policy=%s. Type \\help for commands.\n", *policy)
@@ -105,9 +114,13 @@ func (r *repl) meta(line string) bool {
 \load <file>        load a snapshot        \save <file>  save table "data"
 \loadcsv <file>     load a CSV file (schema inferred)
 \skipping [col]     describe zone metadata \stats        adaptive counters
+\metrics [json]     dump engine metrics (Prometheus text, or JSON)
+\events [n]         show the last n adaptation events (default 20)
+\trace              toggle per-query trace printing (same as --metrics)
 \policy             active policy          \quit         exit
 SQL: SELECT [cols|aggs] FROM data [WHERE ...] [GROUP BY c] [ORDER BY c [DESC]] [LIMIT n]
-     predicates: = <> < <= > >= BETWEEN IN IS [NOT] NULL (a=1 OR a=2); EXPLAIN SELECT ... shows the plan
+     predicates: = <> < <= > >= BETWEEN IN IS [NOT] NULL (a=1 OR a=2)
+     EXPLAIN SELECT ... shows the plan; EXPLAIN ANALYZE SELECT ... executes and shows actual pruning
 `)
 	case "\\policy":
 		fmt.Fprintf(r.out, "policy: %s\n", r.opts.Policy)
@@ -143,6 +156,23 @@ SQL: SELECT [cols|aggs] FROM data [WHERE ...] [GROUP BY c] [ORDER BY c [DESC]] [
 		r.skipping(col)
 	case "\\stats":
 		r.stats()
+	case "\\metrics":
+		format := "prom"
+		if len(fields) > 1 {
+			format = fields[1]
+		}
+		r.metrics(format)
+	case "\\events":
+		n := 20
+		if len(fields) > 1 {
+			if v, err := strconv.Atoi(fields[1]); err == nil && v > 0 {
+				n = v
+			}
+		}
+		r.events(n)
+	case "\\trace":
+		r.perq = !r.perq
+		fmt.Fprintf(r.out, "per-query trace: %v\n", r.perq)
 	default:
 		fmt.Fprintf(r.out, "unknown command %s (try \\help)\n", fields[0])
 	}
@@ -280,6 +310,43 @@ func (r *repl) stats() {
 	}
 }
 
+func (r *repl) metrics(format string) {
+	var err error
+	switch format {
+	case "prom":
+		err = r.opts.Metrics.WritePrometheus(r.out)
+	case "json":
+		err = r.opts.Metrics.WriteJSON(r.out)
+	default:
+		fmt.Fprintf(r.out, "unknown format %q (want prom or json)\n", format)
+		return
+	}
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+	}
+}
+
+func (r *repl) events(n int) {
+	evs := r.opts.Events.Events()
+	if len(evs) == 0 {
+		fmt.Fprintln(r.out, "no adaptation events yet")
+		return
+	}
+	if dropped := r.opts.Events.Dropped(); dropped > 0 {
+		fmt.Fprintf(r.out, "(%d older events dropped from the ring)\n", dropped)
+	}
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	for _, ev := range evs {
+		fmt.Fprintf(r.out, "#%-5d %s %s.%s %-13s", ev.Seq, ev.Time.Format("15:04:05.000"), ev.Table, ev.Column, ev.Kind)
+		if ev.Delta != 0 {
+			fmt.Fprintf(r.out, " %+d zones", ev.Delta)
+		}
+		fmt.Fprintf(r.out, " (now %d zones)\n", ev.Zones)
+	}
+}
+
 func (r *repl) query(line string) {
 	if r.eng == nil {
 		fmt.Fprintln(r.out, "no table loaded (\\gen or \\load first)")
@@ -315,4 +382,9 @@ func (r *repl) query(line string) {
 	fmt.Fprintf(r.out, "-- %.3fms | scanned %d, skipped %d, covered %d rows | %d zone probes\n",
 		float64(elapsed.Nanoseconds())/1e6,
 		res.Stats.RowsScanned, res.Stats.RowsSkipped, res.Stats.RowsCovered, res.Stats.ZonesProbed)
+	if r.perq && res.Trace != nil {
+		for _, l := range res.Trace.Lines(true) {
+			fmt.Fprintf(r.out, "-- %s\n", l)
+		}
+	}
 }

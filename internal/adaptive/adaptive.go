@@ -23,6 +23,7 @@ import (
 	"adskip/internal/bitvec"
 	"adskip/internal/core"
 	"adskip/internal/expr"
+	"adskip/internal/obs"
 	"adskip/internal/scan"
 )
 
@@ -176,6 +177,21 @@ type Zonemap struct {
 
 	lastRanges expr.Ranges // predicate of the in-flight query (Prune→Observe)
 	scratch    []zone      // reusable buffer for structural rebuilds
+
+	events func(obs.Event) // adaptation-event sink; nil = no reporting
+}
+
+// SetEventSink implements core.EventEmitter: structural and arbitration
+// changes are reported through sink. Events fire only on adaptation
+// (splits, merges, arbitration flips, tail folds) — never per probe — so
+// the sink is far off the scan path.
+func (z *Zonemap) SetEventSink(sink func(obs.Event)) { z.events = sink }
+
+// emit reports one adaptation event if a sink is installed.
+func (z *Zonemap) emit(kind obs.EventKind, delta int) {
+	if z.events != nil {
+		z.events(obs.Event{Kind: kind, Zones: len(z.zones), Delta: delta})
+	}
 }
 
 // New builds an adaptive zonemap over the column's current physical state.
@@ -424,9 +440,11 @@ func (z *Zonemap) FoldTail(codes []int64, nulls *bitvec.BitVec) {
 	if z.rows <= z.tailLo {
 		return
 	}
+	before := len(z.zones)
 	z.appendZones(codes, nulls, z.tailLo, z.rows)
 	z.tailLo = z.rows
 	z.rebuildBlocks()
+	z.emit(obs.EventTailFold, len(z.zones)-before)
 }
 
 // Widen implements core.Skipper: loosen the enclosing zone's bounds so an
@@ -539,4 +557,7 @@ func (z *Zonemap) DescribeZones(max int) string {
 	return s
 }
 
-var _ core.Skipper = (*Zonemap)(nil)
+var (
+	_ core.Skipper      = (*Zonemap)(nil)
+	_ core.EventEmitter = (*Zonemap)(nil)
+)

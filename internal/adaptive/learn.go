@@ -3,11 +3,12 @@ package adaptive
 import (
 	"adskip/internal/core"
 	"adskip/internal/expr"
+	"adskip/internal/obs"
 )
 
 // Observe implements core.Skipper: it consumes per-zone execution feedback
 // and performs the three adaptive mechanisms — split, merge, arbitration.
-func (z *Zonemap) Observe(res core.PruneResult, obs []core.ZoneObservation) {
+func (z *Zonemap) Observe(res core.PruneResult, zobs []core.ZoneObservation) {
 	z.queries++
 	if !res.Enabled {
 		return
@@ -21,13 +22,14 @@ func (z *Zonemap) Observe(res core.PruneResult, obs []core.ZoneObservation) {
 		z.enabled = false
 		z.disabledQueries = 0
 		z.disables++
+		z.emit(obs.EventDisable, 0)
 		return // structure frozen while disabled
 	}
 
 	// ---- Per-zone feedback: heat updates and split planning. ----
 	var plans []splitPlan
 	budget := z.cfg.MaxZones - len(z.zones)
-	for _, ob := range obs {
+	for _, ob := range zobs {
 		if ob.ID == core.NoZoneID || ob.ID < 0 || ob.ID >= len(z.zones) {
 			continue
 		}
@@ -56,12 +58,17 @@ func (z *Zonemap) Observe(res core.PruneResult, obs []core.ZoneObservation) {
 
 	structural := false
 	if len(plans) > 0 {
+		before := len(z.zones)
 		z.applySplits(plans)
+		z.emit(obs.EventSplit, len(z.zones)-before)
 		structural = true
 	}
 	if !z.cfg.DisableMerge && z.queries%z.cfg.MergeSweepEvery == 0 {
 		before := len(z.zones)
 		z.mergeSweep()
+		if removed := before - len(z.zones); removed > 0 {
+			z.emit(obs.EventMerge, removed)
+		}
 		structural = structural || len(z.zones) != before
 	}
 	if structural {
@@ -256,5 +263,6 @@ func (z *Zonemap) shadowProbe(r expr.Ranges) {
 	if z.netBenefit > 0 {
 		z.enabled = true
 		z.enables++
+		z.emit(obs.EventEnable, 0)
 	}
 }

@@ -12,6 +12,7 @@ package core
 import (
 	"adskip/internal/bitvec"
 	"adskip/internal/expr"
+	"adskip/internal/obs"
 	"adskip/internal/scan"
 	"adskip/internal/zonemap"
 )
@@ -92,6 +93,16 @@ type Skipper interface {
 	Rows() int
 	// Metadata reports current structure state.
 	Metadata() Metadata
+}
+
+// EventEmitter is implemented by skippers whose metadata changes over time
+// (splits, merges, arbitration flips, tail folds). The engine installs a
+// sink at registration so adaptation events reach the observability
+// layer's event log; the sink fills in table/column identity, which the
+// skipper itself does not know. Emitting is optional: non-adaptive
+// skippers simply do not implement the interface.
+type EventEmitter interface {
+	SetEventSink(sink func(obs.Event))
 }
 
 // ---------------------------------------------------------------------------

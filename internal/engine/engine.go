@@ -14,6 +14,7 @@ import (
 	"adskip/internal/adaptive"
 	"adskip/internal/core"
 	"adskip/internal/imprint"
+	"adskip/internal/obs"
 	"adskip/internal/storage"
 	"adskip/internal/table"
 )
@@ -64,6 +65,14 @@ type Options struct {
 	// any setting — counting is associative and observations are
 	// per-zone.
 	Parallelism int
+	// Metrics receives the engine's instrumentation. Instrumentation is
+	// always on: when nil, the engine creates a private registry. Share
+	// one registry across engines (the DB facade does) to aggregate
+	// metrics catalog-wide.
+	Metrics *obs.Registry
+	// Events receives adaptation events (splits, merges, arbitration
+	// flips). When nil, the engine creates a private log.
+	Events *obs.EventLog
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +97,16 @@ type Engine struct {
 	tbl      *table.Table
 	opts     Options
 	skippers map[string]core.Skipper
+
+	// Observability: the registry and event log may be shared across
+	// engines; metric handles are resolved once so the per-query cost is
+	// atomic adds only. trace is the in-flight query's trace (guarded by
+	// mu, like all query state).
+	reg    *obs.Registry
+	events *obs.EventLog
+	m      engMetrics
+	colM   map[string]*colMetrics
+	trace  *obs.QueryTrace
 }
 
 // Errors returned by the engine.
@@ -99,11 +118,29 @@ var (
 // New creates an engine over tbl. Skipping starts disabled on all columns;
 // call EnableSkipping to build metadata.
 func New(tbl *table.Table, opts Options) *Engine {
-	return &Engine{tbl: tbl, opts: opts.withDefaults(), skippers: make(map[string]core.Skipper)}
+	opts = opts.withDefaults()
+	e := &Engine{tbl: tbl, opts: opts, skippers: make(map[string]core.Skipper)}
+	e.reg = opts.Metrics
+	if e.reg == nil {
+		e.reg = obs.NewRegistry()
+	}
+	e.events = opts.Events
+	if e.events == nil {
+		e.events = obs.NewEventLog(0)
+	}
+	e.m = newEngMetrics(e.reg, tbl.Name())
+	e.colM = make(map[string]*colMetrics)
+	return e
 }
 
 // Table returns the underlying table.
 func (e *Engine) Table() *table.Table { return e.tbl }
+
+// Metrics returns the engine's metrics registry.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
+// Events returns a chronological copy of the retained adaptation events.
+func (e *Engine) Events() []obs.Event { return e.events.Events() }
 
 // EnableSkipping builds skipping metadata for the named columns (all
 // columns when none are named) according to the engine's policy. String
@@ -137,8 +174,21 @@ func (e *Engine) EnableSkipping(cols ...string) error {
 		default:
 			return fmt.Errorf("engine: unknown policy %d", e.opts.Policy)
 		}
+		e.registerSkipper(name, obs.EventSkipperBuilt)
 	}
 	return nil
+}
+
+// registerSkipper hooks a freshly installed skipper into the
+// observability layer: event sink, lifecycle event, and gauges.
+func (e *Engine) registerSkipper(name string, kind obs.EventKind) {
+	s := e.skippers[name]
+	if em, ok := s.(core.EventEmitter); ok {
+		em.SetEventSink(e.eventSink(name))
+	}
+	md := s.Metadata()
+	e.eventSink(name)(obs.Event{Kind: kind, Zones: md.Zones})
+	e.colMetrics(name).refreshGauges(s)
 }
 
 // Skipper returns the skipper for a column, or nil if none is registered.
@@ -253,6 +303,7 @@ func (e *Engine) LoadSkipper(colName string, r io.Reader) error {
 		col.SealDict()
 	}
 	e.skippers[colName] = z
+	e.registerSkipper(colName, obs.EventSkipperLoad)
 	return nil
 }
 

@@ -2,10 +2,12 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"adskip/internal/bitvec"
 	"adskip/internal/core"
 	"adskip/internal/expr"
+	"adskip/internal/obs"
 	"adskip/internal/scan"
 	"adskip/internal/storage"
 )
@@ -44,6 +46,9 @@ type Result struct {
 	Columns []string        // projection column names
 	Rows    [][]storage.Value
 	Stats   ExecStats
+	// Trace records the execution's phase timings and per-predicate
+	// skipping decisions. Always populated (one allocation per query).
+	Trace *obs.QueryTrace
 }
 
 // maxPredicateColumns bounds the per-segment evaluation bitmask.
@@ -67,6 +72,9 @@ func (e *Engine) Query(q Query) (*Result, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	tr := &obs.QueryTrace{Table: e.tbl.Name(), Start: time.Now()}
+	e.trace = tr
+	defer func() { e.trace = nil }()
 	e.syncSkippers()
 	if err := q.Where.Validate(); err != nil {
 		return nil, err
@@ -125,7 +133,10 @@ func (e *Engine) Query(q Query) (*Result, error) {
 		}
 	}
 
+	tr.Plan = time.Since(tr.Start)
+
 	// Lower predicates per column and probe skippers.
+	tProbe := time.Now()
 	plans, unsat, err := e.plan(q.Where)
 	if err != nil {
 		return nil, err
@@ -141,17 +152,20 @@ func (e *Engine) Query(q Query) (*Result, error) {
 			res.Stats.SkippersUsed++
 		}
 	}
+	tr.Probe = time.Since(tProbe)
+	e.tracePredicates(tr, plans)
 	if unsat {
 		// A contradiction (or empty interval) on some column: no rows can
 		// match. Skippers still observe a zero-work query.
 		for i := range plans {
-			if plans[i].skipper != nil {
-				plans[i].skipper.Observe(plans[i].res, nil)
-			}
+			e.observeTimed(&plans[i], nil)
 		}
-		return e.finish(res, accs, grp, q.Limit), nil
+		out := e.finish(res, accs, grp, q.Limit)
+		e.finishTrace(out, tr, plans, n, q.Limit)
+		return out, nil
 	}
 
+	tScan := time.Now()
 	switch {
 	case grp == nil && len(plans) == 1 && len(projCols) == 0 && countOnly(accs):
 		e.execFastCount(&plans[0], res, accs, n)
@@ -164,7 +178,26 @@ func (e *Engine) Query(q Query) (*Result, error) {
 			return nil, err
 		}
 	}
-	return e.finish(res, accs, grp, q.Limit), nil
+	// The executors call skipper.Observe inline; observeTimed charges that
+	// time to the feedback phase, so scan time is the remainder.
+	tr.Scan = time.Since(tScan) - tr.Feedback
+	out := e.finish(res, accs, grp, q.Limit)
+	e.finishTrace(out, tr, plans, n, q.Limit)
+	return out, nil
+}
+
+// observeTimed hands execution feedback to a plan's skipper, charging the
+// time spent in Observe (split/merge/arbitration work) to the in-flight
+// trace's feedback phase.
+func (e *Engine) observeTimed(p *colPlan, zobs []core.ZoneObservation) {
+	if p.skipper == nil {
+		return
+	}
+	t := time.Now()
+	p.skipper.Observe(p.res, zobs)
+	if e.trace != nil {
+		e.trace.Feedback += time.Since(t)
+	}
 }
 
 // finish materializes aggregate or grouped output onto the result.
@@ -243,16 +276,14 @@ func (e *Engine) execFastCount(p *colPlan, res *Result, accs []*aggAcc, n int) {
 		// Full scan, no metadata.
 		res.Count = e.parallelCountFull(p, n, workers)
 		res.Stats.RowsScanned = n
-		if p.skipper != nil {
-			p.skipper.Observe(p.res, nil)
-		}
+		e.observeTimed(p, nil)
 		return
 	}
 	count, obs, stats := e.parallelCountZones(p, p.res.Zones, workers)
 	res.Count = count
 	res.Stats.RowsScanned += stats.RowsScanned
 	res.Stats.RowsCovered += stats.RowsCovered
-	p.skipper.Observe(p.res, obs)
+	e.observeTimed(p, obs)
 }
 
 // seg is one contiguous row window of the intersected candidate set.
@@ -462,7 +493,7 @@ func (e *Engine) feedbackGeneral(plans []colPlan, segs []seg) {
 			continue
 		}
 		if !p.active {
-			p.skipper.Observe(p.res, nil)
+			e.observeTimed(p, nil)
 			continue
 		}
 		var obs []core.ZoneObservation
@@ -485,6 +516,6 @@ func (e *Engine) feedbackGeneral(plans []colPlan, segs []seg) {
 			}
 			obs = append(obs, ob)
 		}
-		p.skipper.Observe(p.res, obs)
+		e.observeTimed(p, obs)
 	}
 }

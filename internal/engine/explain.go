@@ -50,6 +50,7 @@ func (e *Engine) Explain(q Query) ([]string, error) {
 		out = append(out, "no predicates: full scan")
 		return out, nil
 	}
+	allCovered := len(plans) > 0
 	for i := range plans {
 		p := &plans[i]
 		var predDesc string
@@ -61,11 +62,17 @@ func (e *Engine) Explain(q Query) ([]string, error) {
 		line := fmt.Sprintf("predicate on %q: %s", p.name, predDesc)
 		if p.skipper == nil {
 			out = append(out, line+" — no skipper, full evaluation")
+			allCovered = false
 			continue
 		}
+		// EXPLAIN pays for a real probe, so it counts toward the column's
+		// cumulative probe/prune counters like any query — repeated
+		// EXPLAINs therefore show adaptation progressing.
+		e.colMetrics(p.name).recordProbe(p)
 		md := p.skipper.Metadata()
 		if !p.active {
 			out = append(out, fmt.Sprintf("%s — %s skipper declined (disabled), full evaluation", line, md.Kind))
+			allCovered = false
 			continue
 		}
 		covered := 0
@@ -73,20 +80,42 @@ func (e *Engine) Explain(q Query) ([]string, error) {
 		for _, z := range p.res.Zones {
 			candRows += z.Hi - z.Lo
 			if z.Covered {
-				covered++
+				covered += z.Hi - z.Lo
+			} else {
+				allCovered = false
 			}
 		}
 		out = append(out, fmt.Sprintf(
-			"%s — %s skipper: %d zones (%d probes), %d candidate windows (%d covered), %d rows skippable (%.1f%%)",
+			"%s — %s skipper: %d zones (%d probes), %d candidate windows (%d rows covered), %d rows skippable (%.1f%%)",
 			line, md.Kind, md.Zones, p.res.ZonesProbed, len(p.res.Zones), covered,
 			p.res.RowsSkipped, pct(p.res.RowsSkipped, n)))
+		out = append(out, "  "+e.lifetimeLine(p.name))
 	}
 	if unsat {
 		out = append(out, "predicates are unsatisfiable: no scan will run")
-	} else if len(plans) > 1 {
+		return out, nil
+	}
+	if len(plans) > 1 {
 		out = append(out, fmt.Sprintf("intersect candidate windows across %d columns", len(plans)))
 	}
+	if allCovered {
+		out = append(out, "all candidate windows covered: no residual predicate evaluation needed")
+	}
 	return out, nil
+}
+
+// lifetimeLine renders a column's cumulative probe/prune counters from the
+// metrics registry, so repeated EXPLAINs expose adaptation progressing.
+func (e *Engine) lifetimeLine(col string) string {
+	cm := e.colMetrics(col)
+	skipped := cm.rowsSkipped.Load()
+	cand := cm.candidateRows.Load()
+	hitRate := 0.0
+	if skipped+cand > 0 {
+		hitRate = float64(skipped) / float64(skipped+cand) * 100
+	}
+	return fmt.Sprintf("lifetime: %d probes (%d declined), %d zone probes, %d rows skipped / %d candidate (prune hit rate %.1f%%)",
+		cm.probeQueries.Load(), cm.declined.Load(), cm.zonesProbed.Load(), skipped, cand, hitRate)
 }
 
 func pct(part, whole int) float64 {

@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"time"
+
+	"adskip/internal/core"
+	"adskip/internal/obs"
+)
+
+// Metric instrumentation is always on and built to be cheap: every handle
+// below is resolved once (at engine construction or when skipping is
+// enabled on a column) so the per-query cost is a handful of atomic adds —
+// no registry lookups, no locks, and no allocation on the row-scan path.
+
+// queryLatencyBounds are the query-latency histogram bucket bounds in
+// seconds (1µs .. 10s).
+var queryLatencyBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// selectivityBounds are the observed-selectivity histogram bucket bounds
+// (fraction of table rows matching).
+var selectivityBounds = []float64{0.0001, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.9, 1}
+
+// engMetrics holds the engine-level metric handles, one set per table.
+type engMetrics struct {
+	queries          *obs.Counter
+	rowsScanned      *obs.Counter
+	rowsSkipped      *obs.Counter
+	rowsCovered      *obs.Counter
+	zonesProbed      *obs.Counter
+	skippersUsed     *obs.Counter
+	skippersDeclined *obs.Counter
+	latency          *obs.Histogram
+	selectivity      *obs.Histogram
+}
+
+// newEngMetrics resolves the per-table metric handles in reg.
+func newEngMetrics(reg *obs.Registry, table string) engMetrics {
+	t := obs.L("table", table)
+	return engMetrics{
+		queries:          reg.Counter("adskip_queries_total", "Queries executed.", t),
+		rowsScanned:      reg.Counter("adskip_rows_scanned_total", "Rows read by scan kernels.", t),
+		rowsSkipped:      reg.Counter("adskip_rows_skipped_total", "Rows pruned by metadata probes.", t),
+		rowsCovered:      reg.Counter("adskip_rows_covered_total", "Rows short-circuited by covered windows.", t),
+		zonesProbed:      reg.Counter("adskip_zones_probed_total", "Zone metadata probes performed.", t),
+		skippersUsed:     reg.Counter("adskip_skippers_used_total", "Predicate columns where skipping participated.", t),
+		skippersDeclined: reg.Counter("adskip_skippers_declined_total", "Predicate columns where the skipper declined.", t),
+		latency:          reg.Histogram("adskip_query_seconds", "Query wall-clock latency.", queryLatencyBounds, t),
+		selectivity:      reg.Histogram("adskip_query_selectivity", "Fraction of table rows matching per query.", selectivityBounds, t),
+	}
+}
+
+// colMetrics holds the per-column metric handles, resolved when skipping
+// is enabled on the column.
+type colMetrics struct {
+	probeQueries  *obs.Counter // probes where the skipper participated
+	declined      *obs.Counter // probes where the skipper declined
+	zonesProbed   *obs.Counter
+	rowsSkipped   *obs.Counter // prune hits: rows proven non-matching
+	candidateRows *obs.Counter // rows left inside candidate windows
+	coveredRows   *obs.Counter // candidate rows proven fully matching
+	zones         *obs.Gauge
+	bytes         *obs.Gauge
+	enabled       *obs.Gauge // 1 while arbitration allows skipping
+}
+
+// colMetrics resolves (and caches) the handles for one column.
+func (e *Engine) colMetrics(name string) *colMetrics {
+	if cm, ok := e.colM[name]; ok {
+		return cm
+	}
+	t, c := obs.L("table", e.tbl.Name()), obs.L("column", name)
+	cm := &colMetrics{
+		probeQueries:  e.reg.Counter("adskip_column_probe_queries_total", "Probes in which the column's skipper participated.", t, c),
+		declined:      e.reg.Counter("adskip_column_probe_declined_total", "Probes in which the column's skipper declined.", t, c),
+		zonesProbed:   e.reg.Counter("adskip_column_zones_probed_total", "Zone probes on the column.", t, c),
+		rowsSkipped:   e.reg.Counter("adskip_column_rows_skipped_total", "Rows the column's metadata pruned.", t, c),
+		candidateRows: e.reg.Counter("adskip_column_candidate_rows_total", "Rows left in candidate windows after pruning.", t, c),
+		coveredRows:   e.reg.Counter("adskip_column_covered_rows_total", "Candidate rows proven fully matching by metadata.", t, c),
+		zones:         e.reg.Gauge("adskip_skipper_zones", "Current zone count of the column's metadata.", t, c),
+		bytes:         e.reg.Gauge("adskip_skipper_bytes", "Current metadata footprint of the column.", t, c),
+		enabled:       e.reg.Gauge("adskip_skipper_enabled", "1 while arbitration allows skipping on the column.", t, c),
+	}
+	e.colM[name] = cm
+	return cm
+}
+
+// recordProbe accounts one skipper probe outcome to the column's
+// cumulative counters (queries and EXPLAINs alike — both pay the probe).
+func (cm *colMetrics) recordProbe(p *colPlan) {
+	if !p.active {
+		cm.declined.Inc()
+		return
+	}
+	cm.probeQueries.Inc()
+	cm.zonesProbed.Add(int64(p.res.ZonesProbed))
+	cm.rowsSkipped.Add(int64(p.res.RowsSkipped))
+	cand, covered := 0, 0
+	for _, z := range p.res.Zones {
+		cand += z.Hi - z.Lo
+		if z.Covered {
+			covered += z.Hi - z.Lo
+		}
+	}
+	cm.candidateRows.Add(int64(cand))
+	cm.coveredRows.Add(int64(covered))
+}
+
+// refreshGauges re-reads the skipper's structural state into the gauges.
+func (cm *colMetrics) refreshGauges(s core.Skipper) {
+	md := s.Metadata()
+	cm.zones.Set(int64(md.Zones))
+	cm.bytes.Set(int64(md.Bytes))
+	if md.Enabled {
+		cm.enabled.Set(1)
+	} else {
+		cm.enabled.Set(0)
+	}
+}
+
+// eventSink returns the adaptation-event sink installed on a column's
+// skipper: it stamps table/column identity, bumps the per-kind event
+// counter, and appends to the shared event log.
+func (e *Engine) eventSink(col string) func(obs.Event) {
+	table := e.tbl.Name()
+	return func(ev obs.Event) {
+		ev.Table, ev.Column = table, col
+		e.reg.Counter("adskip_adapt_events_total", "Adaptation events by kind.",
+			obs.L("table", table), obs.L("column", col), obs.L("kind", ev.Kind.String())).Inc()
+		e.events.Append(ev)
+	}
+}
+
+// tracePredicates fills the trace's per-predicate section from the probed
+// plans and charges the probe outcome to the per-column counters.
+func (e *Engine) tracePredicates(tr *obs.QueryTrace, plans []colPlan) {
+	tr.Predicates = make([]obs.PredicateTrace, len(plans))
+	for i := range plans {
+		p := &plans[i]
+		pt := &tr.Predicates[i]
+		pt.Column = p.name
+		if p.pred.NullOnly {
+			pt.Predicate = "IS NULL"
+		} else {
+			pt.Predicate = p.pred.R.String()
+		}
+		pt.Matched = -1
+		if p.skipper == nil {
+			continue
+		}
+		pt.Skipper = p.skipper.Metadata().Kind
+		pt.Active = p.active
+		pt.ZonesProbed = p.res.ZonesProbed
+		pt.EstRowsSkipped = p.res.RowsSkipped
+		for _, z := range p.res.Zones {
+			pt.Windows++
+			pt.CandidateRows += z.Hi - z.Lo
+			if z.Covered {
+				pt.CoveredWindows++
+			}
+		}
+		e.colMetrics(p.name).recordProbe(p)
+	}
+}
+
+// finishTrace closes out the query's trace and charges the query-level
+// metrics. Called with the engine mutex held, at the end of Query.
+func (e *Engine) finishTrace(res *Result, tr *obs.QueryTrace, plans []colPlan, n, limit int) {
+	tr.Total = time.Since(tr.Start)
+	tr.RowsScanned = res.Stats.RowsScanned
+	tr.RowsSkipped = res.Stats.RowsSkipped
+	tr.RowsCovered = res.Stats.RowsCovered
+	tr.ZonesProbed = res.Stats.ZonesProbed
+	tr.RowsTotal = n
+	tr.Matched = res.Count
+	// Attribute the observed match count to the predicate when it is
+	// unambiguous: exactly one predicate column and no row-limit applied.
+	if len(plans) == 1 && len(tr.Predicates) == 1 && limit == 0 {
+		tr.Predicates[0].Matched = res.Count
+	}
+	res.Trace = tr
+
+	e.m.queries.Inc()
+	e.m.rowsScanned.Add(int64(res.Stats.RowsScanned))
+	e.m.rowsSkipped.Add(int64(res.Stats.RowsSkipped))
+	e.m.rowsCovered.Add(int64(res.Stats.RowsCovered))
+	e.m.zonesProbed.Add(int64(res.Stats.ZonesProbed))
+	e.m.skippersUsed.Add(int64(res.Stats.SkippersUsed))
+	e.m.latency.Observe(tr.Total.Seconds())
+	if n > 0 {
+		e.m.selectivity.Observe(float64(res.Count) / float64(n))
+	}
+	for i := range plans {
+		p := &plans[i]
+		if p.skipper == nil {
+			continue
+		}
+		if !p.active {
+			e.m.skippersDeclined.Inc()
+		}
+		e.colMetrics(p.name).refreshGauges(p.skipper)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"adskip/internal/storage"
 )
@@ -104,14 +105,20 @@ func (r Ranges) String() string {
 	if r.Empty() {
 		return "∅"
 	}
-	s := ""
+	// Rendered with strconv rather than fmt: query traces stringify the
+	// predicate once per query, so this sits near the hot path.
+	b := make([]byte, 0, 24*len(r.Lo))
 	for i := range r.Lo {
 		if i > 0 {
-			s += " ∪ "
+			b = append(b, " ∪ "...)
 		}
-		s += fmt.Sprintf("[%d,%d]", r.Lo[i], r.Hi[i])
+		b = append(b, '[')
+		b = strconv.AppendInt(b, r.Lo[i], 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, r.Hi[i], 10)
+		b = append(b, ']')
 	}
-	return s
+	return string(b)
 }
 
 // Lower compiles the predicate against a concrete column into code

@@ -13,6 +13,7 @@ import (
 	"adskip/internal/adaptive"
 	"adskip/internal/engine"
 	"adskip/internal/expr"
+	"adskip/internal/obs"
 	"adskip/internal/storage"
 	"adskip/internal/table"
 	"adskip/internal/workload"
@@ -26,6 +27,10 @@ type Config struct {
 	Seed    int64 // base RNG seed (default 42)
 	// StaticZoneRows is the static baseline's zone size (default 4096).
 	StaticZoneRows int
+	// Metrics, when set, is shared by every engine the experiments build,
+	// so a run's cumulative counters can be dumped afterwards (bench CLI
+	// -metrics flag). Nil keeps each engine's registry private.
+	Metrics *obs.Registry
 }
 
 // WithDefaults fills unset fields.
@@ -199,6 +204,7 @@ func buildEngineFromValues(cfg Config, vals []int64, policy engine.Policy) *engi
 		Policy:         policy,
 		StaticZoneSize: cfg.StaticZoneRows,
 		Adaptive:       cfg.adaptiveConfig(),
+		Metrics:        cfg.Metrics,
 	})
 	if err := e.EnableSkipping("v"); err != nil {
 		panic(err)

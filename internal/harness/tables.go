@@ -139,6 +139,7 @@ func Tab3MultiColumn(cfg Config) (*Table, error) {
 		}
 		e := engine.New(tbl, engine.Options{
 			Policy: policy, StaticZoneSize: cfg.StaticZoneRows, Adaptive: cfg.adaptiveConfig(),
+			Metrics: cfg.Metrics,
 		})
 		if err := e.EnableSkipping(); err != nil {
 			panic(err)
@@ -251,7 +252,7 @@ func Abl1Mechanisms(cfg Config) (*Table, error) {
 					panic(err)
 				}
 			}
-			e := engine.New(tbl, engine.Options{Policy: engine.PolicyAdaptive, Adaptive: acfg})
+			e := engine.New(tbl, engine.Options{Policy: engine.PolicyAdaptive, Adaptive: acfg, Metrics: cfg.Metrics})
 			if err := e.EnableSkipping("v"); err != nil {
 				panic(err)
 			}
@@ -308,7 +309,7 @@ func Abl2SplitFanout(cfg Config) (*Table, error) {
 				panic(err)
 			}
 		}
-		e := engine.New(tbl, engine.Options{Policy: engine.PolicyAdaptive, Adaptive: acfg})
+		e := engine.New(tbl, engine.Options{Policy: engine.PolicyAdaptive, Adaptive: acfg, Metrics: cfg.Metrics})
 		if err := e.EnableSkipping("v"); err != nil {
 			panic(err)
 		}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, one line per series, and the
+// cumulative-bucket expansion for histograms. Output order is
+// deterministic (families by name, series by label set).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.c.Load())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.g.Load())
+			case kindHistogram:
+				writePromHistogram(bw, f.name, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram expands one histogram series into cumulative _bucket
+// lines plus _sum and _count.
+func writePromHistogram(w io.Writer, name string, s *series) {
+	counts := s.h.BucketCounts()
+	bounds := s.h.Bounds()
+	cum := int64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(s.labels, "le", formatFloat(b)), cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(s.labels, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(s.h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, s.h.Count())
+}
+
+// mergeLabel appends one label pair to an already-rendered label set.
+func mergeLabel(labels, key, value string) string {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// formatFloat renders a float compactly and deterministically.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonHistogram is the JSON exposition shape of one histogram series.
+type jsonHistogram struct {
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []jsonBucket `json:"buckets"`
+}
+
+// jsonBucket is one cumulative histogram bucket.
+type jsonBucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// WriteJSON renders every metric as one JSON object with "counters",
+// "gauges", and "histograms" sections, keyed by name{labels}. Keys are
+// emitted in sorted order (encoding/json sorts map keys), so output is
+// deterministic and diffable.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	counters := map[string]int64{}
+	gauges := map[string]int64{}
+	hists := map[string]jsonHistogram{}
+	for _, f := range r.snapshot() {
+		for _, s := range f.series {
+			key := f.name + s.labels
+			switch f.kind {
+			case kindCounter:
+				counters[key] = s.c.Load()
+			case kindGauge:
+				gauges[key] = s.g.Load()
+			case kindHistogram:
+				jh := jsonHistogram{Count: s.h.Count(), Sum: s.h.Sum()}
+				counts := s.h.BucketCounts()
+				cum := int64(0)
+				for i, b := range s.h.Bounds() {
+					cum += counts[i]
+					jh.Buckets = append(jh.Buckets, jsonBucket{LE: formatFloat(b), Count: cum})
+				}
+				cum += counts[len(counts)-1]
+				jh.Buckets = append(jh.Buckets, jsonBucket{LE: "+Inf", Count: cum})
+				hists[key] = jh
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]interface{}{
+		"counters":   counters,
+		"gauges":     gauges,
+		"histograms": hists,
+	})
+}

@@ -1,0 +1,270 @@
+// Package obs is the engine-wide observability layer: an atomic metrics
+// registry (counters, gauges, fixed-bucket histograms), per-query traces
+// with phase timings, and a bounded adaptation-event log.
+//
+// The package is zero-dependency (standard library only) and built for an
+// always-on deployment: reading or bumping a metric on the scan path is a
+// single atomic operation on a pointer the caller resolved once at setup
+// time — no map lookups, no locks, no per-row allocation. Registration
+// (Counter/Gauge/Histogram lookups by name) takes a mutex and is meant for
+// cold paths only.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the counter to stay monotonic;
+// this is not enforced on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram with atomic bucket counters and a
+// lock-free running sum. Bucket i counts observations v <= Bounds[i]; one
+// implicit overflow bucket catches the rest (+Inf).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, updated by CAS
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: the "le" bucket
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (excluding the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns per-bucket counts aligned with Bounds, plus one
+// final overflow (+Inf) entry.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Label is one name=value dimension of a metric series (e.g. the table or
+// column a counter is scoped to).
+type Label struct {
+	Key, Value string
+}
+
+// L is a convenience constructor for Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind discriminates registry families.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance within a family.
+type series struct {
+	labels string // rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all series of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use; Counter/Gauge/Histogram get-or-create their series under
+// a mutex, so callers should resolve pointers once and cache them.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels produces the canonical sorted {k="v",...} form, or "".
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// getFamily returns the family for name, creating it with the given kind
+// and help text. Registering the same name with a different kind panics:
+// that is a programming error the process should not limp past.
+func (r *Registry) getFamily(name, help string, kind metricKind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	return f
+}
+
+// Counter returns (creating if needed) the counter series name{labels}.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindCounter)
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key, c: &Counter{}}
+		f.series[key] = s
+	}
+	return s.c
+}
+
+// Gauge returns (creating if needed) the gauge series name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindGauge)
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key, g: &Gauge{}}
+		f.series[key] = s
+	}
+	return s.g
+}
+
+// Histogram returns (creating if needed) the histogram series name{labels}
+// with the given bucket upper bounds. Bounds are fixed by the first
+// registration; later calls reuse the existing series.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindHistogram)
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key, h: newHistogram(bounds)}
+		f.series[key] = s
+	}
+	return s.h
+}
+
+// familySnapshot is a point-in-time view of one family for exposition:
+// the series list is copied under the registry mutex (series maps mutate
+// on registration), while the metric values themselves are read atomically
+// afterwards.
+type familySnapshot struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// snapshot copies the registry structure in deterministic (name, label)
+// order.
+func (r *Registry) snapshot() []familySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]familySnapshot, 0, len(r.families))
+	for _, f := range r.families {
+		fs := familySnapshot{name: f.name, help: f.help, kind: f.kind}
+		fs.series = make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			fs.series = append(fs.series, s)
+		}
+		sort.Slice(fs.series, func(i, j int) bool { return fs.series[i].labels < fs.series[j].labels })
+		out = append(out, fs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

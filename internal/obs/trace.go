@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// QueryTrace records one query execution: per-phase wall-clock timings
+// (plan → metadata probe → scan → feedback) and the skipping decision each
+// predicate column's skipper made. The engine allocates one trace per
+// query (never per row) and attaches it to the result, so every query is
+// traced with no opt-in switch.
+type QueryTrace struct {
+	Table string
+	Start time.Time
+
+	// Phase timings. Scan excludes the feedback time spent inside
+	// skipper.Observe calls, which is accounted to Feedback.
+	Plan     time.Duration // validation + aggregate/projection binding
+	Probe    time.Duration // predicate lowering + skipper metadata probes
+	Scan     time.Duration // kernel execution over candidate windows
+	Feedback time.Duration // observations handed back to skippers
+	Total    time.Duration
+
+	// Execution totals (mirrors the result's ExecStats).
+	RowsScanned int
+	RowsSkipped int
+	RowsCovered int
+	ZonesProbed int
+	RowsTotal   int
+	Matched     int // qualifying rows (projection: rows returned)
+
+	Predicates []PredicateTrace
+}
+
+// PredicateTrace is the per-predicate-column skipping decision of one
+// query: what the probe estimated (rows skippable, candidate windows) and
+// what execution observed.
+type PredicateTrace struct {
+	Column    string
+	Predicate string // lowered code intervals, or "IS NULL"
+	Skipper   string // skipper kind; "" when the column has none
+	Active    bool   // skipper participated (did not decline)
+
+	ZonesProbed    int
+	Windows        int // candidate windows emitted by the probe
+	CoveredWindows int // windows proven fully matching by metadata
+	CandidateRows  int // rows inside candidate windows
+	EstRowsSkipped int // rows the probe proved non-matching
+
+	// Matched is the observed matching row count when execution can
+	// attribute it to this predicate alone (single-predicate fast path);
+	// -1 when unattributable (multi-column intersection).
+	Matched int
+}
+
+// Lines renders the trace as aligned human-readable lines. Durations are
+// included only when withTimings is true, so tests can assert on the
+// deterministic part.
+func (t *QueryTrace) Lines(withTimings bool) []string {
+	var out []string
+	out = append(out, fmt.Sprintf("trace: table %q, %d rows", t.Table, t.RowsTotal))
+	if withTimings {
+		out = append(out,
+			fmt.Sprintf("phase plan     %s", t.Plan),
+			fmt.Sprintf("phase probe    %s (%d zone probes)", t.Probe, t.ZonesProbed),
+			fmt.Sprintf("phase scan     %s (scanned %d, covered %d, skipped %d rows)",
+				t.Scan, t.RowsScanned, t.RowsCovered, t.RowsSkipped),
+			fmt.Sprintf("phase feedback %s", t.Feedback),
+			fmt.Sprintf("total          %s", t.Total),
+		)
+	} else {
+		out = append(out,
+			fmt.Sprintf("probe: %d zone probes", t.ZonesProbed),
+			fmt.Sprintf("scan: scanned %d, covered %d, skipped %d rows",
+				t.RowsScanned, t.RowsCovered, t.RowsSkipped),
+		)
+	}
+	for i := range t.Predicates {
+		p := &t.Predicates[i]
+		line := fmt.Sprintf("predicate on %q: %s", p.Column, p.Predicate)
+		switch {
+		case p.Skipper == "":
+			line += " — no skipper, full evaluation"
+		case !p.Active:
+			line += fmt.Sprintf(" — %s skipper declined, full evaluation", p.Skipper)
+		default:
+			line += fmt.Sprintf(" — %s skipper: est. %d rows skippable (%.1f%%), %d windows (%d covered, %d candidate rows)",
+				p.Skipper, p.EstRowsSkipped, pct(p.EstRowsSkipped, t.RowsTotal),
+				p.Windows, p.CoveredWindows, p.CandidateRows)
+			if p.Matched >= 0 {
+				line += fmt.Sprintf("; actual matched %d", p.Matched)
+			}
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// String renders the trace with timings.
+func (t *QueryTrace) String() string { return strings.Join(t.Lines(true), "\n") }
+
+func pct(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole) * 100
+}

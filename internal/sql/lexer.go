@@ -37,7 +37,7 @@ var keywords = map[string]bool{
 	"BETWEEN": true, "IN": true, "LIMIT": true, "COUNT": true,
 	"SUM": true, "MIN": true, "MAX": true, "AVG": true,
 	"NOT": true, "TRUE": true, "FALSE": true, "NULL": true, "IS": true,
-	"GROUP": true, "BY": true, "EXPLAIN": true, "OR": true,
+	"GROUP": true, "BY": true, "EXPLAIN": true, "ANALYZE": true, "OR": true,
 	"ORDER": true, "ASC": true, "DESC": true,
 }
 

@@ -13,6 +13,7 @@ import (
 // Statement is a parsed single-table SELECT.
 type Statement struct {
 	Explain   bool // EXPLAIN prefix: plan without executing
+	Analyze   bool // EXPLAIN ANALYZE: execute and report actuals
 	Table     string
 	Star      bool         // SELECT *
 	Aggs      []engine.Agg // aggregate select list
@@ -29,6 +30,9 @@ func (s Statement) String() string {
 	var sb strings.Builder
 	if s.Explain {
 		sb.WriteString("EXPLAIN ")
+		if s.Analyze {
+			sb.WriteString("ANALYZE ")
+		}
 	}
 	sb.WriteString("SELECT ")
 	switch {
@@ -82,11 +86,13 @@ func Parse(input string) (Statement, error) {
 	}
 	p := &parser{toks: toks}
 	explain := p.acceptKeyword("EXPLAIN")
+	analyze := explain && p.acceptKeyword("ANALYZE")
 	stmt, err := p.selectStmt()
 	if err != nil {
 		return Statement{}, err
 	}
 	stmt.Explain = explain
+	stmt.Analyze = analyze
 	p.acceptSymbol(";")
 	if p.cur().kind != tokEOF {
 		return Statement{}, lexError(p.cur().pos, "unexpected trailing input %q", p.cur().text)

@@ -101,7 +101,14 @@ func ExecParsed(e *engine.Engine, stmt Statement) (*engine.Result, error) {
 		return nil, err
 	}
 	if stmt.Explain {
-		lines, err := e.Explain(q)
+		var lines []string
+		if stmt.Analyze {
+			// EXPLAIN ANALYZE executes the query and reports actuals;
+			// the rendered plan replaces the data result.
+			lines, _, err = e.ExplainAnalyze(q)
+		} else {
+			lines, err = e.Explain(q)
+		}
 		if err != nil {
 			return nil, err
 		}
