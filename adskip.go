@@ -22,6 +22,7 @@
 package adskip
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -98,8 +99,23 @@ type QueryTrace = obs.QueryTrace
 
 // AdaptationEvent is one structural or arbitration change to a column's
 // skipping metadata (zone split/merge, skipping disabled/enabled, tail
-// fold, metadata built/loaded).
+// fold, metadata built/loaded, quarantine/rebuild).
 type AdaptationEvent = obs.Event
+
+// Limits bounds each query's resource consumption (rows scanned, result
+// rows, wall-clock time). The zero value imposes no limits; enforcement
+// happens at cooperative checkpoints, so overshoot is bounded by one
+// checkpoint interval (65536 rows).
+type Limits = engine.Limits
+
+// Resilience errors, re-exported for errors.Is checks on query results.
+var (
+	// ErrCanceled reports that a query's context was canceled or its
+	// deadline expired mid-execution.
+	ErrCanceled = engine.ErrCanceled
+	// ErrBudget reports that a query exceeded one of its resource limits.
+	ErrBudget = engine.ErrBudget
+)
 
 // Options configures a DB.
 type Options struct {
@@ -113,6 +129,12 @@ type Options struct {
 	// Parallelism sets the number of goroutines for count scans
 	// (default 1; results are identical at any setting).
 	Parallelism int
+	// Limits bounds every query's resource consumption (zero = none).
+	Limits Limits
+	// MaxConcurrentQueries bounds in-flight queries across all tables of
+	// this DB (0 = unbounded). Excess queries wait for admission and
+	// honor their context while waiting.
+	MaxConcurrentQueries int
 }
 
 // ColumnDef defines one column of a new table.
@@ -127,10 +149,11 @@ func Col(name string, typ Type) ColumnDef { return ColumnDef{Name: name, Type: t
 // DB is a catalog of tables sharing one skipping configuration and one
 // observability plane (metrics registry + adaptation-event log).
 type DB struct {
-	opts    Options
-	engines map[string]*engine.Engine
-	reg     *obs.Registry
-	events  *obs.EventLog
+	opts      Options
+	engines   map[string]*engine.Engine
+	reg       *obs.Registry
+	events    *obs.EventLog
+	admission *engine.Admission
 }
 
 // DB-level errors.
@@ -142,10 +165,11 @@ var (
 // Open creates an empty database.
 func Open(opts Options) *DB {
 	return &DB{
-		opts:    opts,
-		engines: make(map[string]*engine.Engine),
-		reg:     obs.NewRegistry(),
-		events:  obs.NewEventLog(0),
+		opts:      opts,
+		engines:   make(map[string]*engine.Engine),
+		reg:       obs.NewRegistry(),
+		events:    obs.NewEventLog(0),
+		admission: engine.NewAdmission(opts.MaxConcurrentQueries),
 	}
 }
 
@@ -158,6 +182,8 @@ func (db *DB) engineOptions() engine.Options {
 		Parallelism:    db.opts.Parallelism,
 		Metrics:        db.reg,
 		Events:         db.events,
+		Limits:         db.opts.Limits,
+		Admission:      db.admission,
 	}
 }
 
@@ -229,6 +255,14 @@ func (db *DB) TableNames() []string {
 // Exec parses and executes a SQL SELECT, routing by the FROM table.
 // EXPLAIN statements return the plan as rows of a single "plan" column.
 func (db *DB) Exec(query string) (*Result, error) {
+	return db.ExecContext(context.Background(), query)
+}
+
+// ExecContext is Exec under a context: execution checks ctx at cooperative
+// checkpoints (at least once per 65536 rows scanned), so cancellation and
+// deadlines take effect mid-scan. A canceled query returns an error
+// wrapping ErrCanceled.
+func (db *DB) ExecContext(ctx context.Context, query string) (*Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -237,7 +271,7 @@ func (db *DB) Exec(query string) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, stmt.Table)
 	}
-	return sql.ExecParsed(e, stmt)
+	return sql.ExecParsedContext(ctx, e, stmt)
 }
 
 // SaveTable serializes a table snapshot to w (binary, checksummed).
@@ -358,6 +392,28 @@ func (t *Table) SkipperInfo() map[string]SkipperInfo { return t.eng.SkipperMetad
 // Query executes an engine-level query directly (advanced API; most
 // callers use DB.Exec with SQL).
 func (t *Table) Query(q engine.Query) (*Result, error) { return t.eng.Query(q) }
+
+// QueryContext is Query under a context: cancellation and deadlines take
+// effect at cooperative scan checkpoints.
+func (t *Table) QueryContext(ctx context.Context, q engine.Query) (*Result, error) {
+	return t.eng.QueryContext(ctx, q)
+}
+
+// Quarantined reports columns whose skipping metadata was pulled from
+// service after a failure (panic or detected corruption), keyed to the
+// error that benched each one. Quarantined columns run full scans —
+// correct, just slower — until RebuildSkipping, EnableSkipping, or
+// LoadSkipping reinstates metadata.
+func (t *Table) Quarantined() map[string]error { return t.eng.Quarantined() }
+
+// RebuildSkipping reconstructs skipping metadata from base column data on
+// the named columns (all quarantined columns when none are named),
+// clearing their quarantine.
+func (t *Table) RebuildSkipping(cols ...string) error { return t.eng.RebuildSkipping(cols...) }
+
+// VerifySkipping revalidates skipping metadata against column contents
+// (one O(rows) pass per column), quarantining any column that fails.
+func (t *Table) VerifySkipping(cols ...string) error { return t.eng.VerifySkipping(cols...) }
 
 // Engine exposes the underlying engine for advanced integration (the
 // experiment harness uses it).

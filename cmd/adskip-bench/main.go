@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"adskip/internal/faultinject"
 	"adskip/internal/harness"
 	"adskip/internal/obs"
 )
@@ -29,8 +30,21 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		metrics    = flag.String("metrics", "", "after the run, dump cumulative engine metrics to stderr: prom|json")
+		chaos      = flag.Bool("chaos", false, "run with deterministic fault injection (worker panics + invariant flips); results must still be correct")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "RNG seed for -chaos probability draws")
 	)
 	flag.Parse()
+
+	if *chaos {
+		// Sparse, seed-deterministic faults: the suite should survive and
+		// produce correct numbers (quarantined columns fall back to full
+		// scans, so timings may degrade — that is the point of the mode).
+		restore := faultinject.Activate(faultinject.New(*chaosSeed).
+			Set(faultinject.WorkerPanic, faultinject.Rule{Prob: 0.001}).
+			Set(faultinject.InvariantFlip, faultinject.Rule{Prob: 0.0005}))
+		defer restore()
+		fmt.Fprintf(os.Stderr, "adskip-bench: chaos mode on (seed %d)\n", *chaosSeed)
+	}
 
 	if *list {
 		for _, ex := range harness.Experiments() {

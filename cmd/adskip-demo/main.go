@@ -9,6 +9,9 @@
 //	\save <file>         save table "data"
 //	\skipping [col]      describe zone metadata for a column (default v)
 //	\stats               adaptive lifetime counters per column
+//	\timeout <dur|off>   cancel statements that run longer than dur
+//	\quarantine          list columns whose metadata failed and was benched
+//	\rebuild [cols]      rebuild quarantined skipping metadata
 //	\policy              show the active skipping policy
 //	\help                this text
 //	\quit                exit
@@ -22,6 +25,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,10 +43,11 @@ import (
 )
 
 type repl struct {
-	opts engine.Options
-	eng  *engine.Engine // current table's engine (nil until \gen or \load)
-	out  *bufio.Writer
-	perq bool // --metrics: print per-query trace after each statement
+	opts    engine.Options
+	eng     *engine.Engine // current table's engine (nil until \gen or \load)
+	out     *bufio.Writer
+	perq    bool          // --metrics: print per-query trace after each statement
+	timeout time.Duration // \timeout: per-statement deadline (0 = none)
 }
 
 func main() {
@@ -117,6 +122,8 @@ func (r *repl) meta(line string) bool {
 \metrics [json]     dump engine metrics (Prometheus text, or JSON)
 \events [n]         show the last n adaptation events (default 20)
 \trace              toggle per-query trace printing (same as --metrics)
+\timeout <dur|off>  cancel statements running longer than dur (e.g. 500ms)
+\quarantine         list quarantined columns    \rebuild      rebuild their metadata
 \policy             active policy          \quit         exit
 SQL: SELECT [cols|aggs] FROM data [WHERE ...] [GROUP BY c] [ORDER BY c [DESC]] [LIMIT n]
      predicates: = <> < <= > >= BETWEEN IN IS [NOT] NULL (a=1 OR a=2)
@@ -173,6 +180,27 @@ SQL: SELECT [cols|aggs] FROM data [WHERE ...] [GROUP BY c] [ORDER BY c [DESC]] [
 	case "\\trace":
 		r.perq = !r.perq
 		fmt.Fprintf(r.out, "per-query trace: %v\n", r.perq)
+	case "\\timeout":
+		if len(fields) != 2 {
+			fmt.Fprintln(r.out, "usage: \\timeout <duration|off>  (e.g. \\timeout 500ms)")
+			return true
+		}
+		if fields[1] == "off" || fields[1] == "0" {
+			r.timeout = 0
+			fmt.Fprintln(r.out, "statement timeout: off")
+			return true
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil || d < 0 {
+			fmt.Fprintf(r.out, "bad duration %q\n", fields[1])
+			return true
+		}
+		r.timeout = d
+		fmt.Fprintf(r.out, "statement timeout: %s\n", d)
+	case "\\quarantine":
+		r.quarantine()
+	case "\\rebuild":
+		r.rebuild(fields[1:])
 	default:
 		fmt.Fprintf(r.out, "unknown command %s (try \\help)\n", fields[0])
 	}
@@ -347,13 +375,47 @@ func (r *repl) events(n int) {
 	}
 }
 
+func (r *repl) quarantine() {
+	if r.eng == nil {
+		fmt.Fprintln(r.out, "no table loaded")
+		return
+	}
+	q := r.eng.Quarantined()
+	if len(q) == 0 {
+		fmt.Fprintln(r.out, "no quarantined columns")
+		return
+	}
+	for col, cause := range q {
+		fmt.Fprintf(r.out, "%-8s %v\n", col, cause)
+	}
+	fmt.Fprintln(r.out, "(quarantined columns run full scans; \\rebuild restores metadata)")
+}
+
+func (r *repl) rebuild(cols []string) {
+	if r.eng == nil {
+		fmt.Fprintln(r.out, "no table loaded")
+		return
+	}
+	if err := r.eng.RebuildSkipping(cols...); err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintln(r.out, "skipping metadata rebuilt")
+}
+
 func (r *repl) query(line string) {
 	if r.eng == nil {
 		fmt.Fprintln(r.out, "no table loaded (\\gen or \\load first)")
 		return
 	}
+	ctx := context.Background()
+	if r.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := sql.Exec(r.eng, line)
+	res, err := sql.ExecContext(ctx, r.eng, line)
 	if err != nil {
 		fmt.Fprintf(r.out, "error: %v\n", err)
 		return

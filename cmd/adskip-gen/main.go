@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"os"
 
+	"adskip/internal/faultinject"
 	"adskip/internal/storage"
 	"adskip/internal/table"
 	"adskip/internal/workload"
@@ -25,10 +26,11 @@ import (
 
 func main() {
 	var (
-		rows = flag.Int("rows", 1<<20, "rows to generate")
-		dist = flag.String("dist", "clustered", "distribution: sorted|semi-sorted|clustered|uniform|zipf|bimodal")
-		seed = flag.Int64("seed", 42, "RNG seed")
-		out  = flag.String("out", "data.adsk", "output snapshot path")
+		rows    = flag.Int("rows", 1<<20, "rows to generate")
+		dist    = flag.String("dist", "clustered", "distribution: sorted|semi-sorted|clustered|uniform|zipf|bimodal")
+		seed    = flag.Int64("seed", 42, "RNG seed")
+		out     = flag.String("out", "data.adsk", "output snapshot path")
+		corrupt = flag.Bool("corrupt", false, "deliberately corrupt the snapshot checksum (for testing load recovery)")
 	)
 	flag.Parse()
 
@@ -70,6 +72,15 @@ func main() {
 		}
 	}
 
+	if *corrupt {
+		// Route the write through the fault injector so the trailing
+		// checksum gets a flipped byte: loaders must reject the snapshot
+		// with a checksum error instead of ingesting corrupt data.
+		restore := faultinject.Activate(faultinject.New(*seed).
+			Set(faultinject.CodecCorrupt, faultinject.Rule{Every: 1}))
+		defer restore()
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adskip-gen: %v\n", err)
@@ -82,6 +93,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adskip-gen: %v\n", err)
 		os.Exit(1)
+	}
+	if *corrupt {
+		fmt.Printf("wrote DELIBERATELY CORRUPT snapshot: %d rows (%s, %d bytes) to %s\n", *rows, *dist, n, *out)
+		return
 	}
 	fmt.Printf("wrote %d rows (%s, %d bytes) to %s\n", *rows, *dist, n, *out)
 }

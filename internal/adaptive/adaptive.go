@@ -17,6 +17,7 @@
 package adaptive
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -26,6 +27,13 @@ import (
 	"adskip/internal/obs"
 	"adskip/internal/scan"
 )
+
+// ErrCorrupt marks detected metadata corruption: a violated structural
+// invariant noticed during a probe or bounds-maintenance call. A corrupt
+// zonemap permanently declines to prune (fail open to full scans, which
+// are always sound) and reports the cause via Health so the engine can
+// quarantine and rebuild it.
+var ErrCorrupt = errors.New("adaptive: metadata corrupt")
 
 // Config tunes an adaptive zonemap. The zero value selects defaults
 // suitable for multi-million-row columns.
@@ -178,7 +186,22 @@ type Zonemap struct {
 	lastRanges expr.Ranges // predicate of the in-flight query (Prune→Observe)
 	scratch    []zone      // reusable buffer for structural rebuilds
 
+	// health is non-nil once corruption has been detected; the zonemap
+	// then declines every probe and ignores maintenance calls.
+	health error
+
 	events func(obs.Event) // adaptation-event sink; nil = no reporting
+}
+
+// Health implements core.HealthChecker: non-nil once the zonemap has
+// detected internal corruption and stopped pruning.
+func (z *Zonemap) Health() error { return z.health }
+
+// setHealth records the first detected corruption.
+func (z *Zonemap) setHealth(err error) {
+	if z.health == nil {
+		z.health = err
+	}
 }
 
 // SetEventSink implements core.EventEmitter: structural and arbitration
@@ -302,7 +325,17 @@ func (z *Zonemap) Metadata() core.Metadata {
 
 // Prune implements core.Skipper. While disabled it costs nothing except a
 // periodic shadow probe that re-evaluates whether skipping would pay.
+//
+// The probe walk doubles as a cheap corruption check: zones must tile
+// the indexed row space exactly, and the walk already visits every block
+// (and every zone of overlapping blocks), so verifying contiguity costs
+// one comparison per step. On a violation the zonemap declines — a full
+// scan is always sound — and records the fault for quarantine, rather
+// than emitting a candidate set with silent row gaps.
 func (z *Zonemap) Prune(r expr.Ranges) core.PruneResult {
+	if z.health != nil {
+		return core.PruneResult{Enabled: false}
+	}
 	z.lastRanges = r
 	if !z.enabled {
 		z.disabledQueries++
@@ -319,6 +352,7 @@ func (z *Zonemap) Prune(r expr.Ranges) core.PruneResult {
 	if single {
 		rlo, rhi = r.Lo[0], r.Hi[0]
 	}
+	prev := 0 // row where the next zone must start (tiling check)
 	for bi := range z.blocks {
 		b := &z.blocks[bi]
 		zLo, zHi := bi*blockZones, (bi+1)*blockZones
@@ -333,13 +367,23 @@ func (z *Zonemap) Prune(r expr.Ranges) core.PruneResult {
 			blockOverlaps = b.hasData && r.Overlaps(b.min, b.max)
 		}
 		if !blockOverlaps {
-			// One comparison skipped the whole run of zones.
-			res.RowsSkipped += z.zones[zHi-1].hi - z.zones[zLo].lo
+			// One comparison skipped the whole run of zones. Gaps inside
+			// a skipped block are still sound to skip: its value bounds
+			// enclose every member row, wherever zone boundaries drifted.
+			if z.zones[zLo].lo != prev {
+				return z.corruptPrune(zLo, z.zones[zLo].lo, prev)
+			}
+			prev = z.zones[zHi-1].hi
+			res.RowsSkipped += prev - z.zones[zLo].lo
 			continue
 		}
 		res.ZonesProbed += zHi - zLo
 		for i := zLo; i < zHi; i++ {
 			zn := &z.zones[i]
+			if zn.lo != prev || zn.hi <= zn.lo {
+				return z.corruptPrune(i, zn.lo, prev)
+			}
+			prev = zn.hi
 			var overlaps bool
 			if single {
 				overlaps = zn.nonNull > 0 && zn.min <= rhi && zn.max >= rlo
@@ -383,10 +427,20 @@ func (z *Zonemap) Prune(r expr.Ranges) core.PruneResult {
 			res.Zones = append(res.Zones, cand)
 		}
 	}
+	if prev != z.tailLo {
+		z.setHealth(fmt.Errorf("%w: zones end at %d, tailLo=%d", ErrCorrupt, prev, z.tailLo))
+		return core.PruneResult{Enabled: false}
+	}
 	if z.rows > z.tailLo {
 		res.Zones = append(res.Zones, core.CandidateZone{ID: core.NoZoneID, Lo: z.tailLo, Hi: z.rows})
 	}
 	return res
+}
+
+// corruptPrune records a tiling violation found mid-probe and declines.
+func (z *Zonemap) corruptPrune(idx, got, want int) core.PruneResult {
+	z.setHealth(fmt.Errorf("%w: zone %d starts at %d, want %d (layout gap or overlap)", ErrCorrupt, idx, got, want))
+	return core.PruneResult{Enabled: false}
 }
 
 // PruneNulls implements core.Skipper for IS NULL predicates: zones with no
@@ -394,9 +448,17 @@ func (z *Zonemap) Prune(r expr.Ranges) core.PruneResult {
 // no zone identity (the structure does not refine on them) and include the
 // unindexed tail as a candidate.
 func (z *Zonemap) PruneNulls() core.PruneResult {
+	if z.health != nil {
+		return core.PruneResult{Enabled: false}
+	}
 	res := core.PruneResult{Enabled: true, ZonesProbed: len(z.zones)}
+	prev := 0
 	for i := range z.zones {
 		zn := &z.zones[i]
+		if zn.lo != prev || zn.hi <= zn.lo {
+			return z.corruptPrune(i, zn.lo, prev)
+		}
+		prev = zn.hi
 		rows := zn.hi - zn.lo
 		if zn.nonNull == rows {
 			res.RowsSkipped += rows
@@ -408,6 +470,10 @@ func (z *Zonemap) PruneNulls() core.PruneResult {
 		} else {
 			res.Zones = append(res.Zones, core.CandidateZone{ID: core.NoZoneID, Lo: zn.lo, Hi: zn.hi, Covered: covered})
 		}
+	}
+	if prev != z.tailLo {
+		z.setHealth(fmt.Errorf("%w: zones end at %d, tailLo=%d", ErrCorrupt, prev, z.tailLo))
+		return core.PruneResult{Enabled: false}
 	}
 	if z.rows > z.tailLo {
 		res.Zones = append(res.Zones, core.CandidateZone{ID: core.NoZoneID, Lo: z.tailLo, Hi: z.rows})
@@ -449,12 +515,17 @@ func (z *Zonemap) FoldTail(codes []int64, nulls *bitvec.BitVec) {
 
 // Widen implements core.Skipper: loosen the enclosing zone's bounds so an
 // in-place update can never be wrongly skipped. Rows in the tail need no
-// metadata maintenance.
+// metadata maintenance. A row no zone covers marks the structure corrupt
+// (see zoneIndex) instead of widening anything; the zonemap then declines
+// all probes, so the missed widening can never cause a wrong skip.
 func (z *Zonemap) Widen(row int, code int64) {
 	if row >= z.tailLo {
 		return
 	}
 	i := z.zoneIndex(row)
+	if i < 0 {
+		return
+	}
 	zn := &z.zones[i]
 	z.widenBlock(i, code)
 	if zn.nonNull == 0 {
@@ -474,14 +545,21 @@ func (z *Zonemap) NoteNonNull(row int) {
 	if row >= z.tailLo {
 		return
 	}
-	z.zones[z.zoneIndex(row)].nonNull++
+	if i := z.zoneIndex(row); i >= 0 {
+		z.zones[i].nonNull++
+	}
 }
 
-// zoneIndex locates the zone containing row by binary search.
+// zoneIndex locates the zone containing row by binary search. A row the
+// zones do not cover means the layout invariant is violated; rather than
+// panic (which used to crash the whole process mid-query), the zonemap
+// records the corruption — permanently declining to prune — and returns
+// -1 so callers degrade to a no-op.
 func (z *Zonemap) zoneIndex(row int) int {
 	i := sort.Search(len(z.zones), func(i int) bool { return z.zones[i].hi > row })
 	if i == len(z.zones) || z.zones[i].lo > row {
-		panic(fmt.Sprintf("adaptive: row %d not covered by zones (tailLo=%d)", row, z.tailLo))
+		z.setHealth(fmt.Errorf("%w: row %d not covered by zones (tailLo=%d)", ErrCorrupt, row, z.tailLo))
+		return -1
 	}
 	return i
 }
@@ -493,6 +571,9 @@ func (z *Zonemap) zoneIndex(row int) int {
 // omission, which is a caller bug — here they must match exactly when
 // exact==true).
 func (z *Zonemap) CheckInvariants(codes []int64, nulls *bitvec.BitVec, exact bool) error {
+	if z.health != nil {
+		return z.health
+	}
 	prev := 0
 	for i, zn := range z.zones {
 		if zn.lo != prev {
@@ -542,6 +623,19 @@ func (z *Zonemap) CheckInvariants(codes []int64, nulls *bitvec.BitVec, exact boo
 	return nil
 }
 
+// corruptLayout deterministically breaks the zone tiling invariant — the
+// last multi-row zone's upper bound shrinks by one, leaving a row gap.
+// It exists only as the faultinject.InvariantFlip chaos hook: the next
+// probe must detect the gap, decline, and get the zonemap quarantined.
+func (z *Zonemap) corruptLayout() {
+	for i := len(z.zones) - 1; i >= 0; i-- {
+		if z.zones[i].hi-z.zones[i].lo > 1 {
+			z.zones[i].hi--
+			return
+		}
+	}
+}
+
 // DescribeZones renders up to max zones for the demo REPL.
 func (z *Zonemap) DescribeZones(max int) string {
 	s := fmt.Sprintf("adaptive zonemap: %d zones over %d rows (tail %d), enabled=%v\n",
@@ -558,6 +652,8 @@ func (z *Zonemap) DescribeZones(max int) string {
 }
 
 var (
-	_ core.Skipper      = (*Zonemap)(nil)
-	_ core.EventEmitter = (*Zonemap)(nil)
+	_ core.Skipper          = (*Zonemap)(nil)
+	_ core.EventEmitter     = (*Zonemap)(nil)
+	_ core.HealthChecker    = (*Zonemap)(nil)
+	_ core.InvariantChecker = (*Zonemap)(nil)
 )

@@ -9,6 +9,8 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+
+	"adskip/internal/faultinject"
 )
 
 // Binary snapshot of a learned adaptive zonemap (little-endian):
@@ -78,6 +80,9 @@ func (z *Zonemap) WriteTo(w io.Writer) (int64, error) {
 	payload := buf.Bytes()
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
+	// Chaos hook: a flipped payload byte makes the checksum fail on Read,
+	// exercising the ErrBadSnapshot failure-atomic load path.
+	faultinject.Corrupt(faultinject.CodecCorrupt, payload)
 	n, err := w.Write(payload)
 	if err != nil {
 		return int64(n), err

@@ -3,6 +3,7 @@ package adaptive
 import (
 	"adskip/internal/core"
 	"adskip/internal/expr"
+	"adskip/internal/faultinject"
 	"adskip/internal/obs"
 )
 
@@ -10,6 +11,15 @@ import (
 // and performs the three adaptive mechanisms — split, merge, arbitration.
 func (z *Zonemap) Observe(res core.PruneResult, zobs []core.ZoneObservation) {
 	z.queries++
+	if z.health != nil {
+		return // corrupt structure is frozen until rebuilt
+	}
+	if faultinject.Enabled() && faultinject.Fire(faultinject.InvariantFlip) {
+		// Corrupt and return: the broken tiling must survive untouched to
+		// the next probe, which is where detection is supposed to happen.
+		z.corruptLayout()
+		return
+	}
 	if !res.Enabled {
 		return
 	}

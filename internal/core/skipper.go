@@ -95,6 +95,24 @@ type Skipper interface {
 	Metadata() Metadata
 }
 
+// HealthChecker is implemented by skippers that can detect their own
+// metadata corruption (e.g. a violated tiling invariant noticed during a
+// probe or a bounds-maintenance call). A non-nil Health means the
+// skipper's metadata can no longer be trusted: it must already have
+// stopped pruning (fail open to full scans), and the engine quarantines
+// it on the next interaction.
+type HealthChecker interface {
+	Health() error
+}
+
+// InvariantChecker is implemented by skippers whose full invariants can
+// be re-verified against the column's physical state (an O(rows) pass).
+// The engine uses it for on-demand verification sweeps; failures
+// quarantine the skipper.
+type InvariantChecker interface {
+	CheckInvariants(codes []int64, nulls *bitvec.BitVec, exact bool) error
+}
+
 // EventEmitter is implemented by skippers whose metadata changes over time
 // (splits, merges, arbitration flips, tail folds). The engine installs a
 // sink at registration so adaptation events reach the observability

@@ -73,6 +73,13 @@ type Options struct {
 	// Events receives adaptation events (splits, merges, arbitration
 	// flips). When nil, the engine creates a private log.
 	Events *obs.EventLog
+	// Limits bounds each query's resource consumption (zero value = no
+	// limits). Enforced at cooperative checkpoints; see Limits.
+	Limits Limits
+	// Admission, when non-nil, bounds the number of concurrently
+	// executing queries. Share one controller across engines (the DB
+	// facade does) to bound catalog-wide concurrency.
+	Admission *Admission
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +105,10 @@ type Engine struct {
 	opts     Options
 	skippers map[string]core.Skipper
 
+	// quarantined names columns whose skippers failed (panic or detected
+	// corruption) and now fall back to full scans; see quarantineLocked.
+	quarantined map[string]quarantineRecord
+
 	// Observability: the registry and event log may be shared across
 	// engines; metric handles are resolved once so the per-query cost is
 	// atomic adds only. trace is the in-flight query's trace (guarded by
@@ -119,7 +130,12 @@ var (
 // call EnableSkipping to build metadata.
 func New(tbl *table.Table, opts Options) *Engine {
 	opts = opts.withDefaults()
-	e := &Engine{tbl: tbl, opts: opts, skippers: make(map[string]core.Skipper)}
+	e := &Engine{
+		tbl:         tbl,
+		opts:        opts,
+		skippers:    make(map[string]core.Skipper),
+		quarantined: make(map[string]quarantineRecord),
+	}
 	e.reg = opts.Metrics
 	if e.reg == nil {
 		e.reg = obs.NewRegistry()
@@ -155,27 +171,37 @@ func (e *Engine) EnableSkipping(cols ...string) error {
 		}
 	}
 	for _, name := range cols {
-		col, err := e.tbl.Column(name)
-		if err != nil {
+		if err := e.buildSkipperLocked(name, obs.EventSkipperBuilt); err != nil {
 			return err
 		}
-		if col.Type() == storage.String {
-			col.SealDict()
-		}
-		switch e.opts.Policy {
-		case PolicyNone:
-			e.skippers[name] = core.NewNoSkipper(col.Len())
-		case PolicyStatic:
-			e.skippers[name] = core.NewStaticSkipper(col.Codes(), col.Nulls(), e.opts.StaticZoneSize)
-		case PolicyAdaptive:
-			e.skippers[name] = adaptive.New(col.Codes(), col.Nulls(), e.opts.Adaptive)
-		case PolicyImprint:
-			e.skippers[name] = core.NewImprintSkipper(imprint.Build(col.Codes(), col.Nulls(), e.opts.StaticZoneSize))
-		default:
-			return fmt.Errorf("engine: unknown policy %d", e.opts.Policy)
-		}
-		e.registerSkipper(name, obs.EventSkipperBuilt)
 	}
+	return nil
+}
+
+// buildSkipperLocked constructs fresh skipping metadata for one column
+// from its base data, clearing any quarantine. Caller holds e.mu.
+func (e *Engine) buildSkipperLocked(name string, kind obs.EventKind) error {
+	col, err := e.tbl.Column(name)
+	if err != nil {
+		return err
+	}
+	if col.Type() == storage.String {
+		col.SealDict()
+	}
+	switch e.opts.Policy {
+	case PolicyNone:
+		e.skippers[name] = core.NewNoSkipper(col.Len())
+	case PolicyStatic:
+		e.skippers[name] = core.NewStaticSkipper(col.Codes(), col.Nulls(), e.opts.StaticZoneSize)
+	case PolicyAdaptive:
+		e.skippers[name] = adaptive.New(col.Codes(), col.Nulls(), e.opts.Adaptive)
+	case PolicyImprint:
+		e.skippers[name] = core.NewImprintSkipper(imprint.Build(col.Codes(), col.Nulls(), e.opts.StaticZoneSize))
+	default:
+		return fmt.Errorf("engine: unknown policy %d", e.opts.Policy)
+	}
+	delete(e.quarantined, name)
+	e.registerSkipper(name, kind)
 	return nil
 }
 
@@ -252,9 +278,17 @@ func (e *Engine) Update(colName string, row int, v storage.Value) error {
 			return err
 		}
 		if row < s.Rows() {
-			s.Widen(row, code)
-			if wasNull {
-				s.NoteNonNull(row)
+			if perr := func() (err error) {
+				defer recoverToError(&err)
+				s.Widen(row, code)
+				if wasNull {
+					s.NoteNonNull(row)
+				}
+				return nil
+			}(); perr != nil {
+				e.quarantineLocked(colName, perr)
+			} else {
+				e.checkSkipperHealth(colName, s)
 			}
 		}
 	}
@@ -303,6 +337,7 @@ func (e *Engine) LoadSkipper(colName string, r io.Reader) error {
 		col.SealDict()
 	}
 	e.skippers[colName] = z
+	delete(e.quarantined, colName)
 	e.registerSkipper(colName, obs.EventSkipperLoad)
 	return nil
 }
@@ -316,8 +351,17 @@ func (e *Engine) syncSkippers() {
 		if err != nil {
 			continue
 		}
-		if s.Rows() != col.Len() {
-			s.Extend(col.Codes(), col.Nulls())
+		if s.Rows() == col.Len() {
+			continue
 		}
+		if perr := func() (err error) {
+			defer recoverToError(&err)
+			s.Extend(col.Codes(), col.Nulls())
+			return nil
+		}(); perr != nil {
+			e.quarantineLocked(name, perr)
+			continue
+		}
+		e.checkSkipperHealth(name, s)
 	}
 }

@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"adskip/internal/bitvec"
@@ -65,13 +68,73 @@ type colPlan struct {
 }
 
 // Query plans and executes q, returning the result and feeding
-// observations back into any adaptive skippers involved.
+// observations back into any adaptive skippers involved. It is
+// QueryContext with a background context: no cancellation, but the
+// engine's configured Limits still apply.
 func (e *Engine) Query(q Query) (*Result, error) {
+	return e.QueryContext(context.Background(), q)
+}
+
+// QueryContext executes q under ctx's cancellation and the engine's
+// per-query resource limits. Cancellation is cooperative: scans check the
+// context at least once per checkpointRows rows, so an expired context
+// returns ErrCanceled within one checkpoint interval. A query whose
+// skipper panics or self-reports corruption quarantines that skipper and
+// retries once without it (full scan), preserving correctness.
+func (e *Engine) QueryContext(ctx context.Context, q Query) (*Result, error) {
 	if q.Limit < 0 {
 		return nil, ErrBadLimit
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		e.m.canceled.Inc()
+		return nil, fmt.Errorf("%w: %v", ErrCanceled, context.Cause(ctx))
+	}
+	if err := e.opts.Admission.acquire(ctx); err != nil {
+		e.m.canceled.Inc()
+		return nil, err
+	}
+	defer e.opts.Admission.release()
+	e.m.inflight.Add(1)
+	defer e.m.inflight.Add(-1)
+
+	retried := false
+	for {
+		res, err := e.queryOnce(ctx, q)
+		if err == nil {
+			return res, nil
+		}
+		if !retried && errors.Is(err, errQuarantineRetry) {
+			retried = true
+			e.m.retries.Inc()
+			continue
+		}
+		switch {
+		case errors.Is(err, ErrCanceled):
+			e.m.canceled.Inc()
+		case errors.Is(err, ErrBudget):
+			e.m.overBudget.Inc()
+		}
+		return nil, err
+	}
+}
+
+// queryOnce runs one planning + execution attempt under the engine mutex.
+// A panic anywhere in execution is recovered here: skippers that were
+// actively pruning are quarantined (the metadata is the prime corruption
+// suspect) and the error is marked retryable.
+func (e *Engine) queryOnce(ctx context.Context, q Query) (out *Result, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	var plans []colPlan
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, e.handleExecPanic(plans, &panicError{val: r, stack: debug.Stack()})
+		}
+	}()
+	qc := e.newQctx(ctx)
 	tr := &obs.QueryTrace{Table: e.tbl.Name(), Start: time.Now()}
 	e.trace = tr
 	defer func() { e.trace = nil }()
@@ -135,9 +198,15 @@ func (e *Engine) Query(q Query) (*Result, error) {
 
 	tr.Plan = time.Since(tr.Start)
 
+	// A pre-scan checkpoint so planning-heavy queries still honor limits.
+	if err := qc.check(0); err != nil {
+		return nil, err
+	}
+
 	// Lower predicates per column and probe skippers.
 	tProbe := time.Now()
-	plans, unsat, err := e.plan(q.Where)
+	var unsat bool
+	plans, unsat, err = e.plan(q.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -168,35 +237,100 @@ func (e *Engine) Query(q Query) (*Result, error) {
 	tScan := time.Now()
 	switch {
 	case grp == nil && len(plans) == 1 && len(projCols) == 0 && countOnly(accs):
-		e.execFastCount(&plans[0], res, accs, n)
+		err = e.execFastCount(qc, &plans[0], res, accs, n)
 	case orderCol != nil:
-		if err := e.execOrdered(plans, res, accs, projCols, orderCol, q.OrderDesc, q.Limit, n); err != nil {
-			return nil, err
-		}
+		err = e.execOrdered(qc, plans, res, accs, projCols, orderCol, q.OrderDesc, q.Limit, n)
 	default:
-		if err := e.execGeneral(plans, res, accs, projCols, grp, q.Limit, n); err != nil {
-			return nil, err
+		err = e.execGeneral(qc, plans, res, accs, projCols, grp, q.Limit, n)
+	}
+	if err != nil {
+		// A worker panic surfaces here as an error (recovered in its own
+		// goroutine — panics cannot cross goroutines); treat it like an
+		// in-line panic: quarantine the active skippers and mark retryable.
+		var pe *panicError
+		if errors.As(err, &pe) {
+			return nil, e.handleExecPanic(plans, pe)
 		}
+		return nil, err
 	}
 	// The executors call skipper.Observe inline; observeTimed charges that
 	// time to the feedback phase, so scan time is the remainder.
 	tr.Scan = time.Since(tScan) - tr.Feedback
-	out := e.finish(res, accs, grp, q.Limit)
+	out = e.finish(res, accs, grp, q.Limit)
 	e.finishTrace(out, tr, plans, n, q.Limit)
 	return out, nil
 }
 
+// handleExecPanic records a recovered execution panic: every skipper that
+// was actively pruning for the query is quarantined (corrupt metadata is
+// the prime suspect for out-of-range candidate windows), and when at
+// least one was, the error is marked retryable — the retry runs without
+// them, as full scans. Caller holds e.mu.
+func (e *Engine) handleExecPanic(plans []colPlan, pe *panicError) error {
+	e.m.panics.Inc()
+	quarantined := 0
+	for i := range plans {
+		if plans[i].active && plans[i].skipper != nil {
+			e.quarantineLocked(plans[i].name, pe)
+			quarantined++
+		}
+	}
+	if quarantined > 0 {
+		return fmt.Errorf("%w: %w (quarantined %d skipper(s))", errQuarantineRetry, pe, quarantined)
+	}
+	return fmt.Errorf("engine: execution panicked: %w", pe)
+}
+
+// safeProbe probes a plan's skipper for candidate windows, converting
+// panics and self-reported corruption (core.HealthChecker) into
+// quarantine + full-scan fallback. Caller holds e.mu.
+func (e *Engine) safeProbe(p *colPlan) {
+	if p.skipper == nil {
+		return
+	}
+	if perr := func() (err error) {
+		defer recoverToError(&err)
+		if p.pred.NullOnly {
+			p.res = p.skipper.PruneNulls()
+		} else {
+			p.res = p.skipper.Prune(p.pred.R)
+		}
+		return nil
+	}(); perr != nil {
+		e.quarantineLocked(p.name, perr)
+		p.skipper, p.res, p.active = nil, core.PruneResult{}, false
+		return
+	}
+	if e.checkSkipperHealth(p.name, p.skipper) {
+		// The probe detected corruption and declined; the column now runs
+		// as a plain full scan.
+		p.skipper, p.res, p.active = nil, core.PruneResult{}, false
+		return
+	}
+	p.active = p.res.Enabled
+}
+
 // observeTimed hands execution feedback to a plan's skipper, charging the
 // time spent in Observe (split/merge/arbitration work) to the in-flight
-// trace's feedback phase.
+// trace's feedback phase. A panicking Observe quarantines the skipper:
+// the query's result is already computed, so only the metadata is at
+// stake. Caller holds e.mu.
 func (e *Engine) observeTimed(p *colPlan, zobs []core.ZoneObservation) {
 	if p.skipper == nil {
 		return
 	}
 	t := time.Now()
-	p.skipper.Observe(p.res, zobs)
+	perr := func() (err error) {
+		defer recoverToError(&err)
+		p.skipper.Observe(p.res, zobs)
+		return nil
+	}()
 	if e.trace != nil {
 		e.trace.Feedback += time.Since(t)
+	}
+	if perr != nil {
+		e.quarantineLocked(p.name, perr)
+		p.skipper = nil
 	}
 }
 
@@ -231,14 +365,7 @@ func (e *Engine) plan(where expr.Conj) ([]colPlan, bool, error) {
 		if cp.Empty() {
 			unsat = true
 		}
-		if p.skipper != nil {
-			if cp.NullOnly {
-				p.res = p.skipper.PruneNulls()
-			} else {
-				p.res = p.skipper.Prune(cp.R)
-			}
-			p.active = p.res.Enabled
-		}
+		e.safeProbe(&p)
 		plans = append(plans, p)
 	}
 	return plans, unsat, nil
@@ -269,21 +396,31 @@ func (e *Engine) finishAggs(res *Result, accs []*aggAcc) {
 
 // execFastCount is the hot path: one predicate column, COUNT(*)-only.
 // It scans zone-aligned so adaptive skippers receive exact per-zone
-// feedback with piggybacked statistics.
-func (e *Engine) execFastCount(p *colPlan, res *Result, accs []*aggAcc, n int) {
+// feedback with piggybacked statistics. On error (cancellation, budget,
+// worker panic) no feedback is given: partially scanned zones would
+// report misleading match counts and corrupt adaptation.
+func (e *Engine) execFastCount(qc *qctx, p *colPlan, res *Result, accs []*aggAcc, n int) error {
 	workers := e.opts.Parallelism
 	if !p.active {
 		// Full scan, no metadata.
-		res.Count = e.parallelCountFull(p, n, workers)
+		count, err := e.parallelCountFull(qc, p, n, workers)
+		if err != nil {
+			return err
+		}
+		res.Count = count
 		res.Stats.RowsScanned = n
 		e.observeTimed(p, nil)
-		return
+		return nil
 	}
-	count, obs, stats := e.parallelCountZones(p, p.res.Zones, workers)
+	count, obs, stats, err := e.parallelCountZones(qc, p, p.res.Zones, workers)
+	if err != nil {
+		return err
+	}
 	res.Count = count
 	res.Stats.RowsScanned += stats.RowsScanned
 	res.Stats.RowsCovered += stats.RowsCovered
 	e.observeTimed(p, obs)
+	return nil
 }
 
 // seg is one contiguous row window of the intersected candidate set.
@@ -295,37 +432,75 @@ type seg struct {
 }
 
 // execGeneral handles every other query shape: multi-column conjunctions,
-// aggregates over data, and projections.
-func (e *Engine) execGeneral(plans []colPlan, res *Result, accs []*aggAcc, projCols []*storage.Column, grp *grouper, limit, n int) error {
+// aggregates over data, and projections. Kernel scans are chunked at
+// checkpoint granularity; covered windows (no kernel work) get one
+// free check per segment so even all-covered queries stay cancelable.
+func (e *Engine) execGeneral(qc *qctx, plans []colPlan, res *Result, accs []*aggAcc, projCols []*storage.Column, grp *grouper, limit, n int) error {
 	segs := []seg{{lo: 0, hi: n}}
 	for i := range plans {
 		segs = intersectPlan(segs, &plans[i], uint64(1)<<uint(i), n)
 	}
 
+	tk := &ticker{qc: qc}
 	sel := bitvec.NewSelVec(1024)
 	done := false
 	for _, s := range segs {
 		if done {
 			break
 		}
+		if err := qc.check(0); err != nil {
+			return err
+		}
 		if s.needEval == 0 {
-			// Every row in the window qualifies.
+			// Every row in the window qualifies. Count-only coverage reads
+			// no data and stays checkpoint-free; grouping, aggregation, and
+			// projection all read the covered rows, so they run in
+			// checkpoint-sized chunks like any other scan.
 			if grp != nil {
 				res.Count += s.hi - s.lo
 				res.Stats.RowsCovered += s.hi - s.lo
-				grp.addWindow(s.lo, s.hi)
+				for lo := s.lo; lo < s.hi; {
+					end := lo + checkpointRows
+					if end > s.hi {
+						end = s.hi
+					}
+					grp.addWindow(lo, end)
+					if err := tk.tick(end - lo); err != nil {
+						return err
+					}
+					if err := qc.checkResult(len(grp.groups)); err != nil {
+						return err
+					}
+					lo = end
+				}
 				continue
 			}
 			if len(projCols) == 0 {
 				res.Count += s.hi - s.lo
 				res.Stats.RowsCovered += s.hi - s.lo
-				for _, a := range accs {
-					a.addWindow(s.lo, s.hi)
+				for lo := s.lo; len(accs) > 0 && lo < s.hi; {
+					end := lo + checkpointRows
+					if end > s.hi {
+						end = s.hi
+					}
+					for _, a := range accs {
+						a.addWindow(lo, end)
+					}
+					if err := tk.tick(end - lo); err != nil {
+						return err
+					}
+					lo = end
 				}
 				continue
 			}
 			for row := s.lo; row < s.hi && !done; row++ {
-				done = e.emitRow(res, accs, projCols, row, limit)
+				if err := tk.tick(1); err != nil {
+					return err
+				}
+				var err error
+				if done, err = e.emitRow(qc, res, accs, projCols, row, limit); err != nil {
+					return err
+				}
 			}
 			continue
 		}
@@ -340,39 +515,76 @@ func (e *Engine) execGeneral(plans []colPlan, res *Result, accs []*aggAcc, projC
 			}
 			p := &plans[i]
 			if first {
-				if p.pred.NullOnly {
-					matched = scan.FilterNullSel(p.col.Nulls(), s.lo, s.hi, sel)
-				} else {
-					matched = scan.FilterSel(p.col.Codes(), s.lo, s.hi, p.pred.R, p.col.Nulls(), 0, sel)
+				if err := filterSegChunked(tk, p, s, sel); err != nil {
+					return err
 				}
+				matched = sel.Len()
 				res.Stats.RowsScanned += s.hi - s.lo
 				first = false
 				continue
 			}
 			res.Stats.RowsScanned += sel.Len()
+			if err := tk.tick(sel.Len()); err != nil {
+				return err
+			}
 			matched = refineSel(sel, p)
 			if matched == 0 {
 				break
 			}
 		}
+		// The matched rows were already charged by the filter passes above;
+		// the consumption loops below only need latency checkpoints
+		// (qc.check(0)) so huge match sets stay cancelable.
 		if grp != nil {
 			res.Count += matched
-			for _, row := range sel.Rows() {
-				grp.addRow(int(row))
+			for rows := sel.Rows(); len(rows) > 0; {
+				chunk := rows
+				if len(chunk) > checkpointRows {
+					chunk = chunk[:checkpointRows]
+				}
+				for _, row := range chunk {
+					grp.addRow(int(row))
+				}
+				rows = rows[len(chunk):]
+				if err := qc.check(0); err != nil {
+					return err
+				}
+			}
+			if err := qc.checkResult(len(grp.groups)); err != nil {
+				return err
 			}
 			continue
 		}
 		if len(projCols) == 0 {
 			res.Count += matched
-			for _, row := range sel.Rows() {
-				for _, a := range accs {
-					a.addRow(int(row))
+			for rows := sel.Rows(); len(rows) > 0; {
+				chunk := rows
+				if len(chunk) > checkpointRows {
+					chunk = chunk[:checkpointRows]
+				}
+				for _, row := range chunk {
+					for _, a := range accs {
+						a.addRow(int(row))
+					}
+				}
+				rows = rows[len(chunk):]
+				if err := qc.check(0); err != nil {
+					return err
 				}
 			}
 			continue
 		}
-		for _, row := range sel.Rows() {
-			if done = e.emitRow(res, accs, projCols, int(row), limit); done {
+		for i, row := range sel.Rows() {
+			if i%checkpointRows == checkpointRows-1 {
+				if err := qc.check(0); err != nil {
+					return err
+				}
+			}
+			var err error
+			if done, err = e.emitRow(qc, res, accs, projCols, int(row), limit); err != nil {
+				return err
+			}
+			if done {
 				break
 			}
 		}
@@ -382,8 +594,32 @@ func (e *Engine) execGeneral(plans []colPlan, res *Result, accs []*aggAcc, projC
 	return nil
 }
 
-// emitRow appends one projected row; returns true when the limit is hit.
-func (e *Engine) emitRow(res *Result, accs []*aggAcc, projCols []*storage.Column, row, limit int) bool {
+// filterSegChunked runs the segment's first predicate filter in
+// checkpoint-sized chunks, appending matches to sel.
+func filterSegChunked(tk *ticker, p *colPlan, s seg, sel *bitvec.SelVec) error {
+	for lo := s.lo; lo < s.hi; lo += checkpointRows {
+		hi := lo + checkpointRows
+		if hi > s.hi {
+			hi = s.hi
+		}
+		if p.pred.NullOnly {
+			scan.FilterNullSel(p.col.Nulls(), lo, hi, sel)
+		} else {
+			scan.FilterSel(p.col.Codes(), lo, hi, p.pred.R, p.col.Nulls(), 0, sel)
+		}
+		if err := tk.tick(hi - lo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitRow appends one projected row; done reports the limit being hit,
+// err a blown result budget.
+func (e *Engine) emitRow(qc *qctx, res *Result, accs []*aggAcc, projCols []*storage.Column, row, limit int) (done bool, err error) {
+	if err := qc.checkResult(len(res.Rows) + 1); err != nil {
+		return true, err
+	}
 	vals := make([]storage.Value, len(projCols))
 	for ci, col := range projCols {
 		vals[ci] = col.Value(row)
@@ -393,7 +629,7 @@ func (e *Engine) emitRow(res *Result, accs []*aggAcc, projCols []*storage.Column
 	for _, a := range accs {
 		a.addRow(row)
 	}
-	return limit > 0 && len(res.Rows) >= limit
+	return limit > 0 && len(res.Rows) >= limit, nil
 }
 
 // refineSel keeps only selected rows matching plan p's predicate; returns

@@ -31,6 +31,14 @@ type engMetrics struct {
 	skippersDeclined *obs.Counter
 	latency          *obs.Histogram
 	selectivity      *obs.Histogram
+
+	// Resilience instrumentation.
+	canceled    *obs.Counter // queries stopped by context cancellation
+	overBudget  *obs.Counter // queries stopped by a resource limit
+	panics      *obs.Counter // execution panics recovered
+	retries     *obs.Counter // queries retried after quarantine
+	quarantines *obs.Counter // skippers pulled from service
+	inflight    *obs.Gauge   // queries currently executing
 }
 
 // newEngMetrics resolves the per-table metric handles in reg.
@@ -46,6 +54,12 @@ func newEngMetrics(reg *obs.Registry, table string) engMetrics {
 		skippersDeclined: reg.Counter("adskip_skippers_declined_total", "Predicate columns where the skipper declined.", t),
 		latency:          reg.Histogram("adskip_query_seconds", "Query wall-clock latency.", queryLatencyBounds, t),
 		selectivity:      reg.Histogram("adskip_query_selectivity", "Fraction of table rows matching per query.", selectivityBounds, t),
+		canceled:         reg.Counter("adskip_queries_canceled_total", "Queries stopped by context cancellation.", t),
+		overBudget:       reg.Counter("adskip_queries_over_budget_total", "Queries stopped by a resource limit.", t),
+		panics:           reg.Counter("adskip_panics_recovered_total", "Execution panics recovered into errors.", t),
+		retries:          reg.Counter("adskip_query_retries_total", "Queries retried after skipper quarantine.", t),
+		quarantines:      reg.Counter("adskip_skipper_quarantines_total", "Skippers pulled from service after a failure.", t),
+		inflight:         reg.Gauge("adskip_inflight_queries", "Queries currently executing.", t),
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"adskip/internal/bitvec"
-	"adskip/internal/scan"
 	"adskip/internal/storage"
 )
 
@@ -13,18 +12,37 @@ import (
 // the order column's codes (code order equals value order; NULLs last),
 // truncates to the limit, then materializes. Aggregates, if present, fold
 // over the full match set before truncation.
-func (e *Engine) execOrdered(plans []colPlan, res *Result, accs []*aggAcc, projCols []*storage.Column, orderCol *storage.Column, desc bool, limit, n int) error {
+func (e *Engine) execOrdered(qc *qctx, plans []colPlan, res *Result, accs []*aggAcc, projCols []*storage.Column, orderCol *storage.Column, desc bool, limit, n int) error {
 	segs := []seg{{lo: 0, hi: n}}
 	for i := range plans {
 		segs = intersectPlan(segs, &plans[i], uint64(1)<<uint(i), n)
 	}
 
+	tk := &ticker{qc: qc}
 	var rows []uint32
 	sel := bitvec.NewSelVec(1024)
 	for _, s := range segs {
+		if err := qc.check(0); err != nil {
+			return err
+		}
 		if s.needEval == 0 {
-			for r := s.lo; r < s.hi; r++ {
-				rows = append(rows, uint32(r))
+			// Covered gather still materializes row ids (and the rows are
+			// read again for sort + projection), so chunk and charge it.
+			for lo := s.lo; lo < s.hi; {
+				end := lo + checkpointRows
+				if end > s.hi {
+					end = s.hi
+				}
+				for r := lo; r < end; r++ {
+					rows = append(rows, uint32(r))
+				}
+				if err := tk.tick(end - lo); err != nil {
+					return err
+				}
+				if err := qc.checkResult(len(rows)); err != nil {
+					return err
+				}
+				lo = end
 			}
 			continue
 		}
@@ -36,24 +54,33 @@ func (e *Engine) execOrdered(plans []colPlan, res *Result, accs []*aggAcc, projC
 			}
 			p := &plans[i]
 			if first {
-				if p.pred.NullOnly {
-					scan.FilterNullSel(p.col.Nulls(), s.lo, s.hi, sel)
-				} else {
-					scan.FilterSel(p.col.Codes(), s.lo, s.hi, p.pred.R, p.col.Nulls(), 0, sel)
+				if err := filterSegChunked(tk, p, s, sel); err != nil {
+					return err
 				}
 				res.Stats.RowsScanned += s.hi - s.lo
 				first = false
 				continue
 			}
 			res.Stats.RowsScanned += sel.Len()
+			if err := tk.tick(sel.Len()); err != nil {
+				return err
+			}
 			if refineSel(sel, p) == 0 {
 				break
 			}
 		}
 		rows = append(rows, sel.Rows()...)
+		if err := qc.checkResult(len(rows)); err != nil {
+			return err
+		}
 	}
 
-	for _, r := range rows {
+	for i, r := range rows {
+		if i%checkpointRows == checkpointRows-1 {
+			if err := qc.check(0); err != nil {
+				return err
+			}
+		}
 		for _, a := range accs {
 			a.addRow(int(r))
 		}
@@ -82,7 +109,12 @@ func (e *Engine) execOrdered(plans []colPlan, res *Result, accs []*aggAcc, projC
 	if limit > 0 && len(rows) > limit {
 		rows = rows[:limit]
 	}
-	for _, r := range rows {
+	for i, r := range rows {
+		if i%checkpointRows == checkpointRows-1 {
+			if err := qc.check(0); err != nil {
+				return err
+			}
+		}
 		vals := make([]storage.Value, len(projCols))
 		for ci, col := range projCols {
 			vals[ci] = col.Value(int(r))

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"adskip/internal/core"
+	"adskip/internal/faultinject"
 	"adskip/internal/scan"
 )
 
@@ -13,13 +14,19 @@ import (
 // partial counts, statistics, and zone observations merge losslessly
 // (counting is associative, observations are per-zone). Results are
 // therefore bit-identical to the serial path.
+//
+// Every worker goroutine recovers its own panics into an error — panics
+// cannot cross goroutines, so an unrecovered worker panic would kill the
+// process. Workers also share the query's qctx: kernels run in
+// checkpoint-sized chunks, and the first cancellation or budget failure
+// latches so sibling workers abandon their slices at their next tick.
 
 // minRowsPerWorker keeps tiny scans serial: goroutine fan-out only pays
 // off when each worker gets substantial contiguous work.
 const minRowsPerWorker = 1 << 16
 
 // parallelCountFull counts matches over [0, n) with p workers.
-func (e *Engine) parallelCountFull(p *colPlan, n, workers int) int {
+func (e *Engine) parallelCountFull(qc *qctx, p *colPlan, n, workers int) (int, error) {
 	codes := p.col.Codes()
 	nulls := p.col.Nulls()
 	count := func(lo, hi int) int {
@@ -29,24 +36,32 @@ func (e *Engine) parallelCountFull(p *colPlan, n, workers int) int {
 		return scan.CountRanges(codes, lo, hi, p.pred.R, nulls, 0)
 	}
 	if workers <= 1 || n < minRowsPerWorker*2 {
-		return count(0, n)
+		return countChunks(&ticker{qc: qc}, 0, n, count)
 	}
 	counts := make([]int, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := w*n/workers, (w+1)*n/workers
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			counts[w] = count(lo, hi)
+			defer recoverToError(&errs[w])
+			if faultinject.Enabled() && faultinject.Fire(faultinject.WorkerPanic) {
+				panic(faultinject.PanicValue)
+			}
+			counts[w], errs[w] = countChunks(&ticker{qc: qc}, lo, hi, count)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if err := firstWorkerError(errs); err != nil {
+		return 0, err
+	}
 	total := 0
 	for _, c := range counts {
 		total += c
 	}
-	return total
+	return total, nil
 }
 
 // zoneWork is one worker's slice of the candidate list.
@@ -55,19 +70,20 @@ type zoneWork struct {
 	count int
 	obs   []core.ZoneObservation
 	stats ExecStats
+	err   error
 }
 
 // parallelCountZones executes the candidate zones across workers and
 // returns the merged count, observations (in candidate order), and stats.
-func (e *Engine) parallelCountZones(p *colPlan, zones []core.CandidateZone, workers int) (int, []core.ZoneObservation, ExecStats) {
+func (e *Engine) parallelCountZones(qc *qctx, p *colPlan, zones []core.CandidateZone, workers int) (int, []core.ZoneObservation, ExecStats, error) {
 	totalRows := 0
 	for _, z := range zones {
 		totalRows += z.Hi - z.Lo
 	}
 	if workers <= 1 || totalRows < minRowsPerWorker*2 {
 		w := zoneWork{zones: zones}
-		e.scanZoneGroup(p, &w)
-		return w.count, w.obs, w.stats
+		e.scanZoneGroup(qc, p, &w)
+		return w.count, w.obs, w.stats, w.err
 	}
 	// Partition candidates into contiguous groups of ~equal row volume.
 	groups := make([]zoneWork, 0, workers)
@@ -85,10 +101,21 @@ func (e *Engine) parallelCountZones(p *colPlan, zones []core.CandidateZone, work
 		wg.Add(1)
 		go func(w *zoneWork) {
 			defer wg.Done()
-			e.scanZoneGroup(p, w)
+			defer recoverToError(&w.err)
+			if faultinject.Enabled() && faultinject.Fire(faultinject.WorkerPanic) {
+				panic(faultinject.PanicValue)
+			}
+			e.scanZoneGroup(qc, p, w)
 		}(&groups[g])
 	}
 	wg.Wait()
+	errs := make([]error, len(groups))
+	for g := range groups {
+		errs[g] = groups[g].err
+	}
+	if err := firstWorkerError(errs); err != nil {
+		return 0, nil, ExecStats{}, err
+	}
 	count := 0
 	var obs []core.ZoneObservation
 	var stats ExecStats
@@ -98,14 +125,18 @@ func (e *Engine) parallelCountZones(p *colPlan, zones []core.CandidateZone, work
 		stats.RowsScanned += g.stats.RowsScanned
 		stats.RowsCovered += g.stats.RowsCovered
 	}
-	return count, obs, stats
+	return count, obs, stats, nil
 }
 
 // scanZoneGroup runs the fast-count kernels over one group of candidate
-// zones, accumulating into w.
-func (e *Engine) scanZoneGroup(p *colPlan, w *zoneWork) {
+// zones, accumulating into w. Counting kernels are chunked at checkpoint
+// granularity; the statistics kernel runs whole-zone (its partitions must
+// be exact) and ticks afterward — zones are bounded by MaxZoneRows, so
+// the overshoot is bounded too.
+func (e *Engine) scanZoneGroup(qc *qctx, p *colPlan, w *zoneWork) {
 	codes := p.col.Codes()
 	nulls := p.col.Nulls()
+	tk := &ticker{qc: qc}
 	for _, c := range w.zones {
 		ob := core.ZoneObservation{ID: c.ID, Lo: c.Lo, Hi: c.Hi, Covered: c.Covered}
 		switch {
@@ -113,18 +144,34 @@ func (e *Engine) scanZoneGroup(p *colPlan, w *zoneWork) {
 			w.count += c.Hi - c.Lo
 			w.stats.RowsCovered += c.Hi - c.Lo
 		case p.pred.NullOnly:
-			m := scan.CountNulls(nulls, c.Lo, c.Hi)
+			m, err := countChunks(tk, c.Lo, c.Hi, func(lo, hi int) int {
+				return scan.CountNulls(nulls, lo, hi)
+			})
+			if err != nil {
+				w.err = err
+				return
+			}
 			w.count += m
 			w.stats.RowsScanned += c.Hi - c.Lo
 			ob.Matched = m
 		case c.WantStats:
 			m, stats := scan.CountWithStats(codes, c.Lo, c.Hi, p.pred.R, nulls, 0, c.StatParts)
+			if err := tk.tick(c.Hi - c.Lo); err != nil {
+				w.err = err
+				return
+			}
 			w.count += m
 			w.stats.RowsScanned += c.Hi - c.Lo
 			ob.Matched = m
 			ob.Stats = stats
 		default:
-			m := scan.CountRanges(codes, c.Lo, c.Hi, p.pred.R, nulls, 0)
+			m, err := countChunks(tk, c.Lo, c.Hi, func(lo, hi int) int {
+				return scan.CountRanges(codes, lo, hi, p.pred.R, nulls, 0)
+			})
+			if err != nil {
+				w.err = err
+				return
+			}
 			w.count += m
 			w.stats.RowsScanned += c.Hi - c.Lo
 			ob.Matched = m

@@ -20,6 +20,8 @@ const (
 	EventTailFold                      // append tail folded into zones
 	EventSkipperBuilt                  // skipping metadata built on a column
 	EventSkipperLoad                   // learned metadata restored from snapshot
+	EventQuarantine                    // skipper failed (panic/corruption); column falls back to full scans
+	EventRebuild                       // quarantined metadata rebuilt from base data
 )
 
 // String names the kind.
@@ -39,6 +41,10 @@ func (k EventKind) String() string {
 		return "skipper-built"
 	case EventSkipperLoad:
 		return "skipper-load"
+	case EventQuarantine:
+		return "quarantine"
+	case EventRebuild:
+		return "rebuild"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}

@@ -1,22 +1,39 @@
 package sql
 
-import "testing"
+import (
+	"testing"
+
+	"adskip/internal/engine"
+	"adskip/internal/storage"
+	"adskip/internal/table"
+)
+
+// fuzzSeeds is shared by FuzzParse and FuzzExec: hand-picked parser edge
+// cases plus the example queries the demo REPL documents (adapted to the
+// fuzz table's column names), so mutation starts from realistic SQL.
+var fuzzSeeds = []string{
+	"SELECT * FROM t",
+	"SELECT COUNT(*), SUM(a) FROM t WHERE a BETWEEN 1 AND 2 GROUP BY b LIMIT 3",
+	"SELECT a FROM t WHERE (a < 1 OR a > 2) AND b IS NOT NULL ORDER BY a DESC",
+	"EXPLAIN SELECT a FROM t WHERE s IN ('x', 'it''s') AND f >= -2.5e3",
+	"SELECT FROM WHERE AND",
+	"SELECT 'unterminated",
+	"SELECT a FROM t WHERE a = \x00",
+	"((((((((((",
+	// REPL quickstart examples (see cmd/adskip-demo).
+	"SELECT COUNT(*) FROM t WHERE a BETWEEN 1000 AND 2000",
+	"SELECT b, COUNT(*) FROM t WHERE (a < 100 OR a > 900) GROUP BY b LIMIT 5",
+	"EXPLAIN SELECT COUNT(*) FROM t WHERE a < 1000",
+	"EXPLAIN ANALYZE SELECT COUNT(*) FROM t WHERE a < 1000",
+	"SELECT MIN(a), MAX(a), AVG(f) FROM t WHERE s = 'oslo'",
+	"SELECT a, f FROM t WHERE f IS NULL ORDER BY a LIMIT 10",
+}
 
 // FuzzParse exercises the lexer and parser with arbitrary input: they must
 // never panic, and any statement that parses must render to a canonical
 // form that re-parses to itself.
 func FuzzParse(f *testing.F) {
-	seeds := []string{
-		"SELECT * FROM t",
-		"SELECT COUNT(*), SUM(a) FROM t WHERE a BETWEEN 1 AND 2 GROUP BY b LIMIT 3",
-		"SELECT a FROM t WHERE (a < 1 OR a > 2) AND b IS NOT NULL ORDER BY a DESC",
-		"EXPLAIN SELECT a FROM t WHERE s IN ('x', 'it''s') AND f >= -2.5e3",
-		"SELECT FROM WHERE AND",
-		"SELECT 'unterminated",
-		"SELECT a FROM t WHERE a = \x00",
-		"((((((((((",
-	}
-	for _, s := range seeds {
+	for _, s := range fuzzSeeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, input string) {
@@ -31,6 +48,61 @@ func FuzzParse(f *testing.F) {
 		}
 		if stmt2.String() != rendered {
 			t.Fatalf("unstable canonical form: %q -> %q", rendered, stmt2.String())
+		}
+	})
+}
+
+// FuzzExec drives the full pipeline — lex, parse, plan, execute — with
+// arbitrary SQL against a real engine. Inputs that fail to parse or plan
+// are fine; anything that executes must return without panicking. This is
+// the fuzz-level guarantee behind the engine's panic isolation: malformed
+// metadata access, odd aggregate/projection combinations, and degenerate
+// predicates must surface as errors, never crashes.
+func FuzzExec(f *testing.F) {
+	tb, err := table.New("t", table.Schema{
+		{Name: "a", Type: storage.Int64},
+		{Name: "f", Type: storage.Float64},
+		{Name: "s", Type: storage.String},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	words := []string{"oslo", "rome", "cairo"}
+	for i := 0; i < 512; i++ {
+		fv := storage.FloatValue(float64(i) / 3)
+		if i%17 == 0 {
+			fv = storage.NullValue(storage.Float64)
+		}
+		err := tb.AppendRow(storage.IntValue(int64(i%97)), fv,
+			storage.StringValue(words[i%len(words)]))
+		if err != nil {
+			f.Fatal(err)
+		}
+	}
+	e := engine.New(tb, engine.Options{Policy: engine.PolicyAdaptive})
+	if err := e.EnableSkipping("a", "f"); err != nil {
+		f.Fatal(err)
+	}
+
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		// Cap pathological inputs; the parser is what we are fuzzing, not
+		// gigabyte allocations.
+		if len(input) > 1<<12 {
+			input = input[:1<<12]
+		}
+		res, err := Exec(e, input)
+		if err != nil {
+			return
+		}
+		if res == nil {
+			t.Fatalf("nil result with nil error for %q", input)
+		}
+		// Whatever executed, the engine must still be serviceable.
+		if _, err := Exec(e, "SELECT COUNT(*) FROM t"); err != nil {
+			t.Fatalf("engine unusable after %q: %v", input, err)
 		}
 	})
 }

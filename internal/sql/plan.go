@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -86,16 +87,27 @@ func coerce(v storage.Value, want storage.Type) (storage.Value, error) {
 // the one-call convenience path used by the demo REPL and examples.
 // EXPLAIN statements return the plan as rows of a single "plan" column.
 func Exec(e *engine.Engine, query string) (*engine.Result, error) {
+	return ExecContext(context.Background(), e, query)
+}
+
+// ExecContext is Exec under a context: execution honors ctx's cancellation
+// and deadline at the engine's cooperative checkpoints.
+func ExecContext(ctx context.Context, e *engine.Engine, query string) (*engine.Result, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return ExecParsed(e, stmt)
+	return ExecParsedContext(ctx, e, stmt)
 }
 
 // ExecParsed plans and executes an already-parsed statement (used by
 // multi-table catalogs that route by stmt.Table before executing).
 func ExecParsed(e *engine.Engine, stmt Statement) (*engine.Result, error) {
+	return ExecParsedContext(context.Background(), e, stmt)
+}
+
+// ExecParsedContext is ExecParsed under a context.
+func ExecParsedContext(ctx context.Context, e *engine.Engine, stmt Statement) (*engine.Result, error) {
 	q, err := Plan(stmt, e.Table())
 	if err != nil {
 		return nil, err
@@ -119,5 +131,5 @@ func ExecParsed(e *engine.Engine, stmt Statement) (*engine.Result, error) {
 		res.Count = len(res.Rows)
 		return res, nil
 	}
-	return e.Query(q)
+	return e.QueryContext(ctx, q)
 }

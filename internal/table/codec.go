@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"adskip/internal/faultinject"
 	"adskip/internal/storage"
 )
 
@@ -88,9 +89,12 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	if err := bw.Flush(); err != nil {
 		return cw.n, err
 	}
-	// Trailing checksum (not itself checksummed).
+	// Trailing checksum (not itself checksummed). The chaos hook flips a
+	// checksum byte so loads of the snapshot exercise the ErrChecksum
+	// failure-atomic path.
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	faultinject.Corrupt(faultinject.CodecCorrupt, sum[:])
 	if _, err := w.Write(sum[:]); err != nil {
 		return cw.n, err
 	}
