@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"time"
 
 	"adskip/internal/adaptive"
 	"adskip/internal/core"
@@ -35,6 +37,7 @@ import (
 	"adskip/internal/sql"
 	"adskip/internal/storage"
 	"adskip/internal/table"
+	"adskip/internal/telemetry"
 )
 
 // Type is a column's logical type.
@@ -93,9 +96,16 @@ type Result = engine.Result
 type Metrics = obs.Registry
 
 // QueryTrace is the per-query execution trace attached to Result.Trace:
-// phase timings (plan → metadata probe → scan → feedback) and the
-// skipping decision each predicate column's skipper made.
+// phase timings (plan → metadata probe → scan → feedback), the
+// hierarchical span tree (QueryTrace.Root), and the skipping decision each
+// predicate column's skipper made.
 type QueryTrace = obs.QueryTrace
+
+// SkipmapTable is one table's skipping-effectiveness snapshot: per-column
+// structure state, quarantine status, cumulative prune counters, and
+// per-zone hit/miss detail for introspectable skippers. Served by the
+// telemetry server's /skipmap endpoint and DB.Skipmap.
+type SkipmapTable = obs.SkipmapTable
 
 // AdaptationEvent is one structural or arbitration change to a column's
 // skipping metadata (zone split/merge, skipping disabled/enabled, tail
@@ -135,6 +145,13 @@ type Options struct {
 	// this DB (0 = unbounded). Excess queries wait for admission and
 	// honor their context while waiting.
 	MaxConcurrentQueries int
+	// TraceRingSize is how many recent query traces the DB retains for
+	// DB.Traces and the telemetry server's /traces endpoint (default 256).
+	TraceRingSize int
+	// SlowQueryThreshold flags queries whose wall clock meets or exceeds
+	// it: their traces are marked slow and copied to the slow-query log
+	// (DB.SlowTraces, /slow). Zero disables the slow-query log.
+	SlowQueryThreshold time.Duration
 }
 
 // ColumnDef defines one column of a new table.
@@ -147,13 +164,22 @@ type ColumnDef struct {
 func Col(name string, typ Type) ColumnDef { return ColumnDef{Name: name, Type: typ} }
 
 // DB is a catalog of tables sharing one skipping configuration and one
-// observability plane (metrics registry + adaptation-event log).
+// observability plane (metrics registry, adaptation-event log, trace
+// rings, and an optional embedded telemetry server).
 type DB struct {
 	opts      Options
-	engines   map[string]*engine.Engine
 	reg       *obs.Registry
 	events    *obs.EventLog
 	admission *engine.Admission
+	traces    *obs.TraceRing
+	slow      *obs.TraceRing
+
+	// mu guards the catalog and the telemetry handle: the telemetry
+	// server's Skipmap/trace closures read engines concurrently with
+	// CreateTable/LoadTable/LoadCSV.
+	mu      sync.RWMutex
+	engines map[string]*engine.Engine
+	telem   *telemetry.Server
 }
 
 // DB-level errors.
@@ -170,21 +196,106 @@ func Open(opts Options) *DB {
 		reg:       obs.NewRegistry(),
 		events:    obs.NewEventLog(0),
 		admission: engine.NewAdmission(opts.MaxConcurrentQueries),
+		traces:    obs.NewTraceRing(opts.TraceRingSize),
+		slow:      obs.NewTraceRing(opts.TraceRingSize),
 	}
 }
 
-// engineOptions maps DB options onto per-table engine options.
+// engineOptions maps DB options onto per-table engine options. All tables
+// share the DB's trace rings, so /traces and DB.Traces interleave queries
+// across the whole catalog in arrival order.
 func (db *DB) engineOptions() engine.Options {
 	return engine.Options{
-		Policy:         db.opts.Policy,
-		StaticZoneSize: db.opts.StaticZoneSize,
-		Adaptive:       db.opts.Adaptive,
-		Parallelism:    db.opts.Parallelism,
-		Metrics:        db.reg,
-		Events:         db.events,
-		Limits:         db.opts.Limits,
-		Admission:      db.admission,
+		Policy:             db.opts.Policy,
+		StaticZoneSize:     db.opts.StaticZoneSize,
+		Adaptive:           db.opts.Adaptive,
+		Parallelism:        db.opts.Parallelism,
+		Metrics:            db.reg,
+		Events:             db.events,
+		Limits:             db.opts.Limits,
+		Admission:          db.admission,
+		Traces:             db.traces,
+		SlowTraces:         db.slow,
+		SlowQueryThreshold: db.opts.SlowQueryThreshold,
 	}
+}
+
+// Traces returns the most recent query traces across all tables,
+// oldest-first (bounded ring; see Options.TraceRingSize).
+func (db *DB) Traces() []*QueryTrace { return db.traces.Snapshot() }
+
+// SlowTraces returns the retained slow-query traces, oldest-first. Empty
+// unless Options.SlowQueryThreshold is set.
+func (db *DB) SlowTraces() []*QueryTrace { return db.slow.Snapshot() }
+
+// Skipmap returns a skipping-effectiveness snapshot for every table,
+// sorted by table name. maxZones caps the per-zone detail per column
+// (<= 0 returns every zone); counters are cumulative since each skipper
+// was built.
+func (db *DB) Skipmap(maxZones int) []SkipmapTable {
+	db.mu.RLock()
+	engines := make([]*engine.Engine, 0, len(db.engines))
+	for _, e := range db.engines {
+		engines = append(engines, e)
+	}
+	db.mu.RUnlock()
+	out := make([]SkipmapTable, 0, len(engines))
+	for _, e := range engines {
+		out = append(out, e.Skipmap(maxZones))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
+}
+
+// StartTelemetry starts the embedded telemetry HTTP server on addr
+// ("127.0.0.1:0" when empty — an ephemeral localhost port) and returns
+// the server's base URL. The server exposes /metrics (Prometheus),
+// /metrics.json, /traces, /slow, /skipmap, /events, /runtime, and
+// /debug/pprof/*; it runs until DB.Close. Starting twice is an error.
+func (db *DB) StartTelemetry(addr string) (string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.telem != nil {
+		return "", errors.New("adskip: telemetry server already running")
+	}
+	srv, err := telemetry.Start(telemetry.Options{Addr: addr}, telemetry.Source{
+		Registry:   db.reg,
+		Traces:     db.traces,
+		SlowTraces: db.slow,
+		Events:     db.events.Events,
+		Skipmap:    db.Skipmap,
+	})
+	if err != nil {
+		return "", err
+	}
+	db.telem = srv
+	return srv.URL(), nil
+}
+
+// TelemetryAddr returns the telemetry server's bound listen address, or
+// "" when no server is running.
+func (db *DB) TelemetryAddr() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.telem == nil {
+		return ""
+	}
+	return db.telem.Addr()
+}
+
+// Close releases the DB's background resources: the telemetry server (if
+// started) shuts down along with its runtime collector goroutine. Tables
+// stay readable after Close; only telemetry stops. Safe to call on a DB
+// that never started telemetry.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	srv := db.telem
+	db.telem = nil
+	db.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
 }
 
 // Metrics returns the database's metrics registry, shared by all tables.
@@ -204,7 +315,7 @@ func (db *DB) ExplainAnalyze(query string) ([]string, *Result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	e, ok := db.engines[stmt.Table]
+	e, ok := db.lookup(stmt.Table)
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchTable, stmt.Table)
 	}
@@ -215,9 +326,28 @@ func (db *DB) ExplainAnalyze(query string) ([]string, *Result, error) {
 	return e.ExplainAnalyze(q)
 }
 
+// lookup resolves a table name to its engine under the catalog lock.
+func (db *DB) lookup(name string) (*engine.Engine, bool) {
+	db.mu.RLock()
+	e, ok := db.engines[name]
+	db.mu.RUnlock()
+	return e, ok
+}
+
+// register adds an engine to the catalog; it fails if the name is taken.
+func (db *DB) register(name string, e *engine.Engine) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.engines[name]; dup {
+		return fmt.Errorf("%w: %q", ErrTableExists, name)
+	}
+	db.engines[name] = e
+	return nil
+}
+
 // CreateTable creates a table with the given columns.
 func (db *DB) CreateTable(name string, cols ...ColumnDef) (*Table, error) {
-	if _, dup := db.engines[name]; dup {
+	if _, dup := db.lookup(name); dup {
 		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
 	}
 	schema := make(table.Schema, len(cols))
@@ -229,13 +359,15 @@ func (db *DB) CreateTable(name string, cols ...ColumnDef) (*Table, error) {
 		return nil, err
 	}
 	e := engine.New(tbl, db.engineOptions())
-	db.engines[name] = e
+	if err := db.register(name, e); err != nil {
+		return nil, err
+	}
 	return &Table{eng: e}, nil
 }
 
 // Table returns a handle to an existing table.
 func (db *DB) Table(name string) (*Table, error) {
-	e, ok := db.engines[name]
+	e, ok := db.lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
@@ -244,10 +376,12 @@ func (db *DB) Table(name string) (*Table, error) {
 
 // TableNames lists the catalog in lexicographic order.
 func (db *DB) TableNames() []string {
-	var names []string
+	db.mu.RLock()
+	names := make([]string, 0, len(db.engines))
 	for n := range db.engines {
 		names = append(names, n)
 	}
+	db.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -263,20 +397,26 @@ func (db *DB) Exec(query string) (*Result, error) {
 // deadlines take effect mid-scan. A canceled query returns an error
 // wrapping ErrCanceled.
 func (db *DB) ExecContext(ctx context.Context, query string) (*Result, error) {
+	t0 := time.Now()
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	e, ok := db.engines[stmt.Table]
+	parse := time.Since(t0)
+	e, ok := db.lookup(stmt.Table)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, stmt.Table)
 	}
-	return sql.ExecParsedContext(ctx, e, stmt)
+	res, err := sql.ExecParsedContext(ctx, e, stmt)
+	if res != nil && res.Trace != nil && res.Trace.Root != nil {
+		res.Trace.Root.AttachFirst(&obs.Span{Name: "parse", Start: t0, Duration: parse})
+	}
+	return res, err
 }
 
 // SaveTable serializes a table snapshot to w (binary, checksummed).
 func (db *DB) SaveTable(name string, w io.Writer) error {
-	e, ok := db.engines[name]
+	e, ok := db.lookup(name)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
@@ -291,11 +431,10 @@ func (db *DB) LoadTable(r io.Reader) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, dup := db.engines[tbl.Name()]; dup {
-		return nil, fmt.Errorf("%w: %q", ErrTableExists, tbl.Name())
-	}
 	e := engine.New(tbl, db.engineOptions())
-	db.engines[tbl.Name()] = e
+	if err := db.register(tbl.Name(), e); err != nil {
+		return nil, err
+	}
 	return &Table{eng: e}, nil
 }
 
@@ -305,7 +444,7 @@ type CSVOptions = table.CSVOptions
 // LoadCSV ingests a CSV stream as a new table, inferring column types
 // from a data prefix unless opts.Schema is set.
 func (db *DB) LoadCSV(name string, r io.Reader, opts CSVOptions) (*Table, error) {
-	if _, dup := db.engines[name]; dup {
+	if _, dup := db.lookup(name); dup {
 		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
 	}
 	tbl, err := table.ReadCSV(r, name, opts)
@@ -313,7 +452,9 @@ func (db *DB) LoadCSV(name string, r io.Reader, opts CSVOptions) (*Table, error)
 		return nil, err
 	}
 	e := engine.New(tbl, db.engineOptions())
-	db.engines[name] = e
+	if err := db.register(name, e); err != nil {
+		return nil, err
+	}
 	return &Table{eng: e}, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"adskip/internal/faultinject"
 	"adskip/internal/harness"
 	"adskip/internal/obs"
+	"adskip/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 		metrics    = flag.String("metrics", "", "after the run, dump cumulative engine metrics to stderr: prom|json")
 		chaos      = flag.Bool("chaos", false, "run with deterministic fault injection (worker panics + invariant flips); results must still be correct")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "RNG seed for -chaos probability draws")
+		serve      = flag.String("serve", "", "serve live telemetry (metrics, traces, pprof) on this address while the suite runs, e.g. 127.0.0.1:0")
 	)
 	flag.Parse()
 
@@ -66,6 +68,26 @@ func main() {
 	cfg := harness.Config{
 		Rows: *rows, Queries: *queries, Seed: *seed, StaticZoneRows: *staticZone,
 		Metrics: reg,
+	}
+
+	if *serve != "" {
+		// A telemetry endpoint needs a registry and a trace ring; share
+		// them with every engine the experiments build so /metrics and
+		// /traces reflect the suite live.
+		if cfg.Metrics == nil {
+			cfg.Metrics = obs.NewRegistry()
+		}
+		cfg.Traces = obs.NewTraceRing(0)
+		srv, err := telemetry.Start(telemetry.Options{Addr: *serve}, telemetry.Source{
+			Registry: cfg.Metrics,
+			Traces:   cfg.Traces,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adskip-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "adskip-bench: telemetry at %s\n", srv.URL())
 	}
 
 	var selected []harness.Experiment

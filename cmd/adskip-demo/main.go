@@ -9,6 +9,7 @@
 //	\save <file>         save table "data"
 //	\skipping [col]      describe zone metadata for a column (default v)
 //	\stats               adaptive lifetime counters per column
+//	\top                 live per-column skipping effectiveness
 //	\timeout <dur|off>   cancel statements that run longer than dur
 //	\quarantine          list columns whose metadata failed and was benched
 //	\rebuild [cols]      rebuild quarantined skipping metadata
@@ -31,6 +32,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"adskip/internal/adaptive"
@@ -39,31 +41,59 @@ import (
 	"adskip/internal/sql"
 	"adskip/internal/storage"
 	"adskip/internal/table"
+	"adskip/internal/telemetry"
 	"adskip/internal/workload"
 )
 
 type repl struct {
 	opts    engine.Options
-	eng     *engine.Engine // current table's engine (nil until \gen or \load)
 	out     *bufio.Writer
 	perq    bool          // --metrics: print per-query trace after each statement
 	timeout time.Duration // \timeout: per-statement deadline (0 = none)
+
+	// mu guards eng: the REPL loop swaps it on \gen/\load while the
+	// telemetry server's skipmap closure reads it from HTTP goroutines.
+	mu  sync.Mutex
+	eng *engine.Engine // current table's engine (nil until \gen or \load)
+}
+
+// engine returns the current engine under the lock (nil if none).
+func (r *repl) engine() *engine.Engine {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eng
+}
+
+// skipmap is the telemetry server's /skipmap source.
+func (r *repl) skipmap(maxZones int) []obs.SkipmapTable {
+	e := r.engine()
+	if e == nil {
+		return nil
+	}
+	return []obs.SkipmapTable{e.Skipmap(maxZones)}
 }
 
 func main() {
 	var (
-		policy  = flag.String("policy", "adaptive", "skipping policy: none|static|adaptive|imprint")
-		zone    = flag.Int("static-zone", 65536, "zone size for static policy")
-		metrics = flag.Bool("metrics", false, "print the per-query trace after every statement")
+		policy    = flag.String("policy", "adaptive", "skipping policy: none|static|adaptive|imprint")
+		zone      = flag.Int("static-zone", 65536, "zone size for static policy")
+		metrics   = flag.Bool("metrics", false, "print the per-query trace after every statement")
+		serve     = flag.Bool("serve", false, "serve live telemetry over HTTP (see -serve-addr)")
+		serveAddr = flag.String("serve-addr", "127.0.0.1:0", "telemetry listen address (with -serve; :0 picks an ephemeral port)")
+		slow      = flag.Duration("slow", 0, "log queries at least this slow to the slow-query ring (0 = off)")
 	)
 	flag.Parse()
 
 	opts := engine.Options{
 		StaticZoneSize: *zone,
-		// One registry and event log for the whole session: \metrics and
-		// \events survive table reloads (attach rebuilds the engine).
-		Metrics: obs.NewRegistry(),
-		Events:  obs.NewEventLog(0),
+		// One registry, event log, and trace rings for the whole session:
+		// \metrics, \events, and the telemetry server survive table
+		// reloads (attach rebuilds the engine).
+		Metrics:            obs.NewRegistry(),
+		Events:             obs.NewEventLog(0),
+		Traces:             obs.NewTraceRing(0),
+		SlowTraces:         obs.NewTraceRing(0),
+		SlowQueryThreshold: *slow,
 	}
 	switch *policy {
 	case "none":
@@ -81,6 +111,22 @@ func main() {
 
 	r := &repl{opts: opts, out: bufio.NewWriter(os.Stdout), perq: *metrics}
 	defer r.out.Flush()
+
+	if *serve {
+		srv, err := telemetry.Start(telemetry.Options{Addr: *serveAddr}, telemetry.Source{
+			Registry:   opts.Metrics,
+			Traces:     opts.Traces,
+			SlowTraces: opts.SlowTraces,
+			Events:     opts.Events.Events,
+			Skipmap:    r.skipmap,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adskip-demo: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(r.out, "telemetry: %s\n", srv.URL())
+	}
 
 	fmt.Fprintf(r.out, "adskip demo — policy=%s. Type \\help for commands.\n", *policy)
 	r.out.Flush()
@@ -120,6 +166,7 @@ func (r *repl) meta(line string) bool {
 \loadcsv <file>     load a CSV file (schema inferred)
 \skipping [col]     describe zone metadata \stats        adaptive counters
 \metrics [json]     dump engine metrics (Prometheus text, or JSON)
+\top                live per-column skipping effectiveness (zones, skip ratio)
 \events [n]         show the last n adaptation events (default 20)
 \trace              toggle per-query trace printing (same as --metrics)
 \timeout <dur|off>  cancel statements running longer than dur (e.g. 500ms)
@@ -197,6 +244,8 @@ SQL: SELECT [cols|aggs] FROM data [WHERE ...] [GROUP BY c] [ORDER BY c [DESC]] [
 		}
 		r.timeout = d
 		fmt.Fprintf(r.out, "statement timeout: %s\n", d)
+	case "\\top":
+		r.top()
 	case "\\quarantine":
 		r.quarantine()
 	case "\\rebuild":
@@ -247,10 +296,13 @@ func (r *repl) gen(dist, rowsStr string) {
 }
 
 func (r *repl) attach(tbl *table.Table) {
-	r.eng = engine.New(tbl, r.opts)
-	if err := r.eng.EnableSkipping(); err != nil {
+	e := engine.New(tbl, r.opts)
+	if err := e.EnableSkipping(); err != nil {
 		fmt.Fprintf(r.out, "error enabling skipping: %v\n", err)
 	}
+	r.mu.Lock()
+	r.eng = e
+	r.mu.Unlock()
 }
 
 func (r *repl) load(path string) {
@@ -372,6 +424,35 @@ func (r *repl) events(n int) {
 			fmt.Fprintf(r.out, " %+d zones", ev.Delta)
 		}
 		fmt.Fprintf(r.out, " (now %d zones)\n", ev.Zones)
+	}
+}
+
+// top renders the live skipmap: one line per skipper-bearing column with
+// cumulative pruning effectiveness — the same data /skipmap serves.
+func (r *repl) top() {
+	if r.eng == nil {
+		fmt.Fprintln(r.out, "no table loaded")
+		return
+	}
+	sm := r.eng.Skipmap(0)
+	if len(sm.Columns) == 0 {
+		fmt.Fprintln(r.out, "no skippers (EnableSkipping first)")
+		return
+	}
+	fmt.Fprintf(r.out, "table %q: %d rows\n", sm.Table, sm.Rows)
+	fmt.Fprintf(r.out, "%-10s %-10s %7s %8s %12s %12s %9s %s\n",
+		"column", "kind", "zones", "probes", "skipped", "candidate", "skip%", "state")
+	for _, c := range sm.Columns {
+		state := "on"
+		switch {
+		case c.Quarantined:
+			state = "quarantined"
+		case !c.Enabled:
+			state = "off"
+		}
+		fmt.Fprintf(r.out, "%-10s %-10s %7d %8d %12d %12d %8.1f%% %s\n",
+			c.Column, c.Kind, c.Zones, c.Probes, c.RowsSkipped, c.CandidateRows,
+			100*c.SkipRatio, state)
 	}
 }
 

@@ -139,9 +139,17 @@ type zone struct {
 	// converged structure scans at plain-kernel speed.
 	statSkip uint16
 	statFail uint8
+	// hits/misses are lifetime prune counters for introspection: hits
+	// count probes where this zone's metadata was useful (skipped or
+	// proven covered), misses count probes that left it a candidate the
+	// scan had to read. Zones pruned at the block level are credited
+	// lazily via block.hits (see flushBlockHits), so the two-level probe
+	// stays O(blocks + overlapping zones). Split children start at zero;
+	// merges sum both sides.
+	hits, misses uint64
 }
 
-const zoneBytes = 8 + 8 + 8 + 8 + 8 + 8 // struct footprint estimate
+const zoneBytes = 8 + 8 + 8 + 8 + 8 + 8 + 16 // struct footprint estimate
 
 // Stats exposes lifetime counters for experiments and introspection.
 type Stats struct {
@@ -165,6 +173,11 @@ const blockZones = 64
 type block struct {
 	min, max int64
 	hasData  bool // any member zone holds a value
+	// hits counts probes that pruned this whole block with one
+	// comparison. Each such probe effectively pruned every member zone;
+	// the credit is attributed to the members lazily (flushBlockHits)
+	// so the block-skip fast path stays a single increment.
+	hits uint64
 }
 
 // Zonemap is an adaptive zonemap over one column. It implements
@@ -261,6 +274,50 @@ func (z *Zonemap) rebuildBlocks() {
 		}
 		z.blocks[bi] = b
 	}
+}
+
+// flushBlockHits folds deferred block-level prune credits into the member
+// zones' hit counters and zeroes the block counters. Must run before any
+// structural change to z.zones (splits, merges, tail folds) — afterwards
+// the block→zone mapping is stale — and before per-zone counters are read
+// (SnapshotZones). O(zones), the same order as the structural operations
+// that require it.
+func (z *Zonemap) flushBlockHits() {
+	for bi := range z.blocks {
+		h := z.blocks[bi].hits
+		if h == 0 {
+			continue
+		}
+		z.blocks[bi].hits = 0
+		lo, hi := bi*blockZones, (bi+1)*blockZones
+		if hi > len(z.zones) {
+			hi = len(z.zones)
+		}
+		for i := lo; i < hi; i++ {
+			z.zones[i].hits += h
+		}
+	}
+}
+
+// SnapshotZones implements core.ZoneIntrospector: a copy of up to max
+// zones' introspection state (all zones when max <= 0), oldest row range
+// first. Lifetime hit/miss counters include block-level prune credits.
+func (z *Zonemap) SnapshotZones(max int) []obs.SkipmapZone {
+	z.flushBlockHits()
+	n := len(z.zones)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]obs.SkipmapZone, n)
+	for i := 0; i < n; i++ {
+		zn := &z.zones[i]
+		out[i] = obs.SkipmapZone{
+			Lo: zn.lo, Hi: zn.hi, Min: zn.min, Max: zn.max,
+			NonNull: zn.nonNull, Heat: zn.heat,
+			Hits: zn.hits, Misses: zn.misses,
+		}
+	}
+	return out
 }
 
 // widenBlock loosens the block containing zone index i to admit code.
@@ -375,6 +432,7 @@ func (z *Zonemap) Prune(r expr.Ranges) core.PruneResult {
 			}
 			prev = z.zones[zHi-1].hi
 			res.RowsSkipped += prev - z.zones[zLo].lo
+			b.hits++ // whole-block prune; member zones credited lazily
 			continue
 		}
 		res.ZonesProbed += zHi - zLo
@@ -394,18 +452,21 @@ func (z *Zonemap) Prune(r expr.Ranges) core.PruneResult {
 				res.RowsSkipped += zn.hi - zn.lo
 				// The probe was useful right now; credit the zone.
 				zn.heat += z.cfg.HeatAlpha * (1 - zn.heat)
+				zn.hits++
 				continue
 			}
 			cand := core.CandidateZone{ID: i, Lo: zn.lo, Hi: zn.hi}
 			if zn.nonNull == zn.hi-zn.lo && r.Covers(zn.min, zn.max) {
 				// The probe proved the whole zone qualifies: useful.
 				zn.heat += z.cfg.HeatAlpha * (1 - zn.heat)
+				zn.hits++
 				cand.Covered = true
 			} else {
 				// The zone will be scanned; this probe bought nothing.
 				// (Heat is maintained here, at probe time, so candidate
 				// runs can merge below without losing the merge signal.)
 				zn.heat -= z.cfg.HeatAlpha * zn.heat
+				zn.misses++
 				if zn.statSkip > 0 {
 					zn.statSkip--
 				} else if parts := z.statParts(zn); parts >= 2 {
@@ -462,9 +523,15 @@ func (z *Zonemap) PruneNulls() core.PruneResult {
 		rows := zn.hi - zn.lo
 		if zn.nonNull == rows {
 			res.RowsSkipped += rows
+			zn.hits++
 			continue
 		}
 		covered := zn.nonNull == 0
+		if covered {
+			zn.hits++
+		} else {
+			zn.misses++
+		}
 		if k := len(res.Zones); k > 0 && res.Zones[k-1].Hi == zn.lo && res.Zones[k-1].Covered == covered {
 			res.Zones[k-1].Hi = zn.hi
 		} else {
@@ -506,6 +573,7 @@ func (z *Zonemap) FoldTail(codes []int64, nulls *bitvec.BitVec) {
 	if z.rows <= z.tailLo {
 		return
 	}
+	z.flushBlockHits()
 	before := len(z.zones)
 	z.appendZones(codes, nulls, z.tailLo, z.rows)
 	z.tailLo = z.rows
@@ -656,4 +724,5 @@ var (
 	_ core.EventEmitter     = (*Zonemap)(nil)
 	_ core.HealthChecker    = (*Zonemap)(nil)
 	_ core.InvariantChecker = (*Zonemap)(nil)
+	_ core.ZoneIntrospector = (*Zonemap)(nil)
 )

@@ -146,6 +146,7 @@ func (z *Zonemap) planSplit(ob core.ZoneObservation, budget int) []zone {
 // in one pass. Plans reference pre-rebuild indices and are disjoint by
 // construction (one observation per zone).
 func (z *Zonemap) applySplits(plans []splitPlan) {
+	z.flushBlockHits()
 	byIdx := make(map[int][]zone, len(plans))
 	added := 0
 	for _, p := range plans {
@@ -181,6 +182,7 @@ type splitPlan struct {
 // k−1 probes per future query and (k−1)·zoneBytes of metadata; the union
 // bounds remain sound.
 func (z *Zonemap) mergeSweep() {
+	z.flushBlockHits()
 	out := z.zones[:0]
 	i := 0
 	for i < len(z.zones) {
@@ -228,9 +230,11 @@ func boundsCompatible(a, b *zone) bool {
 	return union <= w+w/2
 }
 
-// mergeZones returns the sound union of two adjacent zones.
+// mergeZones returns the sound union of two adjacent zones. Lifetime
+// prune counters sum: the union inherits both sides' history.
 func mergeZones(a, b zone) zone {
-	m := zone{lo: a.lo, hi: b.hi, nonNull: a.nonNull + b.nonNull}
+	m := zone{lo: a.lo, hi: b.hi, nonNull: a.nonNull + b.nonNull,
+		hits: a.hits + b.hits, misses: a.misses + b.misses}
 	switch {
 	case a.nonNull == 0:
 		m.min, m.max = b.min, b.max

@@ -113,6 +113,15 @@ type InvariantChecker interface {
 	CheckInvariants(codes []int64, nulls *bitvec.BitVec, exact bool) error
 }
 
+// ZoneIntrospector is implemented by skippers that can expose their
+// per-zone state — bounds plus lifetime prune hit/miss counters — for the
+// skipping-effectiveness heatmap (/skipmap). Snapshotting is a cold-path
+// copy; implementations may cap the returned slice at max entries
+// (max <= 0 means all zones).
+type ZoneIntrospector interface {
+	SnapshotZones(max int) []obs.SkipmapZone
+}
+
 // EventEmitter is implemented by skippers whose metadata changes over time
 // (splits, merges, arbitration flips, tail folds). The engine installs a
 // sink at registration so adaptation events reach the observability

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"adskip/internal/adaptive"
 	"adskip/internal/core"
@@ -80,6 +81,18 @@ type Options struct {
 	// executing queries. Share one controller across engines (the DB
 	// facade does) to bound catalog-wide concurrency.
 	Admission *Admission
+	// Traces receives every completed query trace. When nil, the engine
+	// creates a private ring of obs.DefaultTraceRingSize entries. Share
+	// one ring across engines (the DB facade does) so the telemetry
+	// server sees catalog-wide history.
+	Traces *obs.TraceRing
+	// SlowTraces receives traces of queries exceeding SlowQueryThreshold.
+	// When nil, the engine creates a private ring.
+	SlowTraces *obs.TraceRing
+	// SlowQueryThreshold marks queries whose total wall clock meets or
+	// exceeds it as slow: the trace is flagged, copied to the slow-query
+	// log, and counted. Zero disables the slow-query log.
+	SlowQueryThreshold time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +131,8 @@ type Engine struct {
 	m      engMetrics
 	colM   map[string]*colMetrics
 	trace  *obs.QueryTrace
+	traces *obs.TraceRing
+	slow   *obs.TraceRing
 }
 
 // Errors returned by the engine.
@@ -144,6 +159,14 @@ func New(tbl *table.Table, opts Options) *Engine {
 	if e.events == nil {
 		e.events = obs.NewEventLog(0)
 	}
+	e.traces = opts.Traces
+	if e.traces == nil {
+		e.traces = obs.NewTraceRing(0)
+	}
+	e.slow = opts.SlowTraces
+	if e.slow == nil {
+		e.slow = obs.NewTraceRing(0)
+	}
 	e.m = newEngMetrics(e.reg, tbl.Name())
 	e.colM = make(map[string]*colMetrics)
 	return e
@@ -157,6 +180,13 @@ func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
 // Events returns a chronological copy of the retained adaptation events.
 func (e *Engine) Events() []obs.Event { return e.events.Events() }
+
+// Traces returns the ring of recently completed query traces.
+func (e *Engine) Traces() *obs.TraceRing { return e.traces }
+
+// SlowTraces returns the slow-query log: traces that exceeded
+// Options.SlowQueryThreshold.
+func (e *Engine) SlowTraces() *obs.TraceRing { return e.slow }
 
 // EnableSkipping builds skipping metadata for the named columns (all
 // columns when none are named) according to the engine's policy. String

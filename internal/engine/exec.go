@@ -135,9 +135,11 @@ func (e *Engine) queryOnce(ctx context.Context, q Query) (out *Result, err error
 		}
 	}()
 	qc := e.newQctx(ctx)
-	tr := &obs.QueryTrace{Table: e.tbl.Name(), Start: time.Now()}
+	root := obs.NewSpan("query")
+	tr := &obs.QueryTrace{Table: e.tbl.Name(), Start: root.Start, Root: root}
 	e.trace = tr
 	defer func() { e.trace = nil }()
+	spPlan := root.StartChild("plan")
 	e.syncSkippers()
 	if err := q.Where.Validate(); err != nil {
 		return nil, err
@@ -197,6 +199,7 @@ func (e *Engine) queryOnce(ctx context.Context, q Query) (out *Result, err error
 	}
 
 	tr.Plan = time.Since(tr.Start)
+	spPlan.FinishRows(n, 0, 0)
 
 	// A pre-scan checkpoint so planning-heavy queries still honor limits.
 	if err := qc.check(0); err != nil {
@@ -205,6 +208,7 @@ func (e *Engine) queryOnce(ctx context.Context, q Query) (out *Result, err error
 
 	// Lower predicates per column and probe skippers.
 	tProbe := time.Now()
+	spProbe := root.StartChild("prune")
 	var unsat bool
 	plans, unsat, err = e.plan(q.Where)
 	if err != nil {
@@ -222,6 +226,7 @@ func (e *Engine) queryOnce(ctx context.Context, q Query) (out *Result, err error
 		}
 	}
 	tr.Probe = time.Since(tProbe)
+	spProbe.FinishRows(n, candidateRows(plans), res.Stats.RowsSkipped)
 	e.tracePredicates(tr, plans)
 	if unsat {
 		// A contradiction (or empty interval) on some column: no rows can
@@ -235,6 +240,7 @@ func (e *Engine) queryOnce(ctx context.Context, q Query) (out *Result, err error
 	}
 
 	tScan := time.Now()
+	qc.span = root.StartChild("scan")
 	switch {
 	case grp == nil && len(plans) == 1 && len(projCols) == 0 && countOnly(accs):
 		err = e.execFastCount(qc, &plans[0], res, accs, n)
@@ -256,6 +262,8 @@ func (e *Engine) queryOnce(ctx context.Context, q Query) (out *Result, err error
 	// The executors call skipper.Observe inline; observeTimed charges that
 	// time to the feedback phase, so scan time is the remainder.
 	tr.Scan = time.Since(tScan) - tr.Feedback
+	qc.span.FinishDuration(tr.Scan)
+	qc.span.FinishRows(res.Stats.RowsScanned+res.Stats.RowsCovered, res.Count, 0)
 	out = e.finish(res, accs, grp, q.Limit)
 	e.finishTrace(out, tr, plans, n, q.Limit)
 	return out, nil
@@ -371,6 +379,21 @@ func (e *Engine) plan(where expr.Conj) ([]colPlan, bool, error) {
 	return plans, unsat, nil
 }
 
+// candidateRows sums the rows left inside candidate windows across plans
+// whose skippers participated (the prune stage's "rows out").
+func candidateRows(plans []colPlan) int {
+	total := 0
+	for i := range plans {
+		if !plans[i].active {
+			continue
+		}
+		for _, z := range plans[i].res.Zones {
+			total += z.Hi - z.Lo
+		}
+	}
+	return total
+}
+
 // countOnly reports whether every accumulator is COUNT(*) (data-free).
 func countOnly(accs []*aggAcc) bool {
 	for _, a := range accs {
@@ -431,6 +454,11 @@ type seg struct {
 	needEval uint64
 }
 
+// maxSegmentSpans bounds per-segment child spans: queries whose candidate
+// set fragments into many windows get stage-level timing only, so tracing
+// cost stays independent of zone count.
+const maxSegmentSpans = 16
+
 // execGeneral handles every other query shape: multi-column conjunctions,
 // aggregates over data, and projections. Kernel scans are chunked at
 // checkpoint granularity; covered windows (no kernel work) get one
@@ -443,6 +471,7 @@ func (e *Engine) execGeneral(qc *qctx, plans []colPlan, res *Result, accs []*agg
 
 	tk := &ticker{qc: qc}
 	sel := bitvec.NewSelVec(1024)
+	spanPerSeg := qc.span != nil && len(segs) <= maxSegmentSpans
 	done := false
 	for _, s := range segs {
 		if done {
@@ -451,146 +480,164 @@ func (e *Engine) execGeneral(qc *qctx, plans []colPlan, res *Result, accs []*agg
 		if err := qc.check(0); err != nil {
 			return err
 		}
-		if s.needEval == 0 {
-			// Every row in the window qualifies. Count-only coverage reads
-			// no data and stays checkpoint-free; grouping, aggregation, and
-			// projection all read the covered rows, so they run in
-			// checkpoint-sized chunks like any other scan.
-			if grp != nil {
-				res.Count += s.hi - s.lo
-				res.Stats.RowsCovered += s.hi - s.lo
-				for lo := s.lo; lo < s.hi; {
-					end := lo + checkpointRows
-					if end > s.hi {
-						end = s.hi
-					}
-					grp.addWindow(lo, end)
-					if err := tk.tick(end - lo); err != nil {
-						return err
-					}
-					if err := qc.checkResult(len(grp.groups)); err != nil {
-						return err
-					}
-					lo = end
-				}
-				continue
-			}
-			if len(projCols) == 0 {
-				res.Count += s.hi - s.lo
-				res.Stats.RowsCovered += s.hi - s.lo
-				for lo := s.lo; len(accs) > 0 && lo < s.hi; {
-					end := lo + checkpointRows
-					if end > s.hi {
-						end = s.hi
-					}
-					for _, a := range accs {
-						a.addWindow(lo, end)
-					}
-					if err := tk.tick(end - lo); err != nil {
-						return err
-					}
-					lo = end
-				}
-				continue
-			}
-			for row := s.lo; row < s.hi && !done; row++ {
-				if err := tk.tick(1); err != nil {
-					return err
-				}
-				var err error
-				if done, err = e.emitRow(qc, res, accs, projCols, row, limit); err != nil {
-					return err
-				}
-			}
-			continue
+		var sp *obs.Span
+		if spanPerSeg {
+			sp = qc.span.StartChild(fmt.Sprintf("segment [%d,%d)", s.lo, s.hi))
 		}
-		// Evaluate the first needed predicate into a selection, then
-		// refine with the rest.
-		sel.Reset()
-		first := true
-		matched := 0
-		for i := range plans {
-			if s.needEval&(uint64(1)<<uint(i)) == 0 {
-				continue
-			}
-			p := &plans[i]
-			if first {
-				if err := filterSegChunked(tk, p, s, sel); err != nil {
-					return err
-				}
-				matched = sel.Len()
-				res.Stats.RowsScanned += s.hi - s.lo
-				first = false
-				continue
-			}
-			res.Stats.RowsScanned += sel.Len()
-			if err := tk.tick(sel.Len()); err != nil {
-				return err
-			}
-			matched = refineSel(sel, p)
-			if matched == 0 {
-				break
-			}
+		before := res.Count
+		err := e.execSegment(qc, plans, res, accs, projCols, grp, limit, s, tk, sel, &done)
+		if sp != nil {
+			sp.FinishRows(s.hi-s.lo, res.Count-before, 0)
 		}
-		// The matched rows were already charged by the filter passes above;
-		// the consumption loops below only need latency checkpoints
-		// (qc.check(0)) so huge match sets stay cancelable.
-		if grp != nil {
-			res.Count += matched
-			for rows := sel.Rows(); len(rows) > 0; {
-				chunk := rows
-				if len(chunk) > checkpointRows {
-					chunk = chunk[:checkpointRows]
-				}
-				for _, row := range chunk {
-					grp.addRow(int(row))
-				}
-				rows = rows[len(chunk):]
-				if err := qc.check(0); err != nil {
-					return err
-				}
-			}
-			if err := qc.checkResult(len(grp.groups)); err != nil {
-				return err
-			}
-			continue
-		}
-		if len(projCols) == 0 {
-			res.Count += matched
-			for rows := sel.Rows(); len(rows) > 0; {
-				chunk := rows
-				if len(chunk) > checkpointRows {
-					chunk = chunk[:checkpointRows]
-				}
-				for _, row := range chunk {
-					for _, a := range accs {
-						a.addRow(int(row))
-					}
-				}
-				rows = rows[len(chunk):]
-				if err := qc.check(0); err != nil {
-					return err
-				}
-			}
-			continue
-		}
-		for i, row := range sel.Rows() {
-			if i%checkpointRows == checkpointRows-1 {
-				if err := qc.check(0); err != nil {
-					return err
-				}
-			}
-			var err error
-			if done, err = e.emitRow(qc, res, accs, projCols, int(row), limit); err != nil {
-				return err
-			}
-			if done {
-				break
-			}
+		if err != nil {
+			return err
 		}
 	}
 
 	e.feedbackGeneral(plans, segs)
+	return nil
+}
+
+// execSegment runs one contiguous candidate window: covered fast paths
+// when no predicate needs evaluation, otherwise filter + refine + consume.
+func (e *Engine) execSegment(qc *qctx, plans []colPlan, res *Result, accs []*aggAcc, projCols []*storage.Column, grp *grouper, limit int, s seg, tk *ticker, sel *bitvec.SelVec, done *bool) error {
+	if s.needEval == 0 {
+		// Every row in the window qualifies. Count-only coverage reads
+		// no data and stays checkpoint-free; grouping, aggregation, and
+		// projection all read the covered rows, so they run in
+		// checkpoint-sized chunks like any other scan.
+		if grp != nil {
+			res.Count += s.hi - s.lo
+			res.Stats.RowsCovered += s.hi - s.lo
+			for lo := s.lo; lo < s.hi; {
+				end := lo + checkpointRows
+				if end > s.hi {
+					end = s.hi
+				}
+				grp.addWindow(lo, end)
+				if err := tk.tick(end - lo); err != nil {
+					return err
+				}
+				if err := qc.checkResult(len(grp.groups)); err != nil {
+					return err
+				}
+				lo = end
+			}
+			return nil
+		}
+		if len(projCols) == 0 {
+			res.Count += s.hi - s.lo
+			res.Stats.RowsCovered += s.hi - s.lo
+			for lo := s.lo; len(accs) > 0 && lo < s.hi; {
+				end := lo + checkpointRows
+				if end > s.hi {
+					end = s.hi
+				}
+				for _, a := range accs {
+					a.addWindow(lo, end)
+				}
+				if err := tk.tick(end - lo); err != nil {
+					return err
+				}
+				lo = end
+			}
+			return nil
+		}
+		for row := s.lo; row < s.hi && !*done; row++ {
+			if err := tk.tick(1); err != nil {
+				return err
+			}
+			var err error
+			if *done, err = e.emitRow(qc, res, accs, projCols, row, limit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Evaluate the first needed predicate into a selection, then
+	// refine with the rest.
+	sel.Reset()
+	first := true
+	matched := 0
+	for i := range plans {
+		if s.needEval&(uint64(1)<<uint(i)) == 0 {
+			continue
+		}
+		p := &plans[i]
+		if first {
+			if err := filterSegChunked(tk, p, s, sel); err != nil {
+				return err
+			}
+			matched = sel.Len()
+			res.Stats.RowsScanned += s.hi - s.lo
+			first = false
+			continue
+		}
+		res.Stats.RowsScanned += sel.Len()
+		if err := tk.tick(sel.Len()); err != nil {
+			return err
+		}
+		matched = refineSel(sel, p)
+		if matched == 0 {
+			break
+		}
+	}
+	// The matched rows were already charged by the filter passes above;
+	// the consumption loops below only need latency checkpoints
+	// (qc.check(0)) so huge match sets stay cancelable.
+	if grp != nil {
+		res.Count += matched
+		for rows := sel.Rows(); len(rows) > 0; {
+			chunk := rows
+			if len(chunk) > checkpointRows {
+				chunk = chunk[:checkpointRows]
+			}
+			for _, row := range chunk {
+				grp.addRow(int(row))
+			}
+			rows = rows[len(chunk):]
+			if err := qc.check(0); err != nil {
+				return err
+			}
+		}
+		if err := qc.checkResult(len(grp.groups)); err != nil {
+			return err
+		}
+		return nil
+	}
+	if len(projCols) == 0 {
+		res.Count += matched
+		for rows := sel.Rows(); len(rows) > 0; {
+			chunk := rows
+			if len(chunk) > checkpointRows {
+				chunk = chunk[:checkpointRows]
+			}
+			for _, row := range chunk {
+				for _, a := range accs {
+					a.addRow(int(row))
+				}
+			}
+			rows = rows[len(chunk):]
+			if err := qc.check(0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, row := range sel.Rows() {
+		if i%checkpointRows == checkpointRows-1 {
+			if err := qc.check(0); err != nil {
+				return err
+			}
+		}
+		var err error
+		if *done, err = e.emitRow(qc, res, accs, projCols, int(row), limit); err != nil {
+			return err
+		}
+		if *done {
+			break
+		}
+	}
 	return nil
 }
 

@@ -12,13 +12,9 @@ import (
 // enabled on a column) so the per-query cost is a handful of atomic adds —
 // no registry lookups, no locks, and no allocation on the row-scan path.
 
-// queryLatencyBounds are the query-latency histogram bucket bounds in
-// seconds (1µs .. 10s).
-var queryLatencyBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
-
-// selectivityBounds are the observed-selectivity histogram bucket bounds
-// (fraction of table rows matching).
-var selectivityBounds = []float64{0.0001, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.9, 1}
+// Histogram buckets come from the shared obs defaults (obs.LatencyBuckets,
+// obs.RowCountBuckets, obs.RatioBuckets) so every latency, row-volume, and
+// ratio histogram in the process lines up bucket-for-bucket.
 
 // engMetrics holds the engine-level metric handles, one set per table.
 type engMetrics struct {
@@ -31,6 +27,8 @@ type engMetrics struct {
 	skippersDeclined *obs.Counter
 	latency          *obs.Histogram
 	selectivity      *obs.Histogram
+	scannedPerQuery  *obs.Histogram
+	slowQueries      *obs.Counter
 
 	// Resilience instrumentation.
 	canceled    *obs.Counter // queries stopped by context cancellation
@@ -52,8 +50,10 @@ func newEngMetrics(reg *obs.Registry, table string) engMetrics {
 		zonesProbed:      reg.Counter("adskip_zones_probed_total", "Zone metadata probes performed.", t),
 		skippersUsed:     reg.Counter("adskip_skippers_used_total", "Predicate columns where skipping participated.", t),
 		skippersDeclined: reg.Counter("adskip_skippers_declined_total", "Predicate columns where the skipper declined.", t),
-		latency:          reg.Histogram("adskip_query_seconds", "Query wall-clock latency.", queryLatencyBounds, t),
-		selectivity:      reg.Histogram("adskip_query_selectivity", "Fraction of table rows matching per query.", selectivityBounds, t),
+		latency:          reg.Histogram("adskip_query_seconds", "Query wall-clock latency.", obs.LatencyBuckets(), t),
+		selectivity:      reg.Histogram("adskip_query_selectivity", "Fraction of table rows matching per query.", obs.RatioBuckets(), t),
+		scannedPerQuery:  reg.Histogram("adskip_query_rows_scanned", "Rows read by scan kernels per query.", obs.RowCountBuckets(), t),
+		slowQueries:      reg.Counter("adskip_slow_queries_total", "Queries exceeding the slow-query threshold.", t),
 		canceled:         reg.Counter("adskip_queries_canceled_total", "Queries stopped by context cancellation.", t),
 		overBudget:       reg.Counter("adskip_queries_over_budget_total", "Queries stopped by a resource limit.", t),
 		panics:           reg.Counter("adskip_panics_recovered_total", "Execution panics recovered into errors.", t),
@@ -180,6 +180,20 @@ func (e *Engine) tracePredicates(tr *obs.QueryTrace, plans []colPlan) {
 // metrics. Called with the engine mutex held, at the end of Query.
 func (e *Engine) finishTrace(res *Result, tr *obs.QueryTrace, plans []colPlan, n, limit int) {
 	tr.Total = time.Since(tr.Start)
+	if tr.Root != nil {
+		// The feedback phase interleaves with the scan (Observe calls run
+		// inside the executors), so its span is synthesized after the fact
+		// as a trailing interval of the measured feedback time.
+		if tr.Feedback > 0 {
+			tr.Root.Attach(&obs.Span{
+				Name:     "feedback",
+				Start:    tr.Start.Add(tr.Total - tr.Feedback),
+				Duration: tr.Feedback,
+			})
+		}
+		tr.Root.FinishDuration(tr.Total)
+		tr.Root.FinishRows(n, res.Count, res.Stats.RowsSkipped)
+	}
 	tr.RowsScanned = res.Stats.RowsScanned
 	tr.RowsSkipped = res.Stats.RowsSkipped
 	tr.RowsCovered = res.Stats.RowsCovered
@@ -192,6 +206,12 @@ func (e *Engine) finishTrace(res *Result, tr *obs.QueryTrace, plans []colPlan, n
 		tr.Predicates[0].Matched = res.Count
 	}
 	res.Trace = tr
+	if th := e.opts.SlowQueryThreshold; th > 0 && tr.Total >= th {
+		tr.Slow = true
+		e.m.slowQueries.Inc()
+		e.slow.Append(tr)
+	}
+	e.traces.Append(tr)
 
 	e.m.queries.Inc()
 	e.m.rowsScanned.Add(int64(res.Stats.RowsScanned))
@@ -200,6 +220,7 @@ func (e *Engine) finishTrace(res *Result, tr *obs.QueryTrace, plans []colPlan, n
 	e.m.zonesProbed.Add(int64(res.Stats.ZonesProbed))
 	e.m.skippersUsed.Add(int64(res.Stats.SkippersUsed))
 	e.m.latency.Observe(tr.Total.Seconds())
+	e.m.scannedPerQuery.Observe(float64(res.Stats.RowsScanned))
 	if n > 0 {
 		e.m.selectivity.Observe(float64(res.Count) / float64(n))
 	}

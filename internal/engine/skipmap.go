@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"sort"
+
+	"adskip/internal/core"
+	"adskip/internal/obs"
+)
+
+// Skipmap assembles the table's skipping-effectiveness snapshot for the
+// telemetry server's /skipmap endpoint: per-column structure state,
+// quarantine status, cumulative prune counters, and (for introspectable
+// skippers) per-zone detail capped at maxZones entries per column
+// (maxZones <= 0 returns every zone). The snapshot is taken under the
+// engine mutex, so it is consistent with respect to in-flight queries.
+func (e *Engine) Skipmap(maxZones int) obs.SkipmapTable {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := obs.SkipmapTable{Table: e.tbl.Name(), Rows: e.tbl.NumRows()}
+
+	names := make([]string, 0, len(e.skippers)+len(e.quarantined))
+	for name := range e.skippers {
+		names = append(names, name)
+	}
+	for name := range e.quarantined {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		sc := obs.SkipmapColumn{Column: name}
+		if rec, ok := e.quarantined[name]; ok {
+			sc.Quarantined = true
+			if rec.cause != nil {
+				sc.Quarantine = rec.cause.Error()
+			}
+		}
+		if s, ok := e.skippers[name]; ok {
+			md := s.Metadata()
+			sc.Kind, sc.Zones, sc.Bytes, sc.Enabled = md.Kind, md.Zones, md.Bytes, md.Enabled
+			if zi, ok := s.(core.ZoneIntrospector); ok {
+				sc.ZoneDetail = zi.SnapshotZones(maxZones)
+				if md.Zones > len(sc.ZoneDetail) {
+					sc.ZonesTruncated = md.Zones - len(sc.ZoneDetail)
+				}
+			}
+		}
+		cm := e.colMetrics(name)
+		sc.Probes = cm.probeQueries.Load()
+		sc.Declined = cm.declined.Load()
+		sc.ZoneProbes = cm.zonesProbed.Load()
+		sc.RowsSkipped = cm.rowsSkipped.Load()
+		sc.CandidateRows = cm.candidateRows.Load()
+		sc.CoveredRows = cm.coveredRows.Load()
+		if probed := sc.RowsSkipped + sc.CandidateRows; probed > 0 {
+			sc.SkipRatio = float64(sc.RowsSkipped) / float64(probed)
+		}
+		st.Columns = append(st.Columns, sc)
+	}
+	return st
+}

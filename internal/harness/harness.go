@@ -31,6 +31,10 @@ type Config struct {
 	// so a run's cumulative counters can be dumped afterwards (bench CLI
 	// -metrics flag). Nil keeps each engine's registry private.
 	Metrics *obs.Registry
+	// Traces, when set, collects every experiment query's trace into one
+	// shared ring, so the bench CLI's -serve telemetry endpoint can show
+	// live traces mid-run. Nil keeps traces per-engine.
+	Traces *obs.TraceRing
 }
 
 // WithDefaults fills unset fields.
@@ -205,6 +209,7 @@ func buildEngineFromValues(cfg Config, vals []int64, policy engine.Policy) *engi
 		StaticZoneSize: cfg.StaticZoneRows,
 		Adaptive:       cfg.adaptiveConfig(),
 		Metrics:        cfg.Metrics,
+		Traces:         cfg.Traces,
 	})
 	if err := e.EnableSkipping("v"); err != nil {
 		panic(err)

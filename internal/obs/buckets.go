@@ -1,0 +1,34 @@
+package obs
+
+// Shared default histogram bucket sets. Every histogram in the engine
+// draws from these so dashboards can aggregate across tables and metrics
+// without per-site bucket drift; ad-hoc bounds at call sites are a bug.
+var (
+	// DefLatencyBuckets covers query/stage wall-clock latencies from 1µs
+	// to 10s, one decade per bucket (values in seconds).
+	DefLatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+	// DefRowCountBuckets covers per-query row volumes (rows scanned,
+	// returned, skipped) from 1 to 100M, one decade per bucket.
+	DefRowCountBuckets = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+
+	// DefRatioBuckets covers fractions in [0, 1] (selectivity, skip
+	// ratio), log-spaced at the low end where scan-heavy workloads live.
+	DefRatioBuckets = []float64{0.0001, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.9, 1}
+)
+
+// cloned returns a private copy so callers cannot mutate the shared set.
+func cloned(b []float64) []float64 {
+	out := make([]float64, len(b))
+	copy(out, b)
+	return out
+}
+
+// LatencyBuckets returns a copy of the default latency bucket bounds.
+func LatencyBuckets() []float64 { return cloned(DefLatencyBuckets) }
+
+// RowCountBuckets returns a copy of the default row-count bucket bounds.
+func RowCountBuckets() []float64 { return cloned(DefRowCountBuckets) }
+
+// RatioBuckets returns a copy of the default ratio bucket bounds.
+func RatioBuckets() []float64 { return cloned(DefRatioBuckets) }

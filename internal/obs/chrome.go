@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// chromeEvent is one Chrome trace_event ("X" = complete event). Times are
+// microseconds; chrome://tracing nests events on the same pid/tid by
+// interval containment, which is exactly the span tree's shape.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // start, µs
+	Dur   float64        `json:"dur"` // duration, µs
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the trace_event JSON object format (the array format
+// loads too, but the object form carries metadata).
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the traces' span trees as Chrome trace_event
+// JSON loadable in chrome://tracing (or ui.perfetto.dev). Each query gets
+// its own tid so concurrent queries lay out side by side; timestamps are
+// relative to the earliest trace so the viewport opens on the data.
+func WriteChromeTrace(w io.Writer, traces []*QueryTrace) error {
+	var epoch time.Time
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		// A trace's earliest instant can precede t.Start: the parse span
+		// is stamped before the engine trace exists.
+		start := t.Start
+		if t.Root != nil {
+			start = spanMinStart(t.Root, start)
+		}
+		if epoch.IsZero() || start.Before(epoch) {
+			epoch = start
+		}
+	}
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayUnit: "ms"}
+	for i, t := range traces {
+		if t == nil {
+			continue
+		}
+		tid := i + 1
+		if t.Root != nil {
+			out.TraceEvents = appendChromeSpan(out.TraceEvents, t.Root, epoch, tid, t.Table)
+			continue
+		}
+		// Traces predating span capture still export their phase timings.
+		ts := t.Start
+		for _, ph := range []struct {
+			name string
+			d    time.Duration
+		}{{"plan", t.Plan}, {"probe", t.Probe}, {"scan", t.Scan}, {"feedback", t.Feedback}} {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: ph.name, Cat: t.Table, Phase: "X",
+				TS: micros(ts.Sub(epoch)), Dur: micros(ph.d), PID: 1, TID: tid,
+			})
+			ts = ts.Add(ph.d)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// appendChromeSpan flattens one span subtree into events.
+func appendChromeSpan(evs []chromeEvent, s *Span, epoch time.Time, tid int, cat string) []chromeEvent {
+	s.mu.Lock()
+	ev := chromeEvent{
+		Name: s.Name, Cat: cat, Phase: "X",
+		TS: micros(s.Start.Sub(epoch)), Dur: micros(s.Duration), PID: 1, TID: tid,
+	}
+	if s.RowsIn > 0 || s.RowsOut > 0 || s.RowsSkipped > 0 {
+		ev.Args = map[string]any{
+			"rows_in": s.RowsIn, "rows_out": s.RowsOut, "rows_skipped": s.RowsSkipped,
+		}
+	}
+	s.mu.Unlock()
+	evs = append(evs, ev)
+	for _, c := range s.Children() {
+		evs = appendChromeSpan(evs, c, epoch, tid, cat)
+	}
+	return evs
+}
+
+// spanMinStart returns the earliest start across a span subtree.
+func spanMinStart(s *Span, min time.Time) time.Time {
+	if s.Start.Before(min) {
+		min = s.Start
+	}
+	for _, c := range s.Children() {
+		min = spanMinStart(c, min)
+	}
+	return min
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

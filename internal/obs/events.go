@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -23,6 +24,9 @@ const (
 	EventQuarantine                    // skipper failed (panic/corruption); column falls back to full scans
 	EventRebuild                       // quarantined metadata rebuilt from base data
 )
+
+// MarshalJSON renders the kind by name so event JSON is self-describing.
+func (k EventKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
 
 // String names the kind.
 func (k EventKind) String() string {

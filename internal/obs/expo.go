@@ -42,21 +42,32 @@ func writePromHistogram(w io.Writer, name string, s *series) {
 	cum := int64(0)
 	for i, b := range bounds {
 		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(s.labels, "le", formatFloat(b)), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(s.labelList, "le", formatFloat(b)), cum)
 	}
 	cum += counts[len(counts)-1]
-	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(s.labels, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(s.labelList, "le", "+Inf"), cum)
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(s.h.Sum()))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, s.h.Count())
 }
 
-// mergeLabel appends one label pair to an already-rendered label set.
-func mergeLabel(labels, key, value string) string {
-	pair := fmt.Sprintf("%s=%q", key, value)
-	if labels == "" {
-		return "{" + pair + "}"
+// mergeLabel renders a series' label set with one extra pair inserted in
+// sorted key position, so every series line — including histogram bucket
+// expansions with their "le" label — keeps label keys sorted and the
+// whole exposition stays byte-deterministic.
+func mergeLabel(ls []Label, key, value string) string {
+	merged := make([]Label, 0, len(ls)+1)
+	inserted := false
+	for _, l := range ls {
+		if !inserted && key < l.Key {
+			merged = append(merged, Label{Key: key, Value: value})
+			inserted = true
+		}
+		merged = append(merged, l)
 	}
-	return labels[:len(labels)-1] + "," + pair + "}"
+	if !inserted {
+		merged = append(merged, Label{Key: key, Value: value})
+	}
+	return renderSorted(merged)
 }
 
 // formatFloat renders a float compactly and deterministically.

@@ -129,10 +129,12 @@ func (k metricKind) String() string {
 
 // series is one labeled instance within a family.
 type series struct {
-	labels string // rendered {k="v",...} or ""
-	c      *Counter
-	g      *Gauge
-	h      *Histogram
+	labels    string  // rendered {k="v",...} or ""
+	labelList []Label // sorted by key; retained so exposition can merge
+	// extra labels (a histogram's "le") in sorted key order.
+	c *Counter
+	g *Gauge
+	h *Histogram
 }
 
 // family groups all series of one metric name.
@@ -156,14 +158,20 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
-// renderLabels produces the canonical sorted {k="v",...} form, or "".
-func renderLabels(labels []Label) string {
-	if len(labels) == 0 {
-		return ""
-	}
+// sortLabels returns a copy of labels sorted by key.
+func sortLabels(labels []Label) []Label {
 	ls := make([]Label, len(labels))
 	copy(ls, labels)
 	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// renderSorted produces the canonical {k="v",...} form from an
+// already-sorted label list, or "".
+func renderSorted(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
 	var sb strings.Builder
 	sb.WriteByte('{')
 	for i, l := range ls {
@@ -200,10 +208,11 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.getFamily(name, help, kindCounter)
-	key := renderLabels(labels)
+	ls := sortLabels(labels)
+	key := renderSorted(ls)
 	s, ok := f.series[key]
 	if !ok {
-		s = &series{labels: key, c: &Counter{}}
+		s = &series{labels: key, labelList: ls, c: &Counter{}}
 		f.series[key] = s
 	}
 	return s.c
@@ -214,10 +223,11 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.getFamily(name, help, kindGauge)
-	key := renderLabels(labels)
+	ls := sortLabels(labels)
+	key := renderSorted(ls)
 	s, ok := f.series[key]
 	if !ok {
-		s = &series{labels: key, g: &Gauge{}}
+		s = &series{labels: key, labelList: ls, g: &Gauge{}}
 		f.series[key] = s
 	}
 	return s.g
@@ -230,10 +240,11 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.getFamily(name, help, kindHistogram)
-	key := renderLabels(labels)
+	ls := sortLabels(labels)
+	key := renderSorted(ls)
 	s, ok := f.series[key]
 	if !ok {
-		s = &series{labels: key, h: newHistogram(bounds)}
+		s = &series{labels: key, labelList: ls, h: newHistogram(bounds)}
 		f.series[key] = s
 	}
 	return s.h

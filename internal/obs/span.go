@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Span is one node of a query's hierarchical execution trace: a named
+// stage (parse, plan, prune, scan, a scan chunk, feedback, ...) with a
+// wall-clock interval and row accounting. Spans form a tree rooted at
+// QueryTrace.Root; the same tree backs EXPLAIN ANALYZE's rendering and
+// the telemetry server's /traces endpoint (including the Chrome
+// trace_event export).
+//
+// Concurrency: StartChild and Finish are safe to call from multiple
+// goroutines (parallel scan workers each finish their own child span
+// while siblings are still running), and the renderers (TreeLines,
+// MarshalJSON, the Chrome export) lock per node, so they may run while
+// spans are still being created and finished. Direct field reads are
+// safe once the query has completed; the engine never mutates a trace
+// after attaching it to a result.
+type Span struct {
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	// Duration is zero until Finish.
+	Duration time.Duration `json:"duration_ns"`
+
+	// Row accounting: how many rows entered the stage, how many it
+	// produced (matches, candidates — stage-dependent), and how many it
+	// proved skippable. Zero-valued fields simply were not applicable.
+	RowsIn      int `json:"rows_in,omitempty"`
+	RowsOut     int `json:"rows_out,omitempty"`
+	RowsSkipped int `json:"rows_skipped,omitempty"`
+
+	mu       sync.Mutex
+	children []*Span
+}
+
+// NewSpan starts a root span now.
+func NewSpan(name string) *Span {
+	return &Span{Name: name, Start: time.Now()}
+}
+
+// StartChild starts and attaches a child span now. Safe for concurrent
+// use by parallel workers sharing a parent.
+func (s *Span) StartChild(name string) *Span {
+	c := &Span{Name: name, Start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Attach adds an already-built span (e.g. a synthesized stage whose
+// interval is known only after the fact) as a child.
+func (s *Span) Attach(c *Span) {
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// AttachFirst prepends an already-built span, used by the SQL layer to
+// slot the parse stage in front of the engine's plan/prune/scan children.
+func (s *Span) AttachFirst(c *Span) {
+	s.mu.Lock()
+	s.children = append([]*Span{c}, s.children...)
+	s.mu.Unlock()
+}
+
+// Finish stamps the span's duration. Calling Finish twice keeps the
+// first stamp.
+func (s *Span) Finish() {
+	s.mu.Lock()
+	if s.Duration == 0 {
+		s.Duration = time.Since(s.Start)
+	}
+	s.mu.Unlock()
+}
+
+// FinishDuration stamps an explicit duration, used when a stage's wall
+// interval is known externally (e.g. scan time net of interleaved
+// feedback). First stamp wins, like Finish.
+func (s *Span) FinishDuration(d time.Duration) {
+	s.mu.Lock()
+	if s.Duration == 0 {
+		s.Duration = d
+	}
+	s.mu.Unlock()
+}
+
+// FinishRows stamps the duration and row accounting in one call.
+func (s *Span) FinishRows(in, out, skipped int) {
+	s.mu.Lock()
+	if s.Duration == 0 {
+		s.Duration = time.Since(s.Start)
+	}
+	s.RowsIn, s.RowsOut, s.RowsSkipped = in, out, skipped
+	s.mu.Unlock()
+}
+
+// Children returns a copy of the child list in attachment order.
+func (s *Span) Children() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// spanJSON mirrors Span for encoding (the mutex and unexported child
+// slice make Span itself unmarshalable).
+type spanJSON struct {
+	Name        string        `json:"name"`
+	Start       time.Time     `json:"start"`
+	Duration    time.Duration `json:"duration_ns"`
+	RowsIn      int           `json:"rows_in,omitempty"`
+	RowsOut     int           `json:"rows_out,omitempty"`
+	RowsSkipped int           `json:"rows_skipped,omitempty"`
+	Children    []*Span       `json:"children,omitempty"`
+}
+
+// MarshalJSON encodes the span tree.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	s.mu.Lock()
+	j := spanJSON{
+		Name: s.Name, Start: s.Start, Duration: s.Duration,
+		RowsIn: s.RowsIn, RowsOut: s.RowsOut, RowsSkipped: s.RowsSkipped,
+		Children: append([]*Span(nil), s.children...),
+	}
+	s.mu.Unlock()
+	return json.Marshal(j)
+}
+
+// treeLines renders the span tree as indented human-readable lines.
+func (s *Span) treeLines(indent string, out []string) []string {
+	s.mu.Lock()
+	line := fmt.Sprintf("%sspan %-10s %s", indent, s.Name, s.Duration)
+	if s.RowsIn > 0 || s.RowsOut > 0 || s.RowsSkipped > 0 {
+		line += fmt.Sprintf(" (in %d, out %d, skipped %d rows)", s.RowsIn, s.RowsOut, s.RowsSkipped)
+	}
+	s.mu.Unlock()
+	out = append(out, line)
+	for _, c := range s.Children() {
+		out = c.treeLines(indent+"  ", out)
+	}
+	return out
+}
+
+// TreeLines renders the span tree rooted here as indented lines.
+func (s *Span) TreeLines() []string { return s.treeLines("", nil) }

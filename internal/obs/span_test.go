@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("query")
+	plan := root.StartChild("plan")
+	plan.FinishRows(100, 10, 0)
+	scan := root.StartChild("scan")
+	scan.StartChild("segment [0,50)").Finish()
+	scan.Finish()
+	root.AttachFirst(&Span{Name: "parse", Start: root.Start.Add(-time.Millisecond), Duration: time.Millisecond})
+	root.Finish()
+
+	kids := root.Children()
+	if len(kids) != 3 {
+		t.Fatalf("root has %d children, want 3", len(kids))
+	}
+	if kids[0].Name != "parse" || kids[1].Name != "plan" || kids[2].Name != "scan" {
+		t.Fatalf("child order = %s/%s/%s, want parse/plan/scan", kids[0].Name, kids[1].Name, kids[2].Name)
+	}
+	if plan.RowsIn != 100 || plan.RowsOut != 10 {
+		t.Fatalf("plan rows = in %d out %d, want 100/10", plan.RowsIn, plan.RowsOut)
+	}
+
+	// First duration stamp wins: a second Finish must not overwrite.
+	d := plan.Duration
+	plan.FinishDuration(42 * time.Hour)
+	if plan.Duration != d {
+		t.Fatalf("second Finish overwrote duration: %s -> %s", d, plan.Duration)
+	}
+
+	lines := root.TreeLines()
+	if len(lines) != 5 {
+		t.Fatalf("TreeLines = %d lines, want 5:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	if !strings.HasPrefix(lines[0], "span query") {
+		t.Errorf("first line %q does not start with root span", lines[0])
+	}
+	if !strings.HasPrefix(lines[4], "    span segment") {
+		t.Errorf("grandchild not doubly indented: %q", lines[4])
+	}
+
+	// The JSON shape round-trips through the spanJSON mirror.
+	raw, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Name     string `json:"name"`
+		Children []struct {
+			Name    string `json:"name"`
+			RowsIn  int    `json:"rows_in"`
+			RowsOut int    `json:"rows_out"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Name != "query" || len(decoded.Children) != 3 {
+		t.Fatalf("JSON tree = %q with %d children, want query with 3", decoded.Name, len(decoded.Children))
+	}
+	if decoded.Children[1].RowsIn != 100 || decoded.Children[1].RowsOut != 10 {
+		t.Fatalf("JSON plan rows = %+v, want in 100 out 10", decoded.Children[1])
+	}
+}
+
+// TestSpanConcurrent hammers one parent span from many goroutines — child
+// creation, finishing, tree reads, and JSON encoding all interleave. Run
+// under -race this proves the span's locking discipline (the parallel scan
+// path does exactly this: workers attach and finish children while the
+// coordinator renders).
+func TestSpanConcurrent(t *testing.T) {
+	root := NewSpan("query")
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c := root.StartChild(fmt.Sprintf("worker %d.%d", w, i))
+				c.FinishRows(i, i/2, i/4)
+			}
+		}(w)
+	}
+	// Concurrent readers: Children, TreeLines, MarshalJSON.
+	var rg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = root.Children()
+					_ = root.TreeLines()
+					if _, err := json.Marshal(root); err != nil {
+						t.Errorf("marshal during churn: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	root.Finish()
+	if got := len(root.Children()); got != workers*perWorker {
+		t.Fatalf("children = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestTraceRingWrap(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 0; i < 7; i++ {
+		r.Append(&QueryTrace{Table: fmt.Sprintf("t%d", i)})
+	}
+	r.Append(nil) // ignored
+	if got := r.Total(); got != 7 {
+		t.Fatalf("total = %d, want 7", got)
+	}
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("len = %d, want 4", got)
+	}
+	snap := r.Snapshot()
+	for i, tr := range snap {
+		if want := fmt.Sprintf("t%d", i+3); tr.Table != want {
+			t.Fatalf("snapshot[%d] = %q, want %q (oldest-first order broken)", i, tr.Table, want)
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	root := &Span{Name: "query", Start: base, Duration: 3 * time.Millisecond}
+	root.Attach(&Span{Name: "scan", Start: base.Add(time.Millisecond), Duration: 2 * time.Millisecond,
+		RowsIn: 1000, RowsOut: 10, RowsSkipped: 900})
+	// The parse span predates the root (the SQL layer stamps it before the
+	// engine trace exists); the exporter must shift the epoch so no event
+	// has a negative timestamp.
+	root.AttachFirst(&Span{Name: "parse", Start: base.Add(-time.Millisecond), Duration: time.Millisecond})
+	traces := []*QueryTrace{
+		{Table: "t", Start: base, Root: root},
+		nil, // tolerated
+		{Table: "old", Start: base.Add(time.Second), Plan: time.Millisecond, Scan: time.Millisecond},
+	}
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, traces); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if out.DisplayUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", out.DisplayUnit)
+	}
+	// 3 span events for the first trace + 4 phase events for the legacy one.
+	if len(out.TraceEvents) != 7 {
+		t.Fatalf("got %d events, want 7", len(out.TraceEvents))
+	}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 {
+			t.Errorf("event %q has negative ts %v", ev.Name, ev.TS)
+		}
+	}
+	// Events flatten parent-first; the epoch shifts to the parse span's
+	// start, putting the root 1ms in.
+	if out.TraceEvents[0].Name != "query" || out.TraceEvents[0].TS != 1000 {
+		t.Errorf("first event = %q ts=%v, want query at ts 1000", out.TraceEvents[0].Name, out.TraceEvents[0].TS)
+	}
+	if out.TraceEvents[1].Name != "parse" || out.TraceEvents[1].TS != 0 {
+		t.Errorf("second event = %q ts=%v, want parse at ts 0", out.TraceEvents[1].Name, out.TraceEvents[1].TS)
+	}
+	if args := out.TraceEvents[2].Args; args["rows_skipped"] != float64(900) {
+		t.Errorf("scan args = %v, want rows_skipped 900", args)
+	}
+	// Distinct queries get distinct tids.
+	if out.TraceEvents[0].TID == out.TraceEvents[len(out.TraceEvents)-1].TID {
+		t.Error("both queries share a tid")
+	}
+}
+
+// TestPrometheusLabelDeterminism locks the exposition rule the telemetry
+// endpoint depends on: label keys render sorted within every series line,
+// including the synthetic "le" key merged into histogram bucket lines at
+// its sorted position (between "aa" and "zz" here).
+func TestPrometheusLabelDeterminism(t *testing.T) {
+	r := NewRegistry()
+	// Register with deliberately unsorted label order.
+	h := r.Histogram("det_seconds", "help", []float64{1, 2}, L("zz", "b"), L("aa", "a"))
+	h.Observe(0.5)
+	h.Observe(1.5)
+	r.Counter("det_total", "help", L("b", "2"), L("a", "1")).Inc()
+	const want = `# HELP det_seconds help
+# TYPE det_seconds histogram
+det_seconds_bucket{aa="a",le="1",zz="b"} 1
+det_seconds_bucket{aa="a",le="2",zz="b"} 2
+det_seconds_bucket{aa="a",le="+Inf",zz="b"} 2
+det_seconds_sum{aa="a",zz="b"} 2
+det_seconds_count{aa="a",zz="b"} 2
+# HELP det_total help
+# TYPE det_total counter
+det_total{a="1",b="2"} 1
+`
+	for i := 0; i < 3; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if sb.String() != want {
+			t.Fatalf("exposition (pass %d):\n--- got ---\n%s--- want ---\n%s", i, sb.String(), want)
+		}
+	}
+}
+
+// BenchmarkSpanTreeBuild documents the per-query cost of the span tree
+// the engine now builds: root + plan/prune/scan children + one segment
+// child, all finished. This is the entire tracing overhead added to a
+// query beyond the flat QueryTrace.
+func BenchmarkSpanTreeBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := NewSpan("query")
+		root.StartChild("plan").FinishRows(1000, 10, 0)
+		root.StartChild("prune").FinishRows(1000, 0, 900)
+		scan := root.StartChild("scan")
+		scan.StartChild("segment [0,100)").FinishRows(100, 10, 0)
+		scan.FinishRows(100, 10, 0)
+		root.FinishRows(1000, 10, 900)
+		sink = root
+	}
+}
+
+func TestDefaultBucketsCloned(t *testing.T) {
+	a := LatencyBuckets()
+	a[0] = -1
+	if b := LatencyBuckets(); b[0] == -1 {
+		t.Fatal("LatencyBuckets returned a shared slice; callers can corrupt the defaults")
+	}
+	for _, bs := range [][]float64{LatencyBuckets(), RowCountBuckets(), RatioBuckets()} {
+		if len(bs) == 0 {
+			t.Fatal("empty default bucket set")
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i] <= bs[i-1] {
+				t.Fatalf("bucket bounds not strictly increasing: %v", bs)
+			}
+		}
+	}
+}

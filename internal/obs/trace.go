@@ -12,47 +12,57 @@ import (
 // query (never per row) and attaches it to the result, so every query is
 // traced with no opt-in switch.
 type QueryTrace struct {
-	Table string
-	Start time.Time
+	Table string    `json:"table"`
+	Start time.Time `json:"start"`
 
 	// Phase timings. Scan excludes the feedback time spent inside
 	// skipper.Observe calls, which is accounted to Feedback.
-	Plan     time.Duration // validation + aggregate/projection binding
-	Probe    time.Duration // predicate lowering + skipper metadata probes
-	Scan     time.Duration // kernel execution over candidate windows
-	Feedback time.Duration // observations handed back to skippers
-	Total    time.Duration
+	Plan     time.Duration `json:"plan_ns"`     // validation + aggregate/projection binding
+	Probe    time.Duration `json:"probe_ns"`    // predicate lowering + skipper metadata probes
+	Scan     time.Duration `json:"scan_ns"`     // kernel execution over candidate windows
+	Feedback time.Duration `json:"feedback_ns"` // observations handed back to skippers
+	Total    time.Duration `json:"total_ns"`
 
 	// Execution totals (mirrors the result's ExecStats).
-	RowsScanned int
-	RowsSkipped int
-	RowsCovered int
-	ZonesProbed int
-	RowsTotal   int
-	Matched     int // qualifying rows (projection: rows returned)
+	RowsScanned int `json:"rows_scanned"`
+	RowsSkipped int `json:"rows_skipped"`
+	RowsCovered int `json:"rows_covered"`
+	ZonesProbed int `json:"zones_probed"`
+	RowsTotal   int `json:"rows_total"`
+	Matched     int `json:"matched"` // qualifying rows (projection: rows returned)
 
-	Predicates []PredicateTrace
+	Predicates []PredicateTrace `json:"predicates,omitempty"`
+
+	// Root is the hierarchical span tree covering parse → plan → prune →
+	// scan(chunked) → feedback. EXPLAIN ANALYZE's timed rendering and the
+	// telemetry server's /traces endpoint (including the Chrome
+	// trace_event export) draw from the same tree.
+	Root *Span `json:"spans,omitempty"`
+
+	// Slow marks traces that exceeded the engine's slow-query threshold
+	// and were captured in the slow-query log.
+	Slow bool `json:"slow,omitempty"`
 }
 
 // PredicateTrace is the per-predicate-column skipping decision of one
 // query: what the probe estimated (rows skippable, candidate windows) and
 // what execution observed.
 type PredicateTrace struct {
-	Column    string
-	Predicate string // lowered code intervals, or "IS NULL"
-	Skipper   string // skipper kind; "" when the column has none
-	Active    bool   // skipper participated (did not decline)
+	Column    string `json:"column"`
+	Predicate string `json:"predicate"` // lowered code intervals, or "IS NULL"
+	Skipper   string `json:"skipper"`   // skipper kind; "" when the column has none
+	Active    bool   `json:"active"`    // skipper participated (did not decline)
 
-	ZonesProbed    int
-	Windows        int // candidate windows emitted by the probe
-	CoveredWindows int // windows proven fully matching by metadata
-	CandidateRows  int // rows inside candidate windows
-	EstRowsSkipped int // rows the probe proved non-matching
+	ZonesProbed    int `json:"zones_probed"`
+	Windows        int `json:"windows"`          // candidate windows emitted by the probe
+	CoveredWindows int `json:"covered_windows"`  // windows proven fully matching by metadata
+	CandidateRows  int `json:"candidate_rows"`   // rows inside candidate windows
+	EstRowsSkipped int `json:"est_rows_skipped"` // rows the probe proved non-matching
 
 	// Matched is the observed matching row count when execution can
 	// attribute it to this predicate alone (single-predicate fast path);
 	// -1 when unattributable (multi-column intersection).
-	Matched int
+	Matched int `json:"matched"`
 }
 
 // Lines renders the trace as aligned human-readable lines. Durations are
@@ -76,6 +86,9 @@ func (t *QueryTrace) Lines(withTimings bool) []string {
 			fmt.Sprintf("scan: scanned %d, covered %d, skipped %d rows",
 				t.RowsScanned, t.RowsCovered, t.RowsSkipped),
 		)
+	}
+	if withTimings && t.Root != nil {
+		out = append(out, t.Root.TreeLines()...)
 	}
 	for i := range t.Predicates {
 		p := &t.Predicates[i]

@@ -1,0 +1,84 @@
+package obs
+
+import "sync"
+
+// DefaultTraceRingSize is the trace ring capacity used when none is given.
+const DefaultTraceRingSize = 256
+
+// TraceRing is a bounded, concurrency-safe ring buffer of completed query
+// traces. The engine appends one entry per query (a pointer copy); when
+// full, the oldest traces are dropped and counted. Snapshot returns the
+// retained traces oldest-first, so the telemetry server can serve "the
+// last N queries" without stopping the engine.
+type TraceRing struct {
+	mu      sync.Mutex
+	buf     []*QueryTrace
+	next    int // ring write position once full
+	full    bool
+	total   uint64
+	dropped uint64
+}
+
+// NewTraceRing returns a ring holding the last capacity traces
+// (DefaultTraceRingSize when capacity <= 0).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = DefaultTraceRingSize
+	}
+	return &TraceRing{buf: make([]*QueryTrace, 0, capacity)}
+}
+
+// Append records one completed trace. The ring takes ownership of the
+// pointer; traces must not be mutated after appending.
+func (r *TraceRing) Append(t *QueryTrace) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, t)
+	} else {
+		r.buf[r.next] = t
+		r.next = (r.next + 1) % cap(r.buf)
+		r.full = true
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns a chronological (oldest-first) copy of the retained
+// traces.
+func (r *TraceRing) Snapshot() []*QueryTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*QueryTrace, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Len returns the number of retained traces.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Total returns the number of traces ever appended.
+func (r *TraceRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many traces the ring has evicted.
+func (r *TraceRing) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

@@ -1,0 +1,249 @@
+// Package telemetry hosts the engine's embedded observability server: an
+// opt-in net/http endpoint exposing Prometheus metrics, pprof profiles,
+// recent query traces (browsable as JSON or downloadable as Chrome
+// trace_event files), the per-zone skipping-effectiveness heatmap, the
+// adaptation-event log, and sampled Go runtime statistics.
+//
+// The server is strictly read-only and pull-based: it snapshots state the
+// engine already maintains (metric registries, trace rings, skipper
+// introspection) and never blocks the query path beyond the mutex those
+// snapshots take. It depends only on obs plus closures supplied by the
+// caller, so it stays decoupled from the engine's types.
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"adskip/internal/obs"
+)
+
+// Source supplies the server's data. Registry and Traces must be set;
+// everything else is optional (its endpoint then serves an empty set).
+type Source struct {
+	// Registry is the metrics registry behind /metrics and /metrics.json.
+	Registry *obs.Registry
+	// Traces is the ring of recent query traces behind /traces.
+	Traces *obs.TraceRing
+	// SlowTraces is the slow-query log behind /slow.
+	SlowTraces *obs.TraceRing
+	// Events returns the retained adaptation events (chronological).
+	Events func() []obs.Event
+	// Skipmap returns per-table skipping-effectiveness snapshots with at
+	// most maxZones of per-zone detail per column.
+	Skipmap func(maxZones int) []obs.SkipmapTable
+}
+
+// Options tunes the server.
+type Options struct {
+	// Addr is the listen address. Use ":0" (or "127.0.0.1:0") for an
+	// ephemeral port; Server.Addr reports what was bound.
+	Addr string
+	// SampleInterval is the runtime collector's period (default 5s).
+	SampleInterval time.Duration
+	// SampleCapacity is the runtime sample ring size (default 256).
+	SampleCapacity int
+}
+
+// Server is a running telemetry endpoint. Close shuts down the listener
+// and the runtime collector; both are fully torn down when it returns.
+type Server struct {
+	src  Source
+	ln   net.Listener
+	http *http.Server
+	coll *Collector
+	done chan struct{}
+}
+
+// Start binds opts.Addr and serves in a background goroutine. The runtime
+// collector starts alongside and stops on Close.
+func Start(opts Options, src Source) (*Server, error) {
+	if src.Registry == nil || src.Traces == nil {
+		return nil, fmt.Errorf("telemetry: Source.Registry and Source.Traces are required")
+	}
+	addr := opts.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		src:  src,
+		ln:   ln,
+		coll: NewCollector(opts.SampleInterval, opts.SampleCapacity),
+		done: make(chan struct{}),
+	}
+	s.http = &http.Server{Handler: s.mux()}
+	go func() {
+		defer close(s.done)
+		_ = s.http.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ephemeral ports).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close shuts the server down: in-flight requests get up to five seconds
+// to drain, the listener closes, and the runtime collector goroutine is
+// stopped and joined. Safe to call once.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := s.http.Shutdown(ctx)
+	<-s.done
+	s.coll.Stop()
+	return err
+}
+
+// mux wires the endpoint table.
+func (s *Server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/", s.handleIndex)
+	m.HandleFunc("/metrics", s.handleMetrics)
+	m.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	m.HandleFunc("/traces", s.handleTraces)
+	m.HandleFunc("/slow", s.handleSlow)
+	m.HandleFunc("/skipmap", s.handleSkipmap)
+	m.HandleFunc("/events", s.handleEvents)
+	m.HandleFunc("/runtime", s.handleRuntime)
+	m.HandleFunc("/debug/pprof/", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return m
+}
+
+// handleIndex lists the endpoints.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!DOCTYPE html><html><head><title>adskip telemetry</title></head><body>
+<h1>adskip telemetry</h1><ul>
+<li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
+<li><a href="/metrics.json">/metrics.json</a> — metrics as JSON</li>
+<li><a href="/traces">/traces</a> — recent query traces (add <code>?format=chrome</code> for a chrome://tracing file)</li>
+<li><a href="/slow">/slow</a> — slow-query log</li>
+<li><a href="/skipmap">/skipmap</a> — per-zone skipping-effectiveness heatmap (add <code>?zones=N</code>)</li>
+<li><a href="/events">/events</a> — adaptation-event log</li>
+<li><a href="/runtime">/runtime</a> — sampled Go runtime statistics</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — pprof profiles</li>
+</ul></body></html>`)
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.src.Registry.WritePrometheus(w)
+}
+
+// handleMetricsJSON serves the metrics as JSON.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.src.Registry.WriteJSON(w)
+}
+
+// traceListing is the /traces and /slow JSON shape.
+type traceListing struct {
+	Total   uint64            `json:"total"`
+	Dropped uint64            `json:"dropped"`
+	Traces  []*obs.QueryTrace `json:"traces"`
+}
+
+// handleTraces serves the trace ring: JSON by default, Chrome trace_event
+// format (downloadable, loads in chrome://tracing) with ?format=chrome.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	serveTraceRing(w, r, s.src.Traces, "adskip-trace.json")
+}
+
+// handleSlow serves the slow-query log in the same formats as /traces.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	ring := s.src.SlowTraces
+	if ring == nil {
+		writeJSON(w, traceListing{Traces: []*obs.QueryTrace{}})
+		return
+	}
+	serveTraceRing(w, r, ring, "adskip-slow-trace.json")
+}
+
+// serveTraceRing renders one trace ring in the requested format.
+func serveTraceRing(w http.ResponseWriter, r *http.Request, ring *obs.TraceRing, filename string) {
+	traces := ring.Snapshot()
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="`+filename+`"`)
+		_ = obs.WriteChromeTrace(w, traces)
+		return
+	}
+	writeJSON(w, traceListing{Total: ring.Total(), Dropped: ring.Dropped(), Traces: traces})
+}
+
+// handleSkipmap serves the per-table skipping heatmap. ?zones=N caps the
+// per-column zone detail (default 1024; zones=0 omits detail entirely,
+// zones=-1 returns every zone).
+func (s *Server) handleSkipmap(w http.ResponseWriter, r *http.Request) {
+	if s.src.Skipmap == nil {
+		writeJSON(w, []obs.SkipmapTable{})
+		return
+	}
+	maxZones := 1024
+	if v := r.URL.Query().Get("zones"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &maxZones); err != nil {
+			http.Error(w, "bad zones parameter", http.StatusBadRequest)
+			return
+		}
+	}
+	tables := s.src.Skipmap(maxZones)
+	if tables == nil {
+		tables = []obs.SkipmapTable{}
+	}
+	if maxZones == 0 {
+		for ti := range tables {
+			for ci := range tables[ti].Columns {
+				c := &tables[ti].Columns[ci]
+				c.ZonesTruncated = c.Zones
+				c.ZoneDetail = nil
+			}
+		}
+	}
+	writeJSON(w, tables)
+}
+
+// handleEvents serves the adaptation-event log.
+func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	var evs []obs.Event
+	if s.src.Events != nil {
+		evs = s.src.Events()
+	}
+	if evs == nil {
+		evs = []obs.Event{}
+	}
+	writeJSON(w, evs)
+}
+
+// handleRuntime serves the sampled runtime statistics oldest-first.
+func (s *Server) handleRuntime(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.coll.Snapshot())
+}
+
+// writeJSON writes v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"adskip/internal/obs"
+)
+
+// testSource builds a server source with one trace and a canned skipmap.
+func testSource() Source {
+	reg := obs.NewRegistry()
+	reg.Counter("t_total", "help").Inc()
+	ring := obs.NewTraceRing(8)
+	root := obs.NewSpan("query")
+	root.StartChild("scan").FinishRows(100, 10, 80)
+	root.Finish()
+	ring.Append(&obs.QueryTrace{Table: "t", Start: root.Start, Root: root})
+	return Source{
+		Registry: reg,
+		Traces:   ring,
+		Events:   func() []obs.Event { return []obs.Event{{Table: "t", Column: "v", Kind: obs.EventSplit}} },
+		Skipmap: func(maxZones int) []obs.SkipmapTable {
+			zones := []obs.SkipmapZone{{Lo: 0, Hi: 64, Min: 1, Max: 9, NonNull: 64, Hits: 3, Misses: 1}}
+			if maxZones == 0 {
+				zones = nil
+			}
+			return []obs.SkipmapTable{{Table: "t", Rows: 64, Columns: []obs.SkipmapColumn{{
+				Column: "v", Kind: "adaptive", Zones: 1, Enabled: true, ZoneDetail: zones,
+			}}}}
+		},
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv, err := Start(Options{}, testSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.HasPrefix(srv.URL(), "http://127.0.0.1:") {
+		t.Fatalf("URL = %q, want ephemeral localhost", srv.URL())
+	}
+
+	// Every JSON endpoint returns 200 and parses.
+	for _, path := range []string{"/metrics.json", "/traces", "/slow", "/skipmap", "/events", "/runtime"} {
+		code, body := get(t, srv.URL()+path)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, code)
+		}
+		var v any
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Fatalf("GET %s: invalid JSON: %v\n%s", path, err, body)
+		}
+	}
+
+	code, body := get(t, srv.URL()+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "t_total 1") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+
+	// /traces carries the span tree; ?format=chrome is a trace_event file.
+	_, body = get(t, srv.URL()+"/traces")
+	if !strings.Contains(body, `"spans"`) || !strings.Contains(body, `"scan"`) {
+		t.Fatalf("/traces missing span tree:\n%s", body)
+	}
+	_, body = get(t, srv.URL()+"/traces?format=chrome")
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &chrome); err != nil || len(chrome.TraceEvents) != 2 {
+		t.Fatalf("chrome export: err=%v events=%d\n%s", err, len(chrome.TraceEvents), body)
+	}
+
+	// /skipmap default includes zone detail; zones=0 strips it; junk is 400.
+	_, body = get(t, srv.URL()+"/skipmap")
+	if !strings.Contains(body, `"zone_detail"`) || !strings.Contains(body, `"hits": 3`) {
+		t.Fatalf("/skipmap missing zone detail:\n%s", body)
+	}
+	_, body = get(t, srv.URL()+"/skipmap?zones=0")
+	if strings.Contains(body, `"zone_detail"`) || !strings.Contains(body, `"zones_truncated": 1`) {
+		t.Fatalf("/skipmap?zones=0 should strip detail and count truncation:\n%s", body)
+	}
+	if code, _ := get(t, srv.URL()+"/skipmap?zones=junk"); code != http.StatusBadRequest {
+		t.Fatalf("/skipmap?zones=junk = %d, want 400", code)
+	}
+
+	if code, _ := get(t, srv.URL()+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline = %d, want 200", code)
+	}
+	if code, _ := get(t, srv.URL()+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("/nope = %d, want 404", code)
+	}
+}
+
+func TestServerMissingSource(t *testing.T) {
+	if _, err := Start(Options{}, Source{}); err == nil {
+		t.Fatal("Start with empty source did not fail")
+	}
+}
+
+func TestServerOptionalSourcesNil(t *testing.T) {
+	src := Source{Registry: obs.NewRegistry(), Traces: obs.NewTraceRing(1)}
+	srv, err := Start(Options{}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/slow", "/skipmap", "/events"} {
+		code, body := get(t, srv.URL()+path)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, code)
+		}
+		var v any
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Fatalf("GET %s: invalid JSON: %v", path, err)
+		}
+	}
+}
+
+func TestCollectorRingAndStop(t *testing.T) {
+	c := NewCollector(time.Millisecond, 4)
+	deadline := time.Now().Add(2 * time.Second)
+	for len(c.Snapshot()) < 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("collector never filled its ring")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	snap := c.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring holds %d samples, want 4", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Time.Before(snap[i-1].Time) {
+			t.Fatal("samples not oldest-first")
+		}
+	}
+	if snap[0].Goroutines <= 0 {
+		t.Fatalf("sample missing goroutine count: %+v", snap[0])
+	}
+	// After Stop the ring is frozen.
+	n := len(c.Snapshot())
+	time.Sleep(5 * time.Millisecond)
+	if len(c.Snapshot()) != n {
+		t.Fatal("collector kept sampling after Stop")
+	}
+}

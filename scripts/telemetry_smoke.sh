@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Telemetry smoke test: start the demo REPL with --serve on an ephemeral
+# port, generate a table, run a query, then curl the telemetry endpoints
+# and fail on any non-200 status or invalid JSON. CI runs this to catch
+# endpoint regressions that unit tests (which use httptest-style setups)
+# could miss — this exercises the real binary end to end.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+DEMO=$(mktemp -d)/adskip-demo
+OUT=$(mktemp)
+FIFO=$(mktemp -u)
+trap 'rm -f "$OUT" "$FIFO"; kill $DEMO_PID 2>/dev/null || true' EXIT
+
+go build -o "$DEMO" ./cmd/adskip-demo
+
+mkfifo "$FIFO"
+"$DEMO" --serve --serve-addr 127.0.0.1:0 --slow 1ns < "$FIFO" > "$OUT" 2>&1 &
+DEMO_PID=$!
+# Keep the fifo's write end open so the REPL does not see EOF.
+exec 9> "$FIFO"
+
+printf '\\gen clustered 100000\nSELECT COUNT(*) FROM data WHERE v BETWEEN 1000 AND 5000;\nSELECT COUNT(*) FROM data WHERE v BETWEEN 1000 AND 5000;\n' >&9
+
+# Wait for the telemetry banner (the server binds before the prompt).
+URL=""
+for _ in $(seq 1 50); do
+  URL=$(grep -o 'http://[0-9.:]*' "$OUT" | head -1 || true)
+  [ -n "$URL" ] && break
+  sleep 0.2
+done
+if [ -z "$URL" ]; then
+  echo "telemetry URL never appeared; demo output:" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+echo "telemetry at $URL"
+
+check_status() { # path [min_bytes]
+  local path=$1 min=${2:-1} body code
+  body=$(mktemp)
+  code=$(curl -sS -o "$body" -w '%{http_code}' "$URL$path")
+  if [ "$code" != "200" ]; then
+    echo "GET $path -> $code" >&2
+    cat "$body" >&2
+    rm -f "$body"
+    exit 1
+  fi
+  if [ "$(wc -c < "$body")" -lt "$min" ]; then
+    echo "GET $path -> suspiciously small body" >&2
+    rm -f "$body"
+    exit 1
+  fi
+  echo "$body"
+}
+
+check_json() { # path
+  local body
+  body=$(check_status "$1")
+  if ! python3 -m json.tool < "$body" > /dev/null 2>&1; then
+    echo "GET $1 -> invalid JSON" >&2
+    cat "$body" >&2
+    rm -f "$body"
+    exit 1
+  fi
+  rm -f "$body"
+  echo "GET $1 -> 200, valid JSON"
+}
+
+METRICS=$(check_status /metrics 100)
+grep -q '^adskip_queries_total' "$METRICS" || {
+  echo "/metrics missing adskip_queries_total" >&2
+  cat "$METRICS" >&2
+  exit 1
+}
+rm -f "$METRICS"
+echo "GET /metrics -> 200, Prometheus exposition"
+
+check_json /metrics.json
+check_json /traces
+check_json '/traces?format=chrome'
+check_json /slow
+check_json /skipmap
+check_json '/skipmap?zones=0'
+check_json /events
+check_json /runtime
+
+# A one-second CPU profile must come back whole (pprof protobuf, gzipped).
+PROFILE=$(check_status '/debug/pprof/profile?seconds=1' 64)
+rm -f "$PROFILE"
+echo "GET /debug/pprof/profile?seconds=1 -> 200"
+
+printf '\\quit\n' >&9
+exec 9>&-
+wait $DEMO_PID 2>/dev/null || true
+echo "telemetry smoke: OK"

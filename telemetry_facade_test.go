@@ -1,0 +1,233 @@
+package adskip
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// seededDB builds a DB with a table large enough to carry adaptive zone
+// structure, runs a query stream so counters and traces accumulate, and
+// returns it.
+func seededDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db := Open(opts)
+	tab, err := db.CreateTable("events", Col("v", Int64), Col("seq", Int64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		if err := tab.Append((i/1000)*1000+i%7, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.EnableSkipping("v"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		lo := (i % 20) * 1000
+		if _, err := db.Exec("SELECT COUNT(*) FROM events WHERE v BETWEEN " +
+			itoa(lo) + " AND " + itoa(lo+6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestSkipmapShape locks the /skipmap JSON shape end to end: seeded table,
+// real adaptive skipper, served over HTTP.
+func TestSkipmapShape(t *testing.T) {
+	db := seededDB(t, Options{Policy: Adaptive})
+	defer db.Close()
+
+	// The in-process view first.
+	tables := db.Skipmap(-1)
+	if len(tables) != 1 || tables[0].Table != "events" || tables[0].Rows != 20000 {
+		t.Fatalf("Skipmap = %+v, want one 20000-row table \"events\"", tables)
+	}
+	var vcol bool
+	for _, c := range tables[0].Columns {
+		if c.Column != "v" {
+			continue
+		}
+		vcol = true
+		if c.Kind != "adaptive-zonemap" && c.Kind != "adaptive" {
+			t.Errorf("kind = %q, want adaptive", c.Kind)
+		}
+		if !c.Enabled || c.Quarantined {
+			t.Errorf("enabled=%v quarantined=%v, want on and clean", c.Enabled, c.Quarantined)
+		}
+		if c.Probes == 0 || c.RowsSkipped == 0 {
+			t.Errorf("counters flat: probes=%d skipped=%d", c.Probes, c.RowsSkipped)
+		}
+		if len(c.ZoneDetail) != c.Zones || c.ZonesTruncated != 0 {
+			t.Errorf("zone detail %d of %d zones (truncated %d), want all", len(c.ZoneDetail), c.Zones, c.ZonesTruncated)
+		}
+		var hits, misses uint64
+		prevHi := 0
+		for _, z := range c.ZoneDetail {
+			if z.Lo != prevHi {
+				t.Fatalf("zone detail not contiguous: lo=%d after hi=%d", z.Lo, prevHi)
+			}
+			prevHi = z.Hi
+			hits += z.Hits
+			misses += z.Misses
+		}
+		if prevHi != 20000 {
+			t.Errorf("zones cover [0,%d), want [0,20000)", prevHi)
+		}
+		if hits == 0 || misses == 0 {
+			t.Errorf("per-zone counters flat: hits=%d misses=%d", hits, misses)
+		}
+	}
+	if !vcol {
+		t.Fatal("column v missing from skipmap")
+	}
+
+	// Same data over HTTP, including the zone cap.
+	url, err := db.StartTelemetry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(url + "/skipmap?zones=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/skipmap = %d", resp.StatusCode)
+	}
+	var served []SkipmapTable
+	if err := json.Unmarshal(body, &served); err != nil {
+		t.Fatalf("invalid /skipmap JSON: %v\n%s", err, body)
+	}
+	if len(served) != 1 || served[0].Table != "events" {
+		t.Fatalf("served skipmap = %+v", served)
+	}
+	for _, c := range served[0].Columns {
+		if len(c.ZoneDetail) > 2 {
+			t.Errorf("column %q served %d zones, cap was 2", c.Column, len(c.ZoneDetail))
+		}
+		if c.Zones > 2 && c.ZonesTruncated != c.Zones-len(c.ZoneDetail) {
+			t.Errorf("column %q truncation = %d, want %d", c.Column, c.ZonesTruncated, c.Zones-len(c.ZoneDetail))
+		}
+	}
+}
+
+func TestTraceRingAndSlowLog(t *testing.T) {
+	db := seededDB(t, Options{Policy: Adaptive, TraceRingSize: 8, SlowQueryThreshold: time.Nanosecond})
+	defer db.Close()
+	traces := db.Traces()
+	if len(traces) != 8 {
+		t.Fatalf("trace ring holds %d, want 8 (capacity)", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.Root == nil {
+			t.Fatal("ring trace missing span tree")
+		}
+		if !tr.Slow {
+			t.Error("1ns threshold should mark every query slow")
+		}
+		names := map[string]bool{}
+		for _, c := range tr.Root.Children() {
+			names[c.Name] = true
+		}
+		for _, want := range []string{"parse", "plan", "prune", "scan"} {
+			if !names[want] {
+				t.Fatalf("span tree missing %q child: %v", want, tr.Root.TreeLines())
+			}
+		}
+	}
+	if len(db.SlowTraces()) == 0 {
+		t.Fatal("slow log empty despite 1ns threshold")
+	}
+	// Without a threshold the slow log stays empty.
+	db2 := seededDB(t, Options{Policy: Adaptive})
+	defer db2.Close()
+	if n := len(db2.SlowTraces()); n != 0 {
+		t.Fatalf("slow log has %d entries with no threshold", n)
+	}
+}
+
+// TestTelemetryLifecycle proves DB.Close tears the server and its runtime
+// collector down without leaking goroutines.
+func TestTelemetryLifecycle(t *testing.T) {
+	db := seededDB(t, Options{Policy: Adaptive})
+	before := runtime.NumGoroutine()
+
+	url, err := db.StartTelemetry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.TelemetryAddr() == "" || !strings.Contains(url, db.TelemetryAddr()) {
+		t.Fatalf("TelemetryAddr %q vs URL %q", db.TelemetryAddr(), url)
+	}
+	if _, err := db.StartTelemetry(""); err == nil {
+		t.Fatal("second StartTelemetry did not fail")
+	}
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if db.TelemetryAddr() != "" {
+		t.Fatal("TelemetryAddr non-empty after Close")
+	}
+	if _, err := http.Get(url + "/metrics"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+
+	// The serve and collector goroutines must be gone. Allow the runtime a
+	// moment to reap exiting goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Close is idempotent, and a fresh server can start afterwards.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	url2, err := db.StartTelemetry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if url2 == "" {
+		t.Fatal("restart returned empty URL")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
