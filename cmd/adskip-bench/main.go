@@ -34,8 +34,23 @@ func main() {
 		chaos      = flag.Bool("chaos", false, "run with deterministic fault injection (worker panics + invariant flips); results must still be correct")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "RNG seed for -chaos probability draws")
 		serve      = flag.String("serve", "", "serve live telemetry (metrics, traces, pprof) on this address while the suite runs, e.g. 127.0.0.1:0")
+		addr       = flag.String("addr", "", "replay the figure workload mixes against a remote adskip-server at this address instead of running local experiments")
 	)
 	flag.Parse()
+
+	if *addr != "" {
+		tbl, err := runRemote(*addr, *queries, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adskip-bench: remote: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			tbl.CSV(os.Stdout)
+		} else {
+			tbl.Fprint(os.Stdout)
+		}
+		return
+	}
 
 	if *chaos {
 		// Sparse, seed-deterministic faults: the suite should survive and

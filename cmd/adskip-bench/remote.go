@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adskip/internal/client"
+	"adskip/internal/harness"
+	"adskip/internal/workload"
+)
+
+// runRemote replays the figure workload mixes against a running
+// adskip-server instead of an in-process engine, so the serving stack
+// (protocol, sessions, statement cache) is measured end to end. One
+// connection, closed loop: the numbers are per-request round-trip
+// latencies as a client sees them.
+func runRemote(addr string, queries int, seed int64) (*harness.Table, error) {
+	c, err := client.Dial(addr, client.Options{Timeout: 30 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	// The served dataset is the adskip-gen shape: table "data", column v
+	// over a domain equal to the row count.
+	probe, err := c.Query("SELECT COUNT(*) FROM data")
+	if err != nil {
+		return nil, fmt.Errorf("probe row count: %w", err)
+	}
+	domain := int64(probe.Count)
+	if domain == 0 {
+		return nil, fmt.Errorf("remote table \"data\" is empty")
+	}
+
+	tbl := &harness.Table{
+		ID:     "remote",
+		Title:  fmt.Sprintf("workload replay against %s (%d rows, %d queries per mix)", addr, domain, queries),
+		Header: []string{"workload", "queries", "qps", "p50_ms", "p95_ms", "p99_ms", "max_ms"},
+		Notes: []string{
+			"single closed-loop connection; latency is client-observed round-trip",
+		},
+	}
+	kinds := []workload.QueryKind{
+		workload.UniformRange, workload.HotRange, workload.DriftingHot, workload.Point,
+	}
+	for _, kind := range kinds {
+		gen := workload.NewGen(workload.QuerySpec{Kind: kind, Domain: domain, Seed: seed})
+		lats := make([]time.Duration, 0, queries)
+		t0 := time.Now()
+		for i := 0; i < queries; i++ {
+			r := gen.Next()
+			q := fmt.Sprintf("SELECT COUNT(*) FROM data WHERE v BETWEEN %d AND %d", r.Lo, r.Hi)
+			qt0 := time.Now()
+			if _, err := c.Query(q); err != nil {
+				return nil, fmt.Errorf("%s query %d: %w", kind, i, err)
+			}
+			lats = append(lats, time.Since(qt0))
+		}
+		elapsed := time.Since(t0)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond)) }
+		tbl.Rows = append(tbl.Rows, []string{
+			kind.String(),
+			fmt.Sprintf("%d", queries),
+			fmt.Sprintf("%.0f", float64(queries)/elapsed.Seconds()),
+			ms(pct(lats, 0.50)), ms(pct(lats, 0.95)), ms(pct(lats, 0.99)),
+			ms(lats[len(lats)-1]),
+		})
+	}
+	return tbl, nil
+}
+
+// pct returns the q-th percentile of sorted latencies (exact: the full
+// sample is retained).
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,65 @@
+// Command adskip-load drives an adskip-server with closed-loop load:
+// N connections each issue COUNT(*) range (or point) queries drawn from
+// a Zipf-skewed template pool, as fast as the server answers them.
+//
+// Usage:
+//
+//	adskip-load -addr 127.0.0.1:7878 -conns 64 -duration 10s -domain 1000000
+//
+// The exit status is 1 if any request failed, so scripts can assert an
+// error-free run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adskip/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7878", "server address")
+		conns    = flag.Int("conns", 64, "concurrent connections")
+		duration = flag.Duration("duration", 5*time.Second, "run length")
+		table    = flag.String("table", "data", "target table")
+		col      = flag.String("col", "v", "predicate column")
+		domain   = flag.Int64("domain", 1<<20, "predicate value domain [0,domain)")
+		tmpls    = flag.Int("templates", 64, "distinct query templates")
+		zipfS    = flag.Float64("zipf", 1.2, "Zipf skew across templates (>1)")
+		sel      = flag.Float64("selectivity", 0.01, "fraction of the domain per range predicate")
+		point    = flag.Bool("point", false, "equality predicates instead of ranges")
+		prepared = flag.Bool("prepared", false, "use prepare/exec instead of query text")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	rep := loadgen.Run(loadgen.Options{
+		Addr:        *addr,
+		Conns:       *conns,
+		Duration:    *duration,
+		Table:       *table,
+		Col:         *col,
+		Domain:      *domain,
+		Templates:   *tmpls,
+		ZipfS:       *zipfS,
+		Selectivity: *sel,
+		Point:       *point,
+		Prepared:    *prepared,
+		Seed:        *seed,
+		Timeout:     *timeout,
+	})
+	fmt.Println(rep)
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "adskip-load: %d of %d requests failed\n",
+			rep.Errors, rep.Requests+rep.Errors)
+		os.Exit(1)
+	}
+	if rep.Requests == 0 {
+		fmt.Fprintln(os.Stderr, "adskip-load: no requests completed")
+		os.Exit(1)
+	}
+}

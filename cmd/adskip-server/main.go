@@ -1,0 +1,170 @@
+// Command adskip-server serves an adskip database over TCP using the
+// internal/server query service. The dataset is either loaded from an
+// adskip-gen snapshot (-load) or generated in-process (-rows/-dist/-seed,
+// same shape as adskip-gen: table "data" with v BIGINT, seq BIGINT,
+// noise DOUBLE).
+//
+// Usage:
+//
+//	adskip-server -rows 1000000 -dist clustered -addr :7878 -telemetry 127.0.0.1:0
+//	adskip-server -load data.adsk
+//
+// SIGINT/SIGTERM drains: in-flight queries finish and are answered, then
+// the process prints "drained" and exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"adskip"
+	"adskip/internal/server"
+	"adskip/internal/storage"
+	"adskip/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7878", "query service listen address")
+		telemetry = flag.String("telemetry", "", "telemetry HTTP listen address (empty = off)")
+		load      = flag.String("load", "", "load a table snapshot instead of generating data")
+		rows      = flag.Int("rows", 1<<20, "rows to generate (ignored with -load)")
+		dist      = flag.String("dist", "clustered", "distribution: sorted|semi-sorted|clustered|uniform|zipf|bimodal")
+		seed      = flag.Int64("seed", 42, "RNG seed for generated data")
+		policy    = flag.String("policy", "adaptive", "skipping policy: none|static|adaptive|imprint")
+		zone      = flag.Int("static-zone", 0, "zone size for the static policy (0 = default)")
+		par       = flag.Int("parallelism", 1, "scan parallelism")
+		maxConc   = flag.Int("max-concurrent", 0, "max in-flight queries across the DB (0 = unbounded)")
+		maxConns  = flag.Int("max-conns", 0, "max simultaneous connections (0 = server default)")
+		maxFrame  = flag.Int("max-frame", 0, "max protocol frame bytes (0 = default)")
+		idle      = flag.Duration("idle", 0, "connection idle timeout (0 = default)")
+		stmtCache = flag.Int("stmt-cache", 0, "prepared-statement cache capacity (0 = default)")
+		skipCols  = flag.String("skip-cols", "v,seq", "comma-separated columns to enable skipping on")
+	)
+	flag.Parse()
+
+	opts := adskip.Options{
+		StaticZoneSize:       *zone,
+		Parallelism:          *par,
+		MaxConcurrentQueries: *maxConc,
+	}
+	switch *policy {
+	case "none":
+		opts.Policy = adskip.None
+	case "static":
+		opts.Policy = adskip.Static
+	case "adaptive":
+		opts.Policy = adskip.Adaptive
+	case "imprint":
+		opts.Policy = adskip.Imprint
+	default:
+		fatalf("unknown policy %q", *policy)
+	}
+	db := adskip.Open(opts)
+
+	var tbl *adskip.Table
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tbl, err = db.LoadTable(f)
+		f.Close()
+		if err != nil {
+			fatalf("load %s: %v", *load, err)
+		}
+		fmt.Printf("loaded table %q: %d rows\n", tbl.Name(), tbl.NumRows())
+	} else {
+		tbl = generate(db, *rows, *dist, *seed)
+		fmt.Printf("generated table %q: %d rows (%s)\n", tbl.Name(), tbl.NumRows(), *dist)
+	}
+	for _, col := range strings.Split(*skipCols, ",") {
+		col = strings.TrimSpace(col)
+		if col == "" {
+			continue
+		}
+		if err := tbl.EnableSkipping(col); err != nil {
+			fatalf("enable skipping on %q: %v", col, err)
+		}
+	}
+
+	if *telemetry != "" {
+		url, err := db.StartTelemetry(*telemetry)
+		if err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		fmt.Printf("telemetry: %s\n", url)
+	}
+
+	srv, err := server.Start(db, server.Options{
+		Addr:          *addr,
+		MaxConns:      *maxConns,
+		MaxFrameBytes: *maxFrame,
+		IdleTimeout:   *idle,
+		StmtCacheSize: *stmtCache,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down: draining connections")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "adskip-server: close: %v\n", err)
+	}
+	db.Close()
+	fmt.Println("drained")
+}
+
+// generate builds the adskip-gen dataset shape in-process: v carries the
+// requested distribution over a domain equal to the row count, seq is
+// the row number, noise is uniform and never skippable.
+func generate(db *adskip.DB, rows int, dist string, seed int64) *adskip.Table {
+	var d workload.Distribution
+	switch dist {
+	case "sorted":
+		d = workload.Sorted
+	case "semi-sorted":
+		d = workload.SemiSorted
+	case "clustered":
+		d = workload.Clustered
+	case "uniform":
+		d = workload.Uniform
+	case "zipf":
+		d = workload.Zipf
+	case "bimodal":
+		d = workload.Bimodal
+	default:
+		fatalf("unknown distribution %q", dist)
+	}
+	vals := workload.Generate(workload.DataSpec{N: rows, Dist: d, Domain: int64(rows), Seed: seed})
+	rng := rand.New(rand.NewSource(seed + 1))
+
+	tbl, err := db.CreateTable("data",
+		adskip.Col("v", storage.Int64),
+		adskip.Col("seq", storage.Int64),
+		adskip.Col("noise", storage.Float64),
+	)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for i, v := range vals {
+		if err := tbl.Append(v, int64(i), rng.Float64()*1000); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	return tbl
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "adskip-server: "+format+"\n", args...)
+	os.Exit(1)
+}

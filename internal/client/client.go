@@ -1,0 +1,149 @@
+// Package client is the Go client library for the adskip query server.
+// A Client wraps one TCP connection speaking the internal/proto frame
+// protocol. The protocol is strict request/response, so a Client
+// serializes calls with a mutex; open several Clients for concurrency
+// (that is what the load generator does).
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"adskip/internal/proto"
+)
+
+// ServerError is a failure reported by the server, carrying the stable
+// machine-readable kind (see proto.ErrKind*) alongside the message.
+type ServerError struct {
+	Kind string
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return fmt.Sprintf("server: %s (%s)", e.Msg, e.Kind) }
+
+// Options configures a Client.
+type Options struct {
+	// Timeout bounds each request round-trip (dial, write, read).
+	// Zero means no deadline.
+	Timeout time.Duration
+	// MaxFrameBytes caps response frames (default proto.MaxFrameDefault).
+	MaxFrameBytes int
+}
+
+// Client is one connection to an adskip server. Methods are safe for
+// concurrent use; they serialize on the connection.
+type Client struct {
+	opts Options
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to an adskip server.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.MaxFrameBytes <= 0 {
+		opts.MaxFrameBytes = proto.MaxFrameDefault
+	}
+	conn, err := net.DialTimeout("tcp", addr, opts.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		opts: opts,
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close closes the connection. A request in flight on another goroutine
+// fails (and is canceled server-side by the disconnect).
+func (c *Client) Close() error {
+	c.conn.SetDeadline(time.Now()) // unblock a concurrent round-trip
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and reads its response under the mutex.
+func (c *Client) roundTrip(req proto.Request) (proto.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opts.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+	}
+	if err := proto.WriteMessage(c.bw, req); err != nil {
+		return proto.Response{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return proto.Response{}, err
+	}
+	resp, err := proto.ReadResponse(c.br, c.opts.MaxFrameBytes)
+	if err != nil {
+		return proto.Response{}, err
+	}
+	if !resp.OK {
+		return resp, &ServerError{Kind: resp.ErrKind, Msg: resp.Error}
+	}
+	return resp, nil
+}
+
+// decodeResult parses a wire result with UseNumber, so BIGINT cells stay
+// lossless json.Number values rather than float64.
+func decodeResult(raw json.RawMessage) (*proto.Result, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var res proto.Result
+	if err := dec.Decode(&res); err != nil {
+		return nil, fmt.Errorf("client: bad result payload: %w", err)
+	}
+	return &res, nil
+}
+
+// Query executes SQL text and returns the decoded result.
+func (c *Client) Query(sqlText string) (*proto.Result, error) {
+	resp, err := c.roundTrip(proto.Request{Op: proto.OpQuery, SQL: sqlText})
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(resp.Result)
+}
+
+// Prepare parses and plans a statement server-side, returning its ID.
+func (c *Client) Prepare(sqlText string) (uint64, error) {
+	resp, err := c.roundTrip(proto.Request{Op: proto.OpPrepare, SQL: sqlText})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Stmt, nil
+}
+
+// Exec executes a prepared statement by ID. A ServerError with kind
+// proto.ErrKindNoStmt means the statement was evicted: Prepare again.
+func (c *Client) Exec(stmt uint64) (*proto.Result, error) {
+	resp, err := c.roundTrip(proto.Request{Op: proto.OpExec, Stmt: stmt})
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(resp.Result)
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(proto.Request{Op: proto.OpPing})
+	return err
+}
+
+// Tables lists the server's tables (sorted).
+func (c *Client) Tables() ([]string, error) {
+	resp, err := c.roundTrip(proto.Request{Op: proto.OpCatalog})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}

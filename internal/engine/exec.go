@@ -35,11 +35,11 @@ type Query struct {
 // ExecStats instruments one query execution; the experiment harness reads
 // these to report pruning behavior alongside wall-clock time.
 type ExecStats struct {
-	RowsScanned  int // rows whose codes were read by a kernel
-	RowsSkipped  int // rows pruned by metadata probes
-	RowsCovered  int // rows short-circuited by covered windows
-	ZonesProbed  int
-	SkippersUsed int // predicate columns where skipping participated
+	RowsScanned  int `json:"rows_scanned"` // rows whose codes were read by a kernel
+	RowsSkipped  int `json:"rows_skipped"` // rows pruned by metadata probes
+	RowsCovered  int `json:"rows_covered"` // rows short-circuited by covered windows
+	ZonesProbed  int `json:"zones_probed"`
+	SkippersUsed int `json:"skippers_used"` // predicate columns where skipping participated
 }
 
 // Result is a query result.
@@ -47,8 +47,12 @@ type Result struct {
 	Count   int             // qualifying rows (projection: rows returned)
 	Aggs    []storage.Value // one per Query.Aggs
 	Columns []string        // projection column names
-	Rows    [][]storage.Value
-	Stats   ExecStats
+	// Types holds the logical type of each projected column, aligned with
+	// Columns. It feeds the wire encoding (MarshalJSON), which needs
+	// column types even for empty result sets.
+	Types []storage.Type
+	Rows  [][]storage.Value
+	Stats ExecStats
 	// Trace records the execution's phase timings and per-predicate
 	// skipping decisions. Always populated (one allocation per query).
 	Trace *obs.QueryTrace
@@ -136,7 +140,8 @@ func (e *Engine) queryOnce(ctx context.Context, q Query) (out *Result, err error
 	}()
 	qc := e.newQctx(ctx)
 	root := obs.NewSpan("query")
-	tr := &obs.QueryTrace{Table: e.tbl.Name(), Start: root.Start, Root: root}
+	tr := &obs.QueryTrace{Table: e.tbl.Name(), Start: root.Start, Root: root,
+		Session: obs.SessionFromContext(ctx)}
 	e.trace = tr
 	defer func() { e.trace = nil }()
 	spPlan := root.StartChild("plan")
@@ -181,6 +186,7 @@ func (e *Engine) queryOnce(ctx context.Context, q Query) (out *Result, err error
 			}
 			projCols = append(projCols, col)
 			res.Columns = append(res.Columns, name)
+			res.Types = append(res.Types, col.Type())
 		}
 	}
 	var orderCol *storage.Column
@@ -345,7 +351,7 @@ func (e *Engine) observeTimed(p *colPlan, zobs []core.ZoneObservation) {
 // finish materializes aggregate or grouped output onto the result.
 func (e *Engine) finish(res *Result, accs []*aggAcc, grp *grouper, limit int) *Result {
 	if grp != nil {
-		res.Columns, res.Rows = grp.result()
+		res.Columns, res.Types, res.Rows = grp.result()
 		if limit > 0 && len(res.Rows) > limit {
 			res.Rows = res.Rows[:limit]
 		}

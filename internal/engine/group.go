@@ -68,12 +68,15 @@ func (g *grouper) addWindow(lo, hi int) {
 }
 
 // result materializes the grouped rows in key order (NULL group last) and
-// the result column names.
-func (g *grouper) result() ([]string, [][]storage.Value) {
+// the result column names and types.
+func (g *grouper) result() ([]string, []storage.Type, [][]storage.Value) {
 	cols := make([]string, 1+len(g.aggs))
+	types := make([]storage.Type, 1+len(g.aggs))
 	cols[0] = g.col.Name()
+	types[0] = g.col.Type()
 	for i, a := range g.aggs {
 		cols[i+1] = a.String()
+		types[i+1] = aggResultType(a.Kind, g.accCols[i])
 	}
 	codes := make([]int64, 0, len(g.groups))
 	for code := range g.groups {
@@ -104,7 +107,24 @@ func (g *grouper) result() ([]string, [][]storage.Value) {
 		}
 		rows = append(rows, row)
 	}
-	return cols, rows
+	return cols, types, rows
+}
+
+// aggResultType is the logical type an aggregate's result column carries:
+// counts are BIGINT, AVG is always DOUBLE, and SUM/MIN/MAX follow the
+// aggregated column.
+func aggResultType(kind AggKind, col *storage.Column) storage.Type {
+	switch kind {
+	case CountStar, CountCol:
+		return storage.Int64
+	case Avg:
+		return storage.Float64
+	default:
+		if col != nil {
+			return col.Type()
+		}
+		return storage.Int64
+	}
 }
 
 // keyValue decodes a group code back to a dynamic value.

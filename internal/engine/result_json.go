@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"encoding/json"
+
+	"adskip/internal/storage"
+)
+
+// Wire encoding of a Result. The JSON shape below is a stable contract:
+// the network protocol (internal/proto), the client library, and the
+// telemetry endpoints all consume it, and internal/proto.Result mirrors
+// it field for field on the decode side. Change it only with a matching
+// golden-test update.
+//
+//	{
+//	  "count": 2,
+//	  "columns": [{"name":"v","type":"BIGINT"}],   // projections only
+//	  "rows": [[1],[null]],                         // projections only
+//	  "aggs": [42, 1.5],                            // aggregate queries only
+//	  "stats": {"rows_scanned":...,"rows_skipped":...,...}
+//	}
+//
+// Cells use each value's natural JSON form (see storage.Value.MarshalJSON):
+// NULL is null, BIGINT an integer, DOUBLE a number, VARCHAR a string.
+
+// WireColumn is one projected column of the wire encoding: its name and
+// SQL-ish type name (BIGINT, DOUBLE, VARCHAR).
+type WireColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// wireResult is the marshaling view of a Result.
+type wireResult struct {
+	Count   int          `json:"count"`
+	Columns []WireColumn `json:"columns,omitempty"`
+	// Rows is a pointer so a projection with zero matches still encodes
+	// as "rows": [] (omitempty would swallow the empty slice), while
+	// count/aggregate results omit the key entirely.
+	Rows  *[][]storage.Value `json:"rows,omitempty"`
+	Aggs  []storage.Value    `json:"aggs,omitempty"`
+	Stats ExecStats          `json:"stats"`
+}
+
+// WireColumns pairs the result's column names with their type names. When
+// Types was not populated (hand-built Results), types fall back to the
+// first row's cell types; an empty projection with no type information
+// reports "".
+func (r *Result) WireColumns() []WireColumn {
+	if len(r.Columns) == 0 {
+		return nil
+	}
+	out := make([]WireColumn, len(r.Columns))
+	for i, name := range r.Columns {
+		out[i].Name = name
+		switch {
+		case i < len(r.Types):
+			out[i].Type = r.Types[i].String()
+		case len(r.Rows) > 0 && i < len(r.Rows[0]):
+			out[i].Type = r.Rows[0][i].Type().String()
+		}
+	}
+	return out
+}
+
+// MarshalJSON renders the result in the stable wire shape documented
+// above. The execution trace is deliberately excluded: it is a local
+// observability artifact (span pointers, monotonic clocks), not part of
+// the query's answer.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	w := wireResult{
+		Count:   r.Count,
+		Columns: r.WireColumns(),
+		Aggs:    r.Aggs,
+		Stats:   r.Stats,
+	}
+	if len(r.Columns) > 0 {
+		// Projections always carry a rows array, even when empty, so
+		// clients can distinguish "no matches" from "not a projection".
+		rows := r.Rows
+		if rows == nil {
+			rows = [][]storage.Value{}
+		}
+		w.Rows = &rows
+	}
+	return json.Marshal(w)
+}

@@ -1,0 +1,66 @@
+package loadgen
+
+import (
+	"sort"
+	"time"
+)
+
+// hist is a fixed-size log-bucketed latency histogram: geometric bucket
+// bounds from 10µs up by ×1.25 per bucket (~12 buckets per decade, ~2%
+// worst-case quantile error within a bucket's decade), with the last
+// bucket absorbing everything slower. Each worker owns one, so no
+// synchronization is needed; results are merged after the run.
+type hist struct {
+	counts [histBuckets]int64
+	total  int64
+}
+
+const histBuckets = 72 // 10µs × 1.25^71 ≈ 77s at the top
+
+var histBounds = func() [histBuckets]time.Duration {
+	var b [histBuckets]time.Duration
+	f := float64(10 * time.Microsecond)
+	for i := range b {
+		b[i] = time.Duration(f)
+		f *= 1.25
+	}
+	return b
+}()
+
+func newHist() *hist { return &hist{} }
+
+func (h *hist) observe(d time.Duration) {
+	i := sort.Search(histBuckets-1, func(i int) bool { return histBounds[i] >= d })
+	h.counts[i]++
+	h.total++
+}
+
+func (h *hist) merge(o *hist) {
+	if o == nil {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+}
+
+// quantile returns the upper bound of the bucket holding the q-th
+// sample — an over-estimate by at most one bucket ratio.
+func (h *hist) quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return histBounds[i]
+		}
+	}
+	return histBounds[histBuckets-1]
+}

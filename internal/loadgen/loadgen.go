@@ -1,0 +1,251 @@
+// Package loadgen is a closed-loop load generator for the adskip query
+// server: N connections, each a worker that issues one request, waits
+// for the response, and immediately issues the next until the deadline.
+// Closed-loop means offered load adapts to server latency — the
+// generator measures sustainable throughput rather than piling up an
+// unbounded backlog.
+//
+// Workers draw from a fixed pool of query templates with a Zipf-skewed
+// pick, mimicking the hot-template traffic a prepared-statement cache
+// exists for: a handful of templates dominate, so the server's cache
+// should show a high hit rate under this load.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"adskip/internal/client"
+	"adskip/internal/proto"
+)
+
+// Options configures a run. Zero values select the defaults noted.
+type Options struct {
+	Addr        string
+	Conns       int           // concurrent connections (default 8)
+	Duration    time.Duration // run length (default 5s)
+	Table       string        // target table (default "data")
+	Col         string        // predicate column (default "v")
+	Domain      int64         // predicate value domain [0,Domain) (default 1<<20)
+	Templates   int           // distinct query templates (default 64)
+	ZipfS       float64       // Zipf skew across templates, >1 (default 1.2)
+	Selectivity float64       // fraction of the domain per range (default 0.01)
+	Point       bool          // equality predicates instead of ranges
+	Prepared    bool          // prepare once per template, then exec by ID
+	Seed        int64         // RNG seed for templates and picks (default 1)
+	Timeout     time.Duration // per-request timeout (default 10s)
+}
+
+func (o *Options) defaults() {
+	if o.Conns <= 0 {
+		o.Conns = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Table == "" {
+		o.Table = "data"
+	}
+	if o.Col == "" {
+		o.Col = "v"
+	}
+	if o.Domain <= 0 {
+		o.Domain = 1 << 20
+	}
+	if o.Templates <= 0 {
+		o.Templates = 64
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.2
+	}
+	if o.Selectivity <= 0 || o.Selectivity > 1 {
+		o.Selectivity = 0.01
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	Requests int64 // completed requests
+	Errors   int64 // failed requests (transport or server error)
+	Rows     int64 // sum of result counts (sanity signal, not a metric)
+	Elapsed  time.Duration
+	QPS      float64
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+}
+
+// String renders the report as the one-line-per-fact summary the CLI
+// prints.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests  %d\n", r.Requests)
+	fmt.Fprintf(&b, "errors    %d\n", r.Errors)
+	fmt.Fprintf(&b, "elapsed   %v\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "qps       %.0f\n", r.QPS)
+	fmt.Fprintf(&b, "p50       %v\n", r.P50)
+	fmt.Fprintf(&b, "p95       %v\n", r.P95)
+	fmt.Fprintf(&b, "p99       %v\n", r.P99)
+	fmt.Fprintf(&b, "max       %v", r.Max)
+	return b.String()
+}
+
+// Run drives the server at opts.Addr and blocks until the duration
+// elapses and every worker has drained.
+func Run(opts Options) Report {
+	opts.defaults()
+	templates := makeTemplates(opts)
+	deadline := time.Now().Add(opts.Duration)
+	t0 := time.Now()
+
+	stats := make([]workerStats, opts.Conns)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stats[w] = runWorker(opts, templates, deadline, w)
+		}(w)
+	}
+	wg.Wait()
+
+	merged := newHist()
+	rep := Report{Elapsed: time.Since(t0)}
+	for i := range stats {
+		rep.Requests += stats[i].requests
+		rep.Errors += stats[i].errors
+		rep.Rows += stats[i].rows
+		merged.merge(stats[i].h)
+		if stats[i].max > rep.Max {
+			rep.Max = stats[i].max
+		}
+	}
+	if secs := rep.Elapsed.Seconds(); secs > 0 {
+		rep.QPS = float64(rep.Requests) / secs
+	}
+	rep.P50 = merged.quantile(0.50)
+	rep.P95 = merged.quantile(0.95)
+	rep.P99 = merged.quantile(0.99)
+	return rep
+}
+
+// makeTemplates builds the fixed query pool: COUNT(*) range (or point)
+// predicates over the configured column, each covering Selectivity of
+// the domain.
+func makeTemplates(opts Options) []string {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	width := int64(float64(opts.Domain) * opts.Selectivity)
+	if width < 1 {
+		width = 1
+	}
+	span := opts.Domain - width
+	if span < 1 {
+		span = 1
+	}
+	ts := make([]string, opts.Templates)
+	for i := range ts {
+		if opts.Point {
+			ts[i] = fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s = %d",
+				opts.Table, opts.Col, rng.Int63n(opts.Domain))
+			continue
+		}
+		lo := rng.Int63n(span)
+		ts[i] = fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s BETWEEN %d AND %d",
+			opts.Table, opts.Col, lo, lo+width-1)
+	}
+	return ts
+}
+
+type workerStats struct {
+	requests int64
+	errors   int64
+	rows     int64
+	max      time.Duration
+	h        *hist
+}
+
+// runWorker is one closed-loop connection. Transport errors trigger a
+// reconnect (and count as errors); an evicted prepared statement is
+// normal protocol flow and is retried with a fresh prepare.
+func runWorker(opts Options, templates []string, deadline time.Time, id int) workerStats {
+	rng := rand.New(rand.NewSource(opts.Seed + int64(id)*7919 + 1))
+	var zipf *rand.Zipf
+	if len(templates) > 1 {
+		zipf = rand.NewZipf(rng, opts.ZipfS, 1, uint64(len(templates)-1))
+	}
+	st := workerStats{h: newHist()}
+	var c *client.Client
+	stmts := make(map[int]uint64) // template index -> prepared stmt ID
+
+	defer func() {
+		if c != nil {
+			c.Close()
+		}
+	}()
+	for time.Now().Before(deadline) {
+		if c == nil {
+			cc, err := client.Dial(opts.Addr, client.Options{Timeout: opts.Timeout})
+			if err != nil {
+				st.errors++
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			c = cc
+			stmts = make(map[int]uint64)
+		}
+		i := 0
+		if zipf != nil {
+			i = int(zipf.Uint64())
+		}
+		start := time.Now()
+		var res *proto.Result
+		var err error
+		if opts.Prepared {
+			sid, ok := stmts[i]
+			if !ok {
+				if sid, err = c.Prepare(templates[i]); err == nil {
+					stmts[i] = sid
+				}
+			}
+			if err == nil {
+				res, err = c.Exec(sid)
+			}
+			var se *client.ServerError
+			if errors.As(err, &se) && se.Kind == proto.ErrKindNoStmt {
+				delete(stmts, i) // evicted under LRU pressure: re-prepare
+				continue
+			}
+		} else {
+			res, err = c.Query(templates[i])
+		}
+		if err != nil {
+			st.errors++
+			var se *client.ServerError
+			if !errors.As(err, &se) {
+				// Transport-level failure: the connection is suspect.
+				c.Close()
+				c = nil
+			}
+			continue
+		}
+		lat := time.Since(start)
+		st.requests++
+		st.rows += int64(res.Count)
+		st.h.observe(lat)
+		if lat > st.max {
+			st.max = lat
+		}
+	}
+	return st
+}

@@ -1,0 +1,93 @@
+package loadgen_test
+
+import (
+	"testing"
+	"time"
+
+	"adskip"
+	"adskip/internal/loadgen"
+	"adskip/internal/server"
+)
+
+func serveData(t *testing.T, rows int, opts server.Options) (*adskip.DB, *server.Server) {
+	t.Helper()
+	db := adskip.Open(adskip.Options{Policy: adskip.Adaptive})
+	tbl, err := db.CreateTable("data", adskip.Col("v", adskip.Int64), adskip.Col("seq", adskip.Int64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := tbl.Append((i/1000)*1000+i%7, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.EnableSkipping("v"); err != nil {
+		t.Fatal(err)
+	}
+	opts.Addr = "127.0.0.1:0"
+	srv, err := server.Start(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return db, srv
+}
+
+// TestSustains50ConnectionsCleanly is the tentpole acceptance scenario
+// run in-process (the CI race job covers ./internal/..., so this same
+// load runs under the race detector): more than 50 concurrent closed-
+// loop connections, zero errors.
+func TestSustains50ConnectionsCleanly(t *testing.T) {
+	const rows = 20000
+	db, srv := serveData(t, rows, server.Options{})
+
+	rep := loadgen.Run(loadgen.Options{
+		Addr:     srv.Addr().String(),
+		Conns:    56,
+		Duration: 1200 * time.Millisecond,
+		Domain:   rows,
+		Seed:     7,
+	})
+	if rep.Errors != 0 {
+		t.Fatalf("errors under load: %d of %d requests", rep.Errors, rep.Requests+rep.Errors)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("implausible latency report: %+v", rep)
+	}
+	// The Zipf-skewed template mix must drive statement-cache hits.
+	hits := db.Metrics().Counter("adskip_server_stmt_cache_hits_total",
+		"Requests served from the prepared-statement cache.")
+	if hits.Load() == 0 {
+		t.Fatal("no statement-cache hits under a skewed template mix")
+	}
+}
+
+// TestPreparedModeUnderEviction runs the prepared-statement path with a
+// cache smaller than the template pool, so workers keep hitting
+// evictions and must re-prepare — still with zero user-visible errors.
+func TestPreparedModeUnderEviction(t *testing.T) {
+	const rows = 5000
+	_, srv := serveData(t, rows, server.Options{StmtCacheSize: 8})
+
+	rep := loadgen.Run(loadgen.Options{
+		Addr:      srv.Addr().String(),
+		Conns:     12,
+		Duration:  600 * time.Millisecond,
+		Domain:    rows,
+		Templates: 32, // 4x the cache capacity
+		Prepared:  true,
+		Seed:      11,
+	})
+	if rep.Errors != 0 {
+		t.Fatalf("errors under prepared load: %d of %d", rep.Errors, rep.Requests+rep.Errors)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+}

@@ -1,0 +1,25 @@
+package obs
+
+import "context"
+
+// Session identity flows from network frontends to query traces through
+// the context: the server stamps each request's context with its
+// session/connection ID, and the engine copies it onto the QueryTrace it
+// allocates for that query. Keeping the plumbing in obs (rather than the
+// engine) lets any frontend — TCP server, future HTTP SQL endpoint —
+// tag traces without the engine knowing who called.
+
+// sessionKey is the private context key for the session ID.
+type sessionKey struct{}
+
+// WithSession returns a context carrying the given session ID. IDs are
+// free-form; the network server uses "conn-<n>".
+func WithSession(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, sessionKey{}, id)
+}
+
+// SessionFromContext returns the session ID carried by ctx, or "".
+func SessionFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(sessionKey{}).(string)
+	return id
+}

@@ -15,6 +15,10 @@ type QueryTrace struct {
 	Table string    `json:"table"`
 	Start time.Time `json:"start"`
 
+	// Session identifies the network session/connection the query arrived
+	// on (see WithSession); "" for in-process queries.
+	Session string `json:"session,omitempty"`
+
 	// Phase timings. Scan excludes the feedback time spent inside
 	// skipper.Observe calls, which is accounted to Feedback.
 	Plan     time.Duration `json:"plan_ns"`     // validation + aggregate/projection binding

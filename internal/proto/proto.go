@@ -1,0 +1,196 @@
+// Package proto defines the adskip wire protocol: the frame format and
+// the request/response message shapes spoken between internal/server and
+// internal/client. It is standard-library only and deliberately tiny —
+// the protocol is a transport for SQL text and JSON results, not an RPC
+// framework.
+//
+// # Framing
+//
+// Every message is one frame: a 4-byte big-endian unsigned length
+// followed by that many bytes of JSON payload. The length covers the
+// payload only. Both sides enforce a maximum frame size (server default
+// 4 MiB); an over-limit length is a protocol error and the connection is
+// torn down, so a corrupt or malicious peer cannot make the other side
+// allocate unbounded memory.
+//
+// # Conversation
+//
+// The protocol is strict request/response: the client sends one request
+// frame and reads exactly one response frame before sending the next.
+// There is no pipelining. Closing the connection cancels whatever
+// request is in flight on the server.
+//
+// # Requests
+//
+//	{"op":"query","sql":"SELECT ..."}   execute SQL, response carries a result
+//	{"op":"prepare","sql":"SELECT ..."} parse+plan once, response carries a stmt id
+//	{"op":"exec","stmt":7}              execute a prepared statement by id
+//	{"op":"ping"}                       liveness probe
+//	{"op":"catalog"}                    list tables (sorted)
+//
+// # Responses
+//
+// Every response has "ok". Failures carry "error" (human-readable) and
+// "error_kind" (stable machine tag, see ErrKind*). Successes carry the
+// op-specific payload: "result" (a wire-encoded engine.Result, see
+// engine.Result.MarshalJSON), "stmt", or "tables".
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Operations.
+const (
+	OpQuery   = "query"
+	OpPrepare = "prepare"
+	OpExec    = "exec"
+	OpPing    = "ping"
+	OpCatalog = "catalog"
+)
+
+// Stable machine-readable error kinds carried in Response.ErrKind, so
+// clients can classify failures without string matching.
+const (
+	ErrKindSyntax   = "syntax"   // SQL failed to parse or plan
+	ErrKindCanceled = "canceled" // query canceled (context/connection)
+	ErrKindBudget   = "budget"   // query exceeded a resource limit
+	ErrKindNoTable  = "no_table" // unknown table
+	ErrKindNoStmt   = "no_stmt"  // unknown or evicted prepared statement
+	ErrKindBadOp    = "bad_op"   // unknown request op
+	ErrKindInternal = "internal" // anything else
+	ErrKindShutdown = "shutdown" // server is draining
+)
+
+// MaxFrameDefault is the default maximum frame size (4 MiB): generous for
+// result sets, small enough that a hostile length prefix cannot cause a
+// damaging allocation.
+const MaxFrameDefault = 4 << 20
+
+// Request is one client request frame.
+type Request struct {
+	Op   string `json:"op"`
+	SQL  string `json:"sql,omitempty"`
+	Stmt uint64 `json:"stmt,omitempty"`
+}
+
+// Response is one server response frame.
+type Response struct {
+	OK      bool            `json:"ok"`
+	Error   string          `json:"error,omitempty"`
+	ErrKind string          `json:"error_kind,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Stmt    uint64          `json:"stmt,omitempty"`
+	Tables  []string        `json:"tables,omitempty"`
+}
+
+// Column is one result column on the decode side: name plus SQL-ish type
+// (BIGINT, DOUBLE, VARCHAR). Mirrors engine.WireColumn.
+type Column struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// Stats mirrors engine.ExecStats on the decode side.
+type Stats struct {
+	RowsScanned  int `json:"rows_scanned"`
+	RowsSkipped  int `json:"rows_skipped"`
+	RowsCovered  int `json:"rows_covered"`
+	ZonesProbed  int `json:"zones_probed"`
+	SkippersUsed int `json:"skippers_used"`
+}
+
+// Result is the client-side decoding of a wire-encoded engine.Result.
+// Cells decode as json.Number (lossless for BIGINT), string, or nil for
+// NULL when parsed with a UseNumber decoder (the client library does).
+type Result struct {
+	Count   int      `json:"count"`
+	Columns []Column `json:"columns,omitempty"`
+	Rows    [][]any  `json:"rows,omitempty"`
+	Aggs    []any    `json:"aggs,omitempty"`
+	Stats   Stats    `json:"stats"`
+}
+
+// ErrFrameTooLarge reports a frame whose declared length exceeds the
+// reader's limit.
+type ErrFrameTooLarge struct {
+	Size, Max int
+}
+
+func (e *ErrFrameTooLarge) Error() string {
+	return fmt.Sprintf("proto: frame of %d bytes exceeds limit %d", e.Size, e.Max)
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting any longer than max bytes before
+// allocating. io.EOF is returned unwrapped when the connection closes
+// cleanly between frames; a close mid-frame yields io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, err
+		}
+		return nil, err // io.EOF passes through for clean close detection
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > max {
+		return nil, &ErrFrameTooLarge{Size: n, Max: max}
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// WriteMessage marshals v and writes it as one frame.
+func WriteMessage(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, payload)
+}
+
+// ReadRequest reads and decodes one request frame.
+func ReadRequest(r io.Reader, max int) (Request, error) {
+	var req Request
+	payload, err := ReadFrame(r, max)
+	if err != nil {
+		return req, err
+	}
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return req, fmt.Errorf("proto: bad request frame: %w", err)
+	}
+	return req, nil
+}
+
+// ReadResponse reads and decodes one response frame.
+func ReadResponse(r io.Reader, max int) (Response, error) {
+	var resp Response
+	payload, err := ReadFrame(r, max)
+	if err != nil {
+		return resp, err
+	}
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return resp, fmt.Errorf("proto: bad response frame: %w", err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,134 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := [][]byte{
+		[]byte(`{"op":"ping"}`),
+		{}, // empty frame is legal at the framing layer
+		[]byte(strings.Repeat("x", 70000)),
+	}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadFrame(&buf, MaxFrameDefault)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf, MaxFrameDefault); err != io.EOF {
+		t.Fatalf("exhausted stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	buf.Write(hdr[:])
+	_, err := ReadFrame(&buf, 1<<20)
+	var tooBig *ErrFrameTooLarge
+	if !errors.As(err, &tooBig) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	if tooBig.Size != 1<<30 || tooBig.Max != 1<<20 {
+		t.Fatalf("bad error payload: %+v", tooBig)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	// Header torn mid-way.
+	if _, err := ReadFrame(bytes.NewReader(buf.Bytes()[:2]), 1024); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn header: got %v, want ErrUnexpectedEOF", err)
+	}
+	// Payload torn mid-way.
+	if _, err := ReadFrame(bytes.NewReader(buf.Bytes()[:7]), 1024); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn payload: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := Request{Op: OpQuery, SQL: "SELECT COUNT(*) FROM data"}
+	if err := WriteMessage(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	gotReq, err := ReadRequest(&buf, MaxFrameDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq != req {
+		t.Fatalf("request round-trip: %+v != %+v", gotReq, req)
+	}
+
+	resp := Response{OK: true, Result: json.RawMessage(`{"count":3,"stats":{}}`), Tables: []string{"a", "b"}}
+	if err := WriteMessage(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	gotResp, err := ReadResponse(&buf, MaxFrameDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotResp.OK || string(gotResp.Result) != string(resp.Result) || len(gotResp.Tables) != 2 {
+		t.Fatalf("response round-trip: %+v", gotResp)
+	}
+}
+
+func TestBadJSONFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRequest(&buf, MaxFrameDefault); err == nil {
+		t.Fatal("bad JSON accepted as request")
+	}
+}
+
+// TestResultDecodesEngineShape checks proto.Result against the exact
+// strings pinned by the engine's golden wire-encoding test, so the two
+// sides of the protocol cannot drift apart silently.
+func TestResultDecodesEngineShape(t *testing.T) {
+	wire := `{"count":3,"columns":[{"name":"id","type":"BIGINT"},{"name":"price","type":"DOUBLE"}],` +
+		`"rows":[[1,9.5],[2,null],[3,12.25]],"aggs":[6],` +
+		`"stats":{"rows_scanned":3,"rows_skipped":0,"rows_covered":0,"zones_probed":1,"skippers_used":1}}`
+	dec := json.NewDecoder(strings.NewReader(wire))
+	dec.UseNumber()
+	var res Result
+	if err := dec.Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 3 || len(res.Columns) != 2 || len(res.Rows) != 3 {
+		t.Fatalf("decoded %+v", res)
+	}
+	if res.Columns[0] != (Column{Name: "id", Type: "BIGINT"}) {
+		t.Fatalf("column 0: %+v", res.Columns[0])
+	}
+	if n, ok := res.Rows[0][0].(json.Number); !ok || n.String() != "1" {
+		t.Fatalf("cell (0,0): %#v", res.Rows[0][0])
+	}
+	if res.Rows[1][1] != nil {
+		t.Fatalf("NULL cell decoded as %#v", res.Rows[1][1])
+	}
+	if res.Stats.ZonesProbed != 1 || res.Stats.RowsScanned != 3 {
+		t.Fatalf("stats: %+v", res.Stats)
+	}
+}

@@ -1,0 +1,495 @@
+// Package server exposes an adskip.DB as a concurrent SQL-over-TCP query
+// service speaking the internal/proto frame protocol.
+//
+// # Concurrency model
+//
+// One goroutine pair per connection: a session loop that executes
+// requests strictly one at a time (the protocol has no pipelining) and a
+// reader that feeds it frames. The reader exists so a dead peer is
+// noticed while a query is executing — a read error on the connection
+// cancels the in-flight query's context, which the engine honors at its
+// cooperative checkpoints. Admission is bounded before Accept: the
+// accept loop takes a connection slot first, so once MaxConns sessions
+// are open, further clients queue in the kernel's accept backlog instead
+// of consuming server memory — the listen queue is the backpressure.
+//
+// # Shutdown
+//
+// Close drains: the listener closes, idle sessions are poked awake and
+// closed, sessions mid-request finish the request, write the response,
+// and then exit. Close returns only after every session and reader
+// goroutine has exited, so a clean Close is also a leak check.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adskip"
+	"adskip/internal/engine"
+	"adskip/internal/obs"
+	"adskip/internal/proto"
+	sqlpkg "adskip/internal/sql"
+)
+
+// Options configures a Server. Zero values select the defaults noted.
+type Options struct {
+	Addr          string        // listen address; ":0" picks a free port
+	MaxConns      int           // simultaneous connections (default 256)
+	MaxFrameBytes int           // per-frame size limit (default proto.MaxFrameDefault)
+	IdleTimeout   time.Duration // close connections idle this long (default 5m)
+	WriteTimeout  time.Duration // per-response write deadline (default 30s)
+	StmtCacheSize int           // prepared-statement LRU capacity (default 256)
+}
+
+// Server serves SQL queries against one adskip.DB over TCP.
+type Server struct {
+	db    *adskip.DB
+	opts  Options
+	ln    net.Listener
+	m     *srvMetrics
+	cache *stmtCache
+
+	done chan struct{} // closed when draining begins
+	sem  chan struct{} // connection slots, taken before Accept
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	closed   bool
+	closeErr error
+
+	wg       sync.WaitGroup // accept loop + 2 goroutines per session
+	nextConn atomic.Uint64
+	nextStmt atomic.Uint64
+}
+
+// Start listens on opts.Addr and begins serving db. Metrics are
+// registered on db.Metrics(), so they appear on the DB's telemetry
+// /metrics endpoint automatically.
+func Start(db *adskip.DB, opts Options) (*Server, error) {
+	if opts.MaxConns <= 0 {
+		opts.MaxConns = 256
+	}
+	if opts.MaxFrameBytes <= 0 {
+		opts.MaxFrameBytes = proto.MaxFrameDefault
+	}
+	if opts.IdleTimeout == 0 {
+		opts.IdleTimeout = 5 * time.Minute
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = 30 * time.Second
+	}
+	if opts.StmtCacheSize <= 0 {
+		opts.StmtCacheSize = 256
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", opts.Addr, err)
+	}
+	s := &Server{
+		db:       db,
+		opts:     opts,
+		ln:       ln,
+		m:        newSrvMetrics(db.Metrics()),
+		cache:    newStmtCache(opts.StmtCacheSize),
+		done:     make(chan struct{}),
+		sem:      make(chan struct{}, opts.MaxConns),
+		sessions: make(map[uint64]*session),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close drains the server: stop accepting, let requests in flight finish
+// and answer, close every connection, and wait for all per-connection
+// goroutines to exit. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+		s.closeErr = s.ln.Close()
+		// Poke every reader awake so idle sessions notice the drain
+		// immediately instead of waiting out IdleTimeout. A session
+		// mid-request recognizes the poke as drain-induced (not a dead
+		// peer) and does NOT cancel its in-flight query.
+		for _, ss := range s.sessions {
+			ss.conn.SetReadDeadline(time.Now())
+		}
+	}
+	err := s.closeErr
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) draining() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		// A connection slot is taken before Accept: at MaxConns open
+		// sessions this loop parks here and new clients wait in the
+		// kernel's listen backlog.
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.done:
+			return
+		}
+		conn, err := s.ln.Accept()
+		if err != nil {
+			<-s.sem
+			if errors.Is(err, net.ErrClosed) || s.draining() {
+				return
+			}
+			time.Sleep(10 * time.Millisecond) // transient (e.g. EMFILE)
+			continue
+		}
+		ss := s.newSession(conn)
+		if ss == nil { // drain raced the accept
+			conn.Close()
+			<-s.sem
+			continue
+		}
+		s.wg.Add(2)
+		go ss.run()
+		go ss.readLoop()
+	}
+}
+
+// session is one client connection: its buffered transport, the context
+// canceled when the connection dies, and the frame channel its reader
+// feeds.
+type session struct {
+	srv    *Server
+	id     uint64
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	ctx    context.Context // carries the session tag; canceled on disconnect
+	cancel context.CancelFunc
+	frames chan []byte // closed by readLoop on exit
+	// frameErr, set before frames is closed, carries a protocol error the
+	// session loop should report to the client before hanging up.
+	frameErr error
+}
+
+func (s *Server) newSession(conn net.Conn) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	id := s.nextConn.Add(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	ss := &session{
+		srv:    s,
+		id:     id,
+		conn:   conn,
+		br:     bufio.NewReader(&countReader{r: conn, n: s.m.bytesRead}),
+		bw:     bufio.NewWriter(&countWriter{w: conn, n: s.m.bytesSent}),
+		ctx:    obs.WithSession(ctx, fmt.Sprintf("conn-%d", id)),
+		cancel: cancel,
+		frames: make(chan []byte),
+	}
+	s.sessions[id] = ss
+	s.m.connsTotal.Inc()
+	s.m.connsActive.Add(1)
+	return ss
+}
+
+// run executes requests one at a time until the connection or the server
+// goes away.
+func (ss *session) run() {
+	s := ss.srv
+	defer func() {
+		ss.cancel()
+		ss.conn.Close()
+		s.mu.Lock()
+		delete(s.sessions, ss.id)
+		s.mu.Unlock()
+		s.m.connsActive.Add(-1)
+		<-s.sem
+		s.wg.Done()
+	}()
+	for {
+		select {
+		case payload, ok := <-ss.frames:
+			if !ok {
+				if ss.frameErr != nil {
+					ss.write(errResp(proto.ErrKindBadOp, ss.frameErr.Error()))
+				}
+				return
+			}
+			if !ss.write(ss.handle(payload)) {
+				return
+			}
+		case <-s.done:
+			// Draining between requests. If the reader queued one more
+			// frame concurrently, answer it with a shutdown error rather
+			// than silently resetting the connection.
+			select {
+			case _, ok := <-ss.frames:
+				if ok {
+					ss.write(errResp(proto.ErrKindShutdown, "server shutting down"))
+				}
+			default:
+			}
+			return
+		}
+	}
+}
+
+// readLoop pulls frames off the wire and feeds them to run. Its real job
+// is liveness: it is parked in a read while a query executes, so a peer
+// that disappears mid-query surfaces here as a read error, which cancels
+// the query's context.
+func (ss *session) readLoop() {
+	s := ss.srv
+	defer s.wg.Done()
+	defer close(ss.frames)
+	for {
+		if s.opts.IdleTimeout > 0 {
+			ss.conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		payload, err := proto.ReadFrame(ss.br, s.opts.MaxFrameBytes)
+		if err != nil {
+			var tooBig *proto.ErrFrameTooLarge
+			if errors.As(err, &tooBig) {
+				ss.frameErr = tooBig
+				return
+			}
+			// Close pokes readers with an immediate deadline to end idle
+			// sessions; that drain-induced timeout must not cancel a
+			// query still executing in run.
+			if errors.Is(err, os.ErrDeadlineExceeded) && s.draining() {
+				return
+			}
+			// EOF, connection reset, or a genuine idle timeout: the peer
+			// is gone, so whatever is in flight should stop.
+			ss.cancel()
+			return
+		}
+		s.m.framesRead.Inc()
+		select {
+		case ss.frames <- payload:
+		case <-ss.ctx.Done():
+			return
+		}
+	}
+}
+
+// write sends one response frame under the write deadline. A false
+// return means the connection is unusable and the session should end.
+func (ss *session) write(resp proto.Response) bool {
+	ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.opts.WriteTimeout))
+	if err := proto.WriteMessage(ss.bw, resp); err != nil {
+		return false
+	}
+	if err := ss.bw.Flush(); err != nil {
+		return false
+	}
+	ss.srv.m.framesSent.Inc()
+	return true
+}
+
+// handle dispatches one request and produces its response.
+func (ss *session) handle(payload []byte) proto.Response {
+	s := ss.srv
+	var req proto.Request
+	if err := json.Unmarshal(payload, &req); err != nil {
+		s.m.failure(proto.ErrKindBadOp)
+		return errResp(proto.ErrKindBadOp, "bad request frame: "+err.Error())
+	}
+	s.m.request(req.Op)
+	s.m.inflight.Add(1)
+	t0 := time.Now()
+	defer func() {
+		s.m.latency.Observe(time.Since(t0).Seconds())
+		s.m.inflight.Add(-1)
+	}()
+	switch req.Op {
+	case proto.OpPing:
+		return proto.Response{OK: true}
+	case proto.OpCatalog:
+		return proto.Response{OK: true, Tables: s.db.TableNames()}
+	case proto.OpQuery:
+		return ss.query(req.SQL)
+	case proto.OpPrepare:
+		return ss.prepare(req.SQL)
+	case proto.OpExec:
+		ent, ok := s.cache.getID(req.Stmt)
+		if !ok {
+			s.m.failure(proto.ErrKindNoStmt)
+			return errResp(proto.ErrKindNoStmt,
+				fmt.Sprintf("unknown prepared statement %d (never prepared, or evicted — prepare again)", req.Stmt))
+		}
+		s.m.cacheHits.Inc()
+		return ss.exec(ent)
+	default:
+		s.m.failure(proto.ErrKindBadOp)
+		return errResp(proto.ErrKindBadOp, "unknown op "+strconv.Quote(req.Op))
+	}
+}
+
+// query executes SQL text. Hot statements hit the prepared-statement
+// cache even when the client never prepared them: the cache key is the
+// SQL text, so repeated templates skip the parser and planner entirely.
+func (ss *session) query(sqlText string) proto.Response {
+	s := ss.srv
+	if ent, ok := s.cache.get(sqlText); ok {
+		s.m.cacheHits.Inc()
+		return ss.exec(ent)
+	}
+	s.m.cacheMisses.Inc()
+	stmt, err := sqlpkg.Parse(sqlText)
+	if err != nil {
+		s.m.failure(proto.ErrKindSyntax)
+		return errResp(proto.ErrKindSyntax, err.Error())
+	}
+	tbl, err := s.db.Table(stmt.Table)
+	if err != nil {
+		s.m.failure(proto.ErrKindNoTable)
+		return errResp(proto.ErrKindNoTable, err.Error())
+	}
+	eng := tbl.Engine()
+	if stmt.Explain {
+		// EXPLAIN goes through the sql layer (it renders plan text) and
+		// is not worth caching.
+		res, err := sqlpkg.ExecParsedContext(ss.ctx, eng, stmt)
+		if err != nil {
+			return ss.execFailure(err)
+		}
+		return okResult(s.m, res)
+	}
+	q, err := sqlpkg.Plan(stmt, eng.Table())
+	if err != nil {
+		s.m.failure(proto.ErrKindSyntax)
+		return errResp(proto.ErrKindSyntax, err.Error())
+	}
+	ent, evicted := s.cache.put(&stmtEntry{sqlText: sqlText, id: s.nextStmt.Add(1), eng: eng, q: q})
+	s.cacheAccount(evicted)
+	return ss.exec(ent)
+}
+
+// prepare parses and plans once, returning a statement ID for exec.
+func (ss *session) prepare(sqlText string) proto.Response {
+	s := ss.srv
+	if ent, ok := s.cache.get(sqlText); ok {
+		s.m.cacheHits.Inc()
+		return proto.Response{OK: true, Stmt: ent.id}
+	}
+	s.m.cacheMisses.Inc()
+	stmt, err := sqlpkg.Parse(sqlText)
+	if err != nil {
+		s.m.failure(proto.ErrKindSyntax)
+		return errResp(proto.ErrKindSyntax, err.Error())
+	}
+	if stmt.Explain {
+		s.m.failure(proto.ErrKindSyntax)
+		return errResp(proto.ErrKindSyntax, "cannot prepare an EXPLAIN statement")
+	}
+	tbl, err := s.db.Table(stmt.Table)
+	if err != nil {
+		s.m.failure(proto.ErrKindNoTable)
+		return errResp(proto.ErrKindNoTable, err.Error())
+	}
+	q, err := sqlpkg.Plan(stmt, tbl.Engine().Table())
+	if err != nil {
+		s.m.failure(proto.ErrKindSyntax)
+		return errResp(proto.ErrKindSyntax, err.Error())
+	}
+	ent, evicted := s.cache.put(&stmtEntry{sqlText: sqlText, id: s.nextStmt.Add(1), eng: tbl.Engine(), q: q})
+	s.cacheAccount(evicted)
+	return proto.Response{OK: true, Stmt: ent.id}
+}
+
+// exec runs a cached plan under the session context (so disconnects
+// cancel it) and wire-encodes the result.
+func (ss *session) exec(ent *stmtEntry) proto.Response {
+	res, err := ent.eng.QueryContext(ss.ctx, ent.q)
+	if err != nil {
+		return ss.execFailure(err)
+	}
+	return okResult(ss.srv.m, res)
+}
+
+// execFailure maps an execution error to its stable wire kind.
+func (ss *session) execFailure(err error) proto.Response {
+	kind := proto.ErrKindInternal
+	switch {
+	case errors.Is(err, engine.ErrCanceled):
+		kind = proto.ErrKindCanceled
+	case errors.Is(err, engine.ErrBudget):
+		kind = proto.ErrKindBudget
+	}
+	ss.srv.m.failure(kind)
+	return errResp(kind, err.Error())
+}
+
+// cacheAccount charges evictions from one cache insert and refreshes the
+// size gauge.
+func (s *Server) cacheAccount(evicted int) {
+	if evicted > 0 {
+		s.m.cacheEvictions.Add(int64(evicted))
+	}
+	s.m.cacheEntries.Set(int64(s.cache.size()))
+}
+
+func okResult(m *srvMetrics, res *engine.Result) proto.Response {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		m.failure(proto.ErrKindInternal)
+		return errResp(proto.ErrKindInternal, "encode result: "+err.Error())
+	}
+	return proto.Response{OK: true, Result: raw}
+}
+
+func errResp(kind, msg string) proto.Response {
+	return proto.Response{Error: msg, ErrKind: kind}
+}
+
+// countReader / countWriter charge transport bytes to a counter per
+// syscall-sized chunk (they sit under the bufio layer, not per byte).
+type countReader struct {
+	r io.Reader
+	n *obs.Counter
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	n *obs.Counter
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}

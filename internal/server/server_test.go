@@ -1,0 +1,468 @@
+package server_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"adskip"
+	"adskip/internal/client"
+	"adskip/internal/faultinject"
+	"adskip/internal/obs"
+	"adskip/internal/proto"
+	"adskip/internal/server"
+)
+
+// testDB builds a DB with the adskip-gen "data" shape at small scale:
+// v = (i/1000)*1000 + i%7 (clustered), seq = i.
+func testDB(t *testing.T, rows int) *adskip.DB {
+	t.Helper()
+	db := adskip.Open(adskip.Options{Policy: adskip.Adaptive})
+	tbl, err := db.CreateTable("data", adskip.Col("v", adskip.Int64), adskip.Col("seq", adskip.Int64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := tbl.Append((i/1000)*1000+i%7, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.EnableSkipping("v"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// startServer runs a server on a loopback port and tears it down with
+// the test.
+func startServer(t *testing.T, db *adskip.DB, opts server.Options) *server.Server {
+	t.Helper()
+	opts.Addr = "127.0.0.1:0"
+	srv, err := server.Start(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func dial(t *testing.T, srv *server.Server) *client.Client {
+	t.Helper()
+	c, err := client.Dial(srv.Addr().String(), client.Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestQueryMatchesLocal proves a query answered over the wire is the
+// query answered in-process: counts, aggregates, and projected rows.
+func TestQueryMatchesLocal(t *testing.T) {
+	db := testDB(t, 20000)
+	defer db.Close()
+	srv := startServer(t, db, server.Options{})
+	c := dial(t, srv)
+
+	queries := []string{
+		"SELECT COUNT(*) FROM data WHERE v BETWEEN 3000 AND 3006",
+		"SELECT COUNT(*), SUM(seq) FROM data WHERE v BETWEEN 0 AND 999",
+		"SELECT v, seq FROM data WHERE seq BETWEEN 5 AND 8",
+	}
+	for _, q := range queries {
+		local, err := db.Exec(q)
+		if err != nil {
+			t.Fatalf("%s: local: %v", q, err)
+		}
+		remote, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("%s: remote: %v", q, err)
+		}
+		if remote.Count != local.Count {
+			t.Errorf("%s: count %d over the wire, %d locally", q, remote.Count, local.Count)
+		}
+		if len(remote.Aggs) != len(local.Aggs) {
+			t.Errorf("%s: %d aggs over the wire, %d locally", q, len(remote.Aggs), len(local.Aggs))
+		}
+		if len(remote.Rows) != len(local.Rows) {
+			t.Errorf("%s: %d rows over the wire, %d locally", q, len(remote.Rows), len(local.Rows))
+		}
+		for i, col := range local.Columns {
+			if remote.Columns[i].Name != col {
+				t.Errorf("%s: column %d is %q over the wire, %q locally", q, i, remote.Columns[i].Name, col)
+			}
+		}
+	}
+}
+
+// TestPrepareExec covers the prepared-statement path end to end,
+// including the transparent cache hit for identical query text and the
+// hit/miss counters on the DB registry.
+func TestPrepareExec(t *testing.T) {
+	db := testDB(t, 20000)
+	defer db.Close()
+	srv := startServer(t, db, server.Options{})
+	c := dial(t, srv)
+
+	hits := db.Metrics().Counter("adskip_server_stmt_cache_hits_total", "Requests served from the prepared-statement cache.")
+	misses := db.Metrics().Counter("adskip_server_stmt_cache_misses_total", "Requests that had to parse and plan.")
+
+	const q = "SELECT COUNT(*) FROM data WHERE v BETWEEN 1000 AND 1006"
+	id, err := c.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses.Load() == 0 {
+		t.Fatal("prepare did not count a cache miss")
+	}
+	want, err := db.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := c.Exec(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want.Count {
+			t.Fatalf("exec %d: count %d, want %d", i, res.Count, want.Count)
+		}
+	}
+	// Same SQL text as plain query text: served from the cache.
+	before := hits.Load()
+	if _, err := c.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() <= before {
+		t.Fatal("identical query text did not hit the statement cache")
+	}
+	// Re-preparing the same text returns the same ID.
+	id2, err := c.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id {
+		t.Fatalf("re-prepare issued a new ID: %d then %d", id, id2)
+	}
+}
+
+// TestStmtCacheEviction bounds the cache and proves exec-after-evict
+// fails with the stable no_stmt kind (the client's cue to re-prepare).
+func TestStmtCacheEviction(t *testing.T) {
+	db := testDB(t, 2000)
+	defer db.Close()
+	srv := startServer(t, db, server.Options{StmtCacheSize: 2})
+	c := dial(t, srv)
+
+	mk := func(lo int) string {
+		return fmt.Sprintf("SELECT COUNT(*) FROM data WHERE v BETWEEN %d AND %d", lo, lo+6)
+	}
+	first, err := c.Prepare(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Prepare(mk(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Prepare(mk(200)); err != nil { // evicts the first
+		t.Fatal(err)
+	}
+	_, err = c.Exec(first)
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Kind != proto.ErrKindNoStmt {
+		t.Fatalf("exec of evicted statement: err=%v, want ServerError kind %q", err, proto.ErrKindNoStmt)
+	}
+	ev := db.Metrics().Counter("adskip_server_stmt_cache_evictions_total", "Prepared statements evicted by the LRU.")
+	if ev.Load() == 0 {
+		t.Fatal("eviction not counted")
+	}
+	// The connection survives the error.
+	if _, err := c.Query(mk(200)); err != nil {
+		t.Fatalf("connection unusable after no_stmt error: %v", err)
+	}
+}
+
+// TestCatalogSorted creates tables in non-alphabetical order and checks
+// the wire catalog is deterministic.
+func TestCatalogSorted(t *testing.T) {
+	db := adskip.Open(adskip.Options{})
+	defer db.Close()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, err := db.CreateTable(name, adskip.Col("v", adskip.Int64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := startServer(t, db, server.Options{})
+	c := dial(t, srv)
+	got, err := c.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("catalog %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("catalog %v, want %v", got, want)
+		}
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestErrorKeepsConnectionUsable sends a stream of failing requests and
+// checks each gets a typed error and the session keeps serving.
+func TestErrorKeepsConnectionUsable(t *testing.T) {
+	db := testDB(t, 2000)
+	defer db.Close()
+	srv := startServer(t, db, server.Options{})
+	c := dial(t, srv)
+
+	cases := []struct {
+		run  func() error
+		kind string
+	}{
+		{func() error { _, err := c.Query("SELEKT nope"); return err }, proto.ErrKindSyntax},
+		{func() error { _, err := c.Query("SELECT COUNT(*) FROM missing"); return err }, proto.ErrKindNoTable},
+		{func() error { _, err := c.Exec(99999); return err }, proto.ErrKindNoStmt},
+		{func() error { _, err := c.Prepare("EXPLAIN SELECT COUNT(*) FROM data"); return err }, proto.ErrKindSyntax},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		var se *client.ServerError
+		if !errors.As(err, &se) || se.Kind != tc.kind {
+			t.Fatalf("err=%v, want ServerError kind %q", err, tc.kind)
+		}
+		if _, err := c.Query("SELECT COUNT(*) FROM data"); err != nil {
+			t.Fatalf("connection dead after %q error: %v", tc.kind, err)
+		}
+	}
+}
+
+// TestFrameTooLargeRejected sends a hostile length prefix; the server
+// must answer with a typed error, not allocate, and hang up.
+func TestFrameTooLargeRejected(t *testing.T) {
+	db := testDB(t, 2000)
+	defer db.Close()
+	srv := startServer(t, db, server.Options{MaxFrameBytes: 1 << 16})
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := proto.ReadResponse(conn, proto.MaxFrameDefault)
+	if err != nil {
+		t.Fatalf("no error response before hangup: %v", err)
+	}
+	if resp.OK || resp.ErrKind != proto.ErrKindBadOp {
+		t.Fatalf("response %+v, want error kind %q", resp, proto.ErrKindBadOp)
+	}
+	if _, err := proto.ReadResponse(conn, proto.MaxFrameDefault); err == nil {
+		t.Fatal("connection still open after protocol violation")
+	}
+}
+
+// TestDisconnectCancelsQuery closes the client mid-query and waits for
+// the engine's canceled counter to tick: the reader goroutine noticed
+// the dead peer and canceled the in-flight context.
+func TestDisconnectCancelsQuery(t *testing.T) {
+	db := testDB(t, 20000)
+	defer db.Close()
+	srv := startServer(t, db, server.Options{})
+
+	// Stretch every scan checkpoint so the query comfortably outlives
+	// the client.
+	restore := faultinject.Activate(faultinject.New(3).
+		Set(faultinject.ScanDelay, faultinject.Rule{Every: 1, Delay: 100 * time.Millisecond}))
+	defer restore()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proto.WriteMessage(conn, proto.Request{Op: proto.OpQuery,
+		SQL: "SELECT COUNT(*) FROM data WHERE v BETWEEN 0 AND 20000"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the query reach the scan
+	conn.Close()
+
+	canceled := db.Metrics().Counter("adskip_queries_canceled_total",
+		"Queries stopped by context cancellation.", obs.L("table", "data"))
+	deadline := time.Now().Add(5 * time.Second)
+	for canceled.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("query not canceled after client disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCloseDrainsInFlight starts a slow query, closes the server during
+// it, and requires the client to still receive its full response: drain
+// means finish-and-answer, not abort.
+func TestCloseDrainsInFlight(t *testing.T) {
+	db := testDB(t, 20000)
+	defer db.Close()
+	srv, err := server.Start(db, server.Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restore := faultinject.Activate(faultinject.New(5).
+		Set(faultinject.ScanDelay, faultinject.Rule{Every: 1, Delay: 50 * time.Millisecond}))
+	defer restore()
+
+	c, err := client.Dial(srv.Addr().String(), client.Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	type outcome struct {
+		count int
+		err   error
+	}
+	got := make(chan outcome, 1)
+	go func() {
+		res, err := c.Query("SELECT COUNT(*) FROM data WHERE v BETWEEN 0 AND 20000")
+		if err != nil {
+			got <- outcome{err: err}
+			return
+		}
+		got <- outcome{count: res.Count}
+	}()
+	time.Sleep(60 * time.Millisecond) // the query is mid-scan
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	o := <-got
+	if o.err != nil {
+		t.Fatalf("in-flight query aborted by drain: %v", o.err)
+	}
+	want, err := db.Exec("SELECT COUNT(*) FROM data WHERE v BETWEEN 0 AND 20000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.count != want.Count {
+		t.Fatalf("drained query answered %d, want %d", o.count, want.Count)
+	}
+}
+
+// TestCloseLeaksNothing is the leak check: open connections, run
+// traffic, close the server, and require the goroutine count to return
+// to its pre-server level.
+func TestCloseLeaksNothing(t *testing.T) {
+	db := testDB(t, 2000)
+	defer db.Close()
+	before := runtime.NumGoroutine()
+
+	srv, err := server.Start(db, server.Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*client.Client, 8)
+	for i := range clients {
+		c, err := client.Dial(srv.Addr().String(), client.Options{Timeout: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		if _, err := c.Query("SELECT COUNT(*) FROM data"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Half the clients disconnect themselves; the rest are still open
+	// (some idle mid-connection) when Close drains.
+	for i, c := range clients {
+		if i%2 == 0 {
+			c.Close()
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	for _, c := range clients {
+		c.Close()
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A server can start again on the same DB afterwards.
+	srv2, err := server.Start(db, server.Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, srv2)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxConnsBackpressure fills every connection slot and checks an
+// extra client parks in the accept backlog (not rejected) until a slot
+// frees.
+func TestMaxConnsBackpressure(t *testing.T) {
+	db := testDB(t, 2000)
+	defer db.Close()
+	srv := startServer(t, db, server.Options{MaxConns: 2})
+
+	c1, c2 := dial(t, srv), dial(t, srv)
+	if err := c1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// The third connection dials fine (kernel backlog) but is not
+	// serviced while both slots are held.
+	c3, err := client.Dial(srv.Addr().String(), client.Options{Timeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if err := c3.Ping(); err == nil {
+		t.Fatal("third connection serviced despite MaxConns=2")
+	}
+	// Free a slot. c3 is first in the backlog and its socket is already
+	// closed client-side, so the server accepts it, sees EOF, and frees
+	// the slot again for a fresh connection.
+	c3.Close()
+	c1.Close()
+	c4, err := client.Dial(srv.Addr().String(), client.Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c4.Close()
+	if err := c4.Ping(); err != nil {
+		t.Fatalf("connection not serviced after slot freed: %v", err)
+	}
+}

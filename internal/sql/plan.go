@@ -134,7 +134,7 @@ func ExecParsedContext(ctx context.Context, e *engine.Engine, stmt Statement) (*
 		if err != nil {
 			return nil, err
 		}
-		res := &engine.Result{Columns: []string{"plan"}}
+		res := &engine.Result{Columns: []string{"plan"}, Types: []storage.Type{storage.String}}
 		for _, l := range lines {
 			res.Rows = append(res.Rows, []storage.Value{storage.StringValue(l)})
 		}

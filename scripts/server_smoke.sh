@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Query-server smoke test: start adskip-server on a generated dataset,
+# drive it with adskip-load on ≥50 concurrent connections, assert a
+# zero-error run, check the server's counters on /metrics (including
+# prepared-statement cache hits), then SIGTERM and require a clean
+# drain. CI runs this to exercise the real binaries end to end — the
+# protocol, session pool, statement cache, and graceful shutdown that
+# in-process tests cover only piecewise.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)
+OUT=$(mktemp)
+trap 'rm -f "$OUT"; kill $SRV_PID 2>/dev/null || true' EXIT
+
+ROWS=200000
+go build -o "$BIN/adskip-server" ./cmd/adskip-server
+go build -o "$BIN/adskip-load" ./cmd/adskip-load
+
+"$BIN/adskip-server" -addr 127.0.0.1:0 -telemetry 127.0.0.1:0 \
+  -rows "$ROWS" -dist clustered > "$OUT" 2>&1 &
+SRV_PID=$!
+
+# Wait for both banners: the telemetry URL and the query listen address.
+ADDR="" URL=""
+for _ in $(seq 1 100); do
+  URL=$(grep -o 'http://[0-9.:]*' "$OUT" | head -1 || true)
+  ADDR=$(sed -n 's/^listening on //p' "$OUT" | head -1 || true)
+  [ -n "$URL" ] && [ -n "$ADDR" ] && break
+  sleep 0.2
+done
+if [ -z "$URL" ] || [ -z "$ADDR" ]; then
+  echo "server never announced its addresses; output:" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+echo "server at $ADDR, telemetry at $URL"
+
+# Closed-loop load: 64 connections, Zipf-skewed template mix. The
+# binary exits non-zero if any request failed.
+"$BIN/adskip-load" -addr "$ADDR" -conns 64 -duration 3s -domain "$ROWS" -seed 3
+echo "plain load: 64 connections, zero errors"
+
+# A short prepared-statement run over the same templates.
+"$BIN/adskip-load" -addr "$ADDR" -conns 16 -duration 1s -domain "$ROWS" -seed 3 -prepared
+echo "prepared load: zero errors"
+
+# The server's own counters must be on the shared /metrics endpoint.
+# Give the server a moment to reap the load generator's closed sessions
+# so the active-connections gauge is back to zero.
+sleep 1
+METRICS=$(mktemp)
+code=$(curl -sS -o "$METRICS" -w '%{http_code}' "$URL/metrics")
+if [ "$code" != "200" ]; then
+  echo "GET /metrics -> $code" >&2
+  cat "$METRICS" >&2
+  exit 1
+fi
+for metric in adskip_server_connections_total adskip_server_frames_read_total \
+              adskip_server_request_seconds adskip_server_stmt_cache_hits_total; do
+  grep -q "^$metric" "$METRICS" || {
+    echo "/metrics missing $metric" >&2
+    cat "$METRICS" >&2
+    exit 1
+  }
+done
+hits=$(awk '$1 == "adskip_server_stmt_cache_hits_total" {print int($2)}' "$METRICS")
+if [ -z "$hits" ] || [ "$hits" -le 0 ]; then
+  echo "statement cache shows no hits (got: ${hits:-none})" >&2
+  exit 1
+fi
+active=$(awk '$1 == "adskip_server_active_connections" {print int($2)}' "$METRICS")
+if [ -n "$active" ] && [ "$active" -ne 0 ]; then
+  echo "active connections not back to 0 after load: $active" >&2
+  exit 1
+fi
+rm -f "$METRICS"
+echo "GET /metrics -> 200, server counters present, stmt cache hits: $hits"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM $SRV_PID
+if ! wait $SRV_PID; then
+  echo "server exited non-zero on SIGTERM; output:" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+SRV_PID=
+grep -q '^drained$' "$OUT" || {
+  echo "server did not report a drained shutdown; output:" >&2
+  cat "$OUT" >&2
+  exit 1
+}
+echo "shutdown: drained cleanly"
+echo "server smoke: OK"
