@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -112,6 +113,15 @@ type SkipmapTable = obs.SkipmapTable
 // fold, metadata built/loaded, quarantine/rebuild).
 type AdaptationEvent = obs.Event
 
+// HistorySample is one point on the adaptation timeline sampled while
+// telemetry runs: cumulative query/row totals, the engine-wide skip
+// ratio, estimated latency quantiles, and per-column skipping state.
+// Served by the telemetry server's /history endpoint and DB.History.
+type HistorySample = obs.HistorySample
+
+// HistoryColumn is one column's skipping state inside a HistorySample.
+type HistoryColumn = obs.HistoryColumn
+
 // Limits bounds each query's resource consumption (rows scanned, result
 // rows, wall-clock time). The zero value imposes no limits; enforcement
 // happens at cooperative checkpoints, so overshoot is bounded by one
@@ -152,6 +162,18 @@ type Options struct {
 	// it: their traces are marked slow and copied to the slow-query log
 	// (DB.SlowTraces, /slow). Zero disables the slow-query log.
 	SlowQueryThreshold time.Duration
+	// Logger receives structured log events from every table's engine:
+	// slow queries at warn, quarantines at error, adaptation milestones
+	// at info, per-zone structural churn at debug. Nil disables logging
+	// (the hot path then pays one nil check).
+	Logger *slog.Logger
+	// HistoryInterval is the adaptation-timeline sampling period while
+	// telemetry runs (default 1s). The sampler starts with StartTelemetry
+	// and stops with Close.
+	HistoryInterval time.Duration
+	// HistoryCapacity is how many timeline samples the DB retains
+	// (default 1024 — about 17 minutes at the default interval).
+	HistoryCapacity int
 }
 
 // ColumnDef defines one column of a new table.
@@ -180,6 +202,12 @@ type DB struct {
 	mu      sync.RWMutex
 	engines map[string]*engine.Engine
 	telem   *telemetry.Server
+	sampler *obs.Sampler
+
+	// latScratch is the sampler's reusable bucket-merge buffer. It is
+	// touched only from the sampler goroutine (fillHistory), so it needs
+	// no lock of its own.
+	latScratch []int64
 }
 
 // DB-level errors.
@@ -217,6 +245,7 @@ func (db *DB) engineOptions() engine.Options {
 		Traces:             db.traces,
 		SlowTraces:         db.slow,
 		SlowQueryThreshold: db.opts.SlowQueryThreshold,
+		Logger:             db.opts.Logger,
 	}
 }
 
@@ -250,26 +279,86 @@ func (db *DB) Skipmap(maxZones int) []SkipmapTable {
 // StartTelemetry starts the embedded telemetry HTTP server on addr
 // ("127.0.0.1:0" when empty — an ephemeral localhost port) and returns
 // the server's base URL. The server exposes /metrics (Prometheus),
-// /metrics.json, /traces, /slow, /skipmap, /events, /runtime, and
-// /debug/pprof/*; it runs until DB.Close. Starting twice is an error.
+// /metrics.json, /traces, /slow, /skipmap, /events, /runtime, /history,
+// /dash, and /debug/pprof/*; it runs until DB.Close. The adaptation-
+// timeline sampler (behind /history and DB.History) starts alongside
+// and also stops at Close. Starting twice is an error.
 func (db *DB) StartTelemetry(addr string) (string, error) {
+	// The sampler is created before the catalog lock is taken: it takes
+	// its first sample synchronously, and fillHistory needs the read
+	// lock. Stopping it (on a lost start race) must also happen outside
+	// the lock for the same reason.
+	smp := obs.NewSampler(db.opts.HistoryInterval, db.opts.HistoryCapacity, db.fillHistory)
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.telem != nil {
+		db.mu.Unlock()
+		smp.Stop()
 		return "", errors.New("adskip: telemetry server already running")
 	}
+	db.sampler = smp
 	srv, err := telemetry.Start(telemetry.Options{Addr: addr}, telemetry.Source{
 		Registry:   db.reg,
 		Traces:     db.traces,
 		SlowTraces: db.slow,
 		Events:     db.events.Events,
 		Skipmap:    db.Skipmap,
+		History:    smp,
 	})
 	if err != nil {
+		db.sampler = nil
+		db.mu.Unlock()
+		smp.Stop()
 		return "", err
 	}
 	db.telem = srv
+	db.mu.Unlock()
 	return srv.URL(), nil
+}
+
+// History returns the retained adaptation-timeline samples oldest-first.
+// Empty until StartTelemetry starts the sampler.
+func (db *DB) History() []HistorySample {
+	db.mu.RLock()
+	s := db.sampler
+	db.mu.RUnlock()
+	if s == nil {
+		return nil
+	}
+	return s.Snapshot()
+}
+
+// fillHistory is the sampler's fill callback: it aggregates every
+// engine's cumulative totals and per-column skipping state into one
+// sample and estimates latency quantiles from the engines' merged
+// latency histograms. It runs on the sampler goroutine; the only
+// allocations are the catalog-lock-bounded engine list and, on column
+// growth, the sample's column slice.
+func (db *DB) fillHistory(s *HistorySample) {
+	db.mu.RLock()
+	engines := make([]*engine.Engine, 0, len(db.engines))
+	for _, e := range db.engines {
+		engines = append(engines, e)
+	}
+	db.mu.RUnlock()
+
+	bounds := obs.LatencyBuckets()
+	if cap(db.latScratch) < len(bounds)+1 {
+		db.latScratch = make([]int64, len(bounds)+1)
+	}
+	buckets := db.latScratch[:len(bounds)+1]
+	for i := range buckets {
+		buckets[i] = 0
+	}
+	for _, e := range engines {
+		e.FillHistory(s)
+		e.AccumulateLatency(buckets)
+	}
+	if denom := s.RowsSkipped + s.RowsScanned; denom > 0 {
+		s.SkipRatio = float64(s.RowsSkipped) / float64(denom)
+	}
+	s.LatencyP50 = obs.QuantileFromBuckets(bounds, buckets, 0.50)
+	s.LatencyP95 = obs.QuantileFromBuckets(bounds, buckets, 0.95)
+	s.AdaptEvents = int64(db.events.Seq())
 }
 
 // TelemetryAddr returns the telemetry server's bound listen address, or
@@ -284,14 +373,20 @@ func (db *DB) TelemetryAddr() string {
 }
 
 // Close releases the DB's background resources: the telemetry server (if
-// started) shuts down along with its runtime collector goroutine. Tables
-// stay readable after Close; only telemetry stops. Safe to call on a DB
-// that never started telemetry.
+// started) shuts down along with its runtime collector goroutine, and the
+// adaptation-timeline sampler is stopped and joined. Tables stay readable
+// after Close; only telemetry stops. Safe to call on a DB that never
+// started telemetry.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	srv := db.telem
+	smp := db.sampler
 	db.telem = nil
+	db.sampler = nil
 	db.mu.Unlock()
+	if smp != nil {
+		smp.Stop()
+	}
 	if srv == nil {
 		return nil
 	}

@@ -5,6 +5,7 @@
 //	adskip-bench -experiment all                 # full suite, default scale
 //	adskip-bench -experiment fig1 -rows 16777216 # paper-scale headline figure
 //	adskip-bench -experiment tab2 -csv           # machine-readable output
+//	adskip-bench -experiment fig1 -json auto     # plus BENCH_<timestamp>.json summary
 //
 // Each experiment prints the data series behind the corresponding figure
 // or table in EXPERIMENTS.md.
@@ -35,8 +36,14 @@ func main() {
 		chaosSeed  = flag.Int64("chaos-seed", 1, "RNG seed for -chaos probability draws")
 		serve      = flag.String("serve", "", "serve live telemetry (metrics, traces, pprof) on this address while the suite runs, e.g. 127.0.0.1:0")
 		addr       = flag.String("addr", "", "replay the figure workload mixes against a remote adskip-server at this address instead of running local experiments")
+		jsonOut    = flag.String("json", "", `also write a machine-readable run summary to this path ("auto" = BENCH_<timestamp>.json)`)
 	)
 	flag.Parse()
+
+	sum := &benchSummary{
+		Experiment: *experiment, Rows: *rows, Queries: *queries,
+		Seed: *seed, StaticZone: *staticZone, Chaos: *chaos, RemoteAddr: *addr,
+	}
 
 	if *addr != "" {
 		tbl, err := runRemote(*addr, *queries, *seed)
@@ -48,6 +55,13 @@ func main() {
 			tbl.CSV(os.Stdout)
 		} else {
 			tbl.Fprint(os.Stdout)
+		}
+		if *jsonOut != "" {
+			sum.Tables = []*harness.Table{tbl}
+			if err := writeSummary(*jsonOut, sum, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "adskip-bench: json summary: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -78,6 +92,11 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "adskip-bench: unknown -metrics format %q (want prom or json)\n", *metrics)
 		os.Exit(2)
+	}
+	if *jsonOut != "" && reg == nil {
+		// The JSON summary embeds the cumulative engine metrics (skip
+		// ratios, rows/bytes scanned) even when -metrics is off.
+		reg = obs.NewRegistry()
 	}
 
 	cfg := harness.Config{
@@ -128,9 +147,10 @@ func main() {
 		} else {
 			tbl.Fprint(os.Stdout)
 		}
+		sum.Tables = append(sum.Tables, tbl)
 	}
 
-	if reg != nil {
+	if *metrics != "" {
 		var err error
 		if *metrics == "json" {
 			err = reg.WriteJSON(os.Stderr)
@@ -139,6 +159,13 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "adskip-bench: metrics dump: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut != "" {
+		if err := writeSummary(*jsonOut, sum, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "adskip-bench: json summary: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -15,8 +15,14 @@ import (
 // (protocol, sessions, statement cache) is measured end to end. One
 // connection, closed loop: the numbers are per-request round-trip
 // latencies as a client sees them.
+//
+// The client asks for server-side breakdowns (proto.Request.WantTiming)
+// so each mix also reports how much of the round trip was server
+// execution and what fraction of rows skipping eliminated. Against an
+// older server that ignores the timing fields those columns degrade to
+// "-" and the round-trip numbers are unaffected.
 func runRemote(addr string, queries int, seed int64) (*harness.Table, error) {
-	c, err := client.Dial(addr, client.Options{Timeout: 30 * time.Second})
+	c, err := client.Dial(addr, client.Options{Timeout: 30 * time.Second, Timing: true})
 	if err != nil {
 		return nil, err
 	}
@@ -36,9 +42,10 @@ func runRemote(addr string, queries int, seed int64) (*harness.Table, error) {
 	tbl := &harness.Table{
 		ID:     "remote",
 		Title:  fmt.Sprintf("workload replay against %s (%d rows, %d queries per mix)", addr, domain, queries),
-		Header: []string{"workload", "queries", "qps", "p50_ms", "p95_ms", "p99_ms", "max_ms"},
+		Header: []string{"workload", "queries", "qps", "p50_ms", "p95_ms", "p99_ms", "max_ms", "server_p50_ms", "server_p95_ms", "skip_pct"},
 		Notes: []string{
 			"single closed-loop connection; latency is client-observed round-trip",
+			"server_* and skip_pct come from the server's timing breakdown ('-' if the server predates it)",
 		},
 	}
 	kinds := []workload.QueryKind{
@@ -47,25 +54,43 @@ func runRemote(addr string, queries int, seed int64) (*harness.Table, error) {
 	for _, kind := range kinds {
 		gen := workload.NewGen(workload.QuerySpec{Kind: kind, Domain: domain, Seed: seed})
 		lats := make([]time.Duration, 0, queries)
+		server := make([]time.Duration, 0, queries)
+		var rowsSkipped, rowsTotal int64
 		t0 := time.Now()
 		for i := 0; i < queries; i++ {
 			r := gen.Next()
 			q := fmt.Sprintf("SELECT COUNT(*) FROM data WHERE v BETWEEN %d AND %d", r.Lo, r.Hi)
 			qt0 := time.Now()
-			if _, err := c.Query(q); err != nil {
+			res, err := c.QueryTraced(q, fmt.Sprintf("bench-%s-%d", kind, i))
+			if err != nil {
 				return nil, fmt.Errorf("%s query %d: %w", kind, i, err)
 			}
 			lats = append(lats, time.Since(qt0))
+			if tm := res.Timing; tm != nil {
+				server = append(server, time.Duration(tm.TotalUS)*time.Microsecond)
+				rowsSkipped += tm.RowsSkipped
+				rowsTotal += tm.RowsSkipped + int64(res.Stats.RowsScanned)
+			}
 		}
 		elapsed := time.Since(t0)
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		sort.Slice(server, func(i, j int) bool { return server[i] < server[j] })
 		ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond)) }
+		serverP50, serverP95, skipPct := "-", "-", "-"
+		if len(server) > 0 {
+			serverP50 = ms(pct(server, 0.50))
+			serverP95 = ms(pct(server, 0.95))
+		}
+		if rowsTotal > 0 {
+			skipPct = fmt.Sprintf("%.1f", 100*float64(rowsSkipped)/float64(rowsTotal))
+		}
 		tbl.Rows = append(tbl.Rows, []string{
 			kind.String(),
 			fmt.Sprintf("%d", queries),
 			fmt.Sprintf("%.0f", float64(queries)/elapsed.Seconds()),
 			ms(pct(lats, 0.50)), ms(pct(lats, 0.95)), ms(pct(lats, 0.99)),
 			ms(lats[len(lats)-1]),
+			serverP50, serverP95, skipPct,
 		})
 	}
 	return tbl, nil

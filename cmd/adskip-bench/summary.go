@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"adskip/internal/harness"
+	"adskip/internal/obs"
+)
+
+// benchSummary is the -json run summary: enough context to compare runs
+// (what was measured, at what scale, from which seed) plus every result
+// table and, when a registry was attached, the cumulative engine metrics
+// (skip ratios, rows and bytes scanned, adaptation counters).
+type benchSummary struct {
+	Timestamp  string `json:"timestamp"` // UTC, RFC 3339
+	Experiment string `json:"experiment"`
+	Rows       int    `json:"rows"`
+	Queries    int    `json:"queries"`
+	Seed       int64  `json:"seed"`
+	StaticZone int    `json:"static_zone_rows"`
+	Chaos      bool   `json:"chaos,omitempty"`
+	RemoteAddr string `json:"remote_addr,omitempty"`
+
+	Tables  []*harness.Table `json:"tables"`
+	Metrics json.RawMessage  `json:"metrics,omitempty"`
+}
+
+// writeSummary marshals the summary to path; "auto" derives a
+// BENCH_<timestamp>.json name in the working directory. The written path
+// is reported on stderr so CI can pick the artifact up.
+func writeSummary(path string, sum *benchSummary, reg *obs.Registry) error {
+	sum.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	if reg != nil {
+		var buf []byte
+		w := &appendWriter{buf: &buf}
+		if err := reg.WriteJSON(w); err != nil {
+			return fmt.Errorf("render metrics: %w", err)
+		}
+		sum.Metrics = json.RawMessage(buf)
+	}
+	if path == "auto" {
+		path = "BENCH_" + time.Now().UTC().Format("20060102T150405Z") + ".json"
+	}
+	out, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "adskip-bench: wrote %s\n", path)
+	return nil
+}
+
+// appendWriter adapts a byte slice to io.Writer for WriteJSON.
+type appendWriter struct{ buf *[]byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	*w.buf = append(*w.buf, p...)
+	return len(p), nil
+}

@@ -5,8 +5,14 @@
 // Usage:
 //
 //	adskip-load -addr 127.0.0.1:7878 -conns 64 -duration 10s -domain 1000000
+//	adskip-load -addr 127.0.0.1:7878 -timing
 //
-// The exit status is 1 if any request failed, so scripts can assert an
+// With -timing every request carries a trace ID and asks the server for
+// its latency breakdown; the report then attributes client-observed
+// latency to server execution, server-side queueing, and the network.
+//
+// The exit status is 1 if any request failed (or, under -timing, if any
+// breakdown violated its sanity invariants), so scripts can assert an
 // error-free run.
 package main
 
@@ -34,6 +40,7 @@ func main() {
 		prepared = flag.Bool("prepared", false, "use prepare/exec instead of query text")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		timing   = flag.Bool("timing", false, "request server-side latency breakdowns and print a network/queue/server attribution table")
 	)
 	flag.Parse()
 
@@ -51,8 +58,18 @@ func main() {
 		Prepared:    *prepared,
 		Seed:        *seed,
 		Timeout:     *timeout,
+		Timing:      *timing,
 	})
 	fmt.Println(rep)
+	if *timing && rep.TimingViolations > 0 {
+		fmt.Fprintf(os.Stderr, "adskip-load: %d timing breakdowns violated sanity invariants\n",
+			rep.TimingViolations)
+		os.Exit(1)
+	}
+	if *timing && rep.TimedRequests == 0 && rep.Requests > 0 {
+		fmt.Fprintln(os.Stderr, "adskip-load: -timing was set but the server returned no breakdowns (old server?)")
+		os.Exit(1)
+	}
 	if rep.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "adskip-load: %d of %d requests failed\n",
 			rep.Errors, rep.Requests+rep.Errors)

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -45,13 +46,17 @@ func main() {
 		idle      = flag.Duration("idle", 0, "connection idle timeout (0 = default)")
 		stmtCache = flag.Int("stmt-cache", 0, "prepared-statement cache capacity (0 = default)")
 		skipCols  = flag.String("skip-cols", "v,seq", "comma-separated columns to enable skipping on")
+		logMode   = flag.String("log", "off", "structured logging to stderr: off|text|json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	)
 	flag.Parse()
 
+	logger := makeLogger(*logMode, *logLevel)
 	opts := adskip.Options{
 		StaticZoneSize:       *zone,
 		Parallelism:          *par,
 		MaxConcurrentQueries: *maxConc,
+		Logger:               logger,
 	}
 	switch *policy {
 	case "none":
@@ -99,6 +104,7 @@ func main() {
 			fatalf("telemetry: %v", err)
 		}
 		fmt.Printf("telemetry: %s\n", url)
+		fmt.Printf("dashboard: %s/dash\n", url)
 	}
 
 	srv, err := server.Start(db, server.Options{
@@ -107,6 +113,7 @@ func main() {
 		MaxFrameBytes: *maxFrame,
 		IdleTimeout:   *idle,
 		StmtCacheSize: *stmtCache,
+		Logger:        logger,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -162,6 +169,36 @@ func generate(db *adskip.DB, rows int, dist string, seed int64) *adskip.Table {
 		}
 	}
 	return tbl
+}
+
+// makeLogger builds the slog.Logger the engine and query service share,
+// or nil (logging disabled) for mode "off".
+func makeLogger(mode, level string) *slog.Logger {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		fatalf("unknown log level %q", level)
+	}
+	ho := &slog.HandlerOptions{Level: lvl}
+	switch mode {
+	case "off":
+		return nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, ho))
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, ho))
+	default:
+		fatalf("unknown log mode %q", mode)
+		return nil
+	}
 }
 
 func fatalf(format string, args ...any) {

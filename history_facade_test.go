@@ -1,0 +1,109 @@
+package adskip
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestHistoryTimeline drives queries while the adaptation-timeline
+// sampler runs and proves the timeline is live (samples accumulate, the
+// cumulative counters are monotone, skip state is per column), served
+// over /history, and torn down by Close without leaking the sampler
+// goroutine.
+func TestHistoryTimeline(t *testing.T) {
+	db := seededDB(t, Options{Policy: Adaptive, HistoryInterval: 5 * time.Millisecond, HistoryCapacity: 64})
+	before := runtime.NumGoroutine()
+
+	if got := db.History(); got != nil {
+		t.Fatalf("History non-empty before StartTelemetry: %d samples", len(got))
+	}
+	url, err := db.StartTelemetry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep querying until a few samples land.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(db.History()) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeline stuck at %d samples", len(db.History()))
+		}
+		if _, err := db.Exec("SELECT COUNT(*) FROM events WHERE v BETWEEN 3000 AND 3006"); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	hist := db.History()
+	var prev int64 = -1
+	for i, s := range hist {
+		if s.Queries < prev {
+			t.Fatalf("sample %d: cumulative queries went backwards (%d -> %d)", i, prev, s.Queries)
+		}
+		prev = s.Queries
+		if s.SkipRatio < 0 || s.SkipRatio > 1 {
+			t.Fatalf("sample %d: skip ratio %f out of [0,1]", i, s.SkipRatio)
+		}
+	}
+	last := hist[len(hist)-1]
+	if last.Queries == 0 || last.RowsSkipped == 0 {
+		t.Fatalf("timeline never saw the workload: %+v", last)
+	}
+	if last.LatencyP50 <= 0 || last.LatencyP95 < last.LatencyP50 {
+		t.Fatalf("latency quantiles inconsistent: p50=%g p95=%g", last.LatencyP50, last.LatencyP95)
+	}
+	var vcol *HistoryColumn
+	for i := range last.Columns {
+		if last.Columns[i].Column == "v" {
+			vcol = &last.Columns[i]
+		}
+	}
+	if vcol == nil || vcol.Table != "events" || !vcol.Enabled || vcol.Zones == 0 {
+		t.Fatalf("column v missing or flat in timeline: %+v", last.Columns)
+	}
+
+	// The same timeline over HTTP.
+	resp, err := http.Get(url + "/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/history = %d", resp.StatusCode)
+	}
+	var listing struct {
+		IntervalNS int64           `json:"interval_ns"`
+		Samples    []HistorySample `json:"samples"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatalf("invalid /history JSON: %v\n%s", err, body)
+	}
+	if listing.IntervalNS != int64(5*time.Millisecond) || len(listing.Samples) == 0 {
+		t.Fatalf("served listing: interval %d, %d samples", listing.IntervalNS, len(listing.Samples))
+	}
+
+	// Close stops the sampler (and everything else) without leaks.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.History(); got != nil {
+		t.Fatalf("History non-empty after Close: %d samples", len(got))
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

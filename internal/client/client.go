@@ -33,6 +33,11 @@ type Options struct {
 	Timeout time.Duration
 	// MaxFrameBytes caps response frames (default proto.MaxFrameDefault).
 	MaxFrameBytes int
+	// Timing asks the server for a latency breakdown on every request;
+	// results carry it in their Timing field. Servers that predate the
+	// field ignore the ask and Timing stays nil — callers must tolerate
+	// absence.
+	Timing bool
 }
 
 // Client is one connection to an adskip server. Methods are safe for
@@ -107,11 +112,22 @@ func decodeResult(raw json.RawMessage) (*proto.Result, error) {
 
 // Query executes SQL text and returns the decoded result.
 func (c *Client) Query(sqlText string) (*proto.Result, error) {
-	resp, err := c.roundTrip(proto.Request{Op: proto.OpQuery, SQL: sqlText})
+	return c.QueryTraced(sqlText, "")
+}
+
+// QueryTraced executes SQL text tagged with a client-generated trace ID.
+// The server stamps the query's span tree with it, so the caller can
+// find this exact execution in the server's /traces endpoint. An empty
+// traceID degrades to a plain Query.
+func (c *Client) QueryTraced(sqlText, traceID string) (*proto.Result, error) {
+	resp, err := c.roundTrip(proto.Request{
+		Op: proto.OpQuery, SQL: sqlText,
+		TraceID: traceID, WantTiming: c.opts.Timing,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return decodeResult(resp.Result)
+	return decodeTimedResult(resp)
 }
 
 // Prepare parses and plans a statement server-side, returning its ID.
@@ -126,11 +142,31 @@ func (c *Client) Prepare(sqlText string) (uint64, error) {
 // Exec executes a prepared statement by ID. A ServerError with kind
 // proto.ErrKindNoStmt means the statement was evicted: Prepare again.
 func (c *Client) Exec(stmt uint64) (*proto.Result, error) {
-	resp, err := c.roundTrip(proto.Request{Op: proto.OpExec, Stmt: stmt})
+	return c.ExecTraced(stmt, "")
+}
+
+// ExecTraced executes a prepared statement tagged with a trace ID (see
+// QueryTraced).
+func (c *Client) ExecTraced(stmt uint64, traceID string) (*proto.Result, error) {
+	resp, err := c.roundTrip(proto.Request{
+		Op: proto.OpExec, Stmt: stmt,
+		TraceID: traceID, WantTiming: c.opts.Timing,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return decodeResult(resp.Result)
+	return decodeTimedResult(resp)
+}
+
+// decodeTimedResult decodes the result payload and attaches the server's
+// timing breakdown (nil when not requested or the server predates it).
+func decodeTimedResult(resp proto.Response) (*proto.Result, error) {
+	res, err := decodeResult(resp.Result)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing = resp.Timing
+	return res, nil
 }
 
 // Ping checks liveness.

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -93,6 +94,12 @@ type Options struct {
 	// exceeds it as slow: the trace is flagged, copied to the slow-query
 	// log, and counted. Zero disables the slow-query log.
 	SlowQueryThreshold time.Duration
+	// Logger receives structured log events: slow queries (warn),
+	// quarantines (error), and adaptation milestones — skipper
+	// built/loaded/rebuilt and arbitration flips at info, per-zone
+	// splits/merges at debug. Nil disables logging entirely (the hot
+	// path pays one nil check).
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -125,14 +132,18 @@ type Engine struct {
 	// Observability: the registry and event log may be shared across
 	// engines; metric handles are resolved once so the per-query cost is
 	// atomic adds only. trace is the in-flight query's trace (guarded by
-	// mu, like all query state).
+	// mu, like all query state). colM has its own small mutex so the
+	// history sampler can walk the per-column handles without waiting on
+	// a running query's hold of mu.
 	reg    *obs.Registry
 	events *obs.EventLog
 	m      engMetrics
+	colMu  sync.Mutex
 	colM   map[string]*colMetrics
 	trace  *obs.QueryTrace
 	traces *obs.TraceRing
 	slow   *obs.TraceRing
+	log    *slog.Logger
 }
 
 // Errors returned by the engine.
@@ -169,6 +180,7 @@ func New(tbl *table.Table, opts Options) *Engine {
 	}
 	e.m = newEngMetrics(e.reg, tbl.Name())
 	e.colM = make(map[string]*colMetrics)
+	e.log = opts.Logger
 	return e
 }
 

@@ -141,7 +141,8 @@ func (e *Engine) queryOnce(ctx context.Context, q Query) (out *Result, err error
 	qc := e.newQctx(ctx)
 	root := obs.NewSpan("query")
 	tr := &obs.QueryTrace{Table: e.tbl.Name(), Start: root.Start, Root: root,
-		Session: obs.SessionFromContext(ctx)}
+		Session: obs.SessionFromContext(ctx),
+		TraceID: obs.TraceFromContext(ctx)}
 	e.trace = tr
 	defer func() { e.trace = nil }()
 	spPlan := root.StartChild("plan")

@@ -1,0 +1,51 @@
+package engine
+
+import "adskip/internal/obs"
+
+// History support: the engine contributes its cumulative totals and
+// per-column skipping state to an adaptation-timeline sample. Everything
+// read here is a resolved atomic handle — no registry lookups — and the
+// only lock taken is colMu (never e.mu), so sampling proceeds even while
+// a long query holds the engine mutex.
+
+// FillHistory accumulates this engine's totals into s and appends one
+// HistoryColumn per column with resolved metric handles. Counters are
+// added (+=) so samples aggregate naturally across the engines of a
+// catalog; SkipRatio and AdaptEvents are left for the caller, which sees
+// the catalog-wide totals (ratios do not sum).
+func (e *Engine) FillHistory(s *obs.HistorySample) {
+	s.Queries += e.m.queries.Load()
+	s.RowsScanned += e.m.rowsScanned.Load()
+	s.RowsSkipped += e.m.rowsSkipped.Load()
+	s.RowsCovered += e.m.rowsCovered.Load()
+	s.SlowQueries += e.m.slowQueries.Load()
+
+	table := e.tbl.Name()
+	e.colMu.Lock()
+	defer e.colMu.Unlock()
+	for name, cm := range e.colM {
+		skipped := cm.rowsSkipped.Load()
+		cand := cm.candidateRows.Load()
+		ratio := 0.0
+		if skipped+cand > 0 {
+			ratio = float64(skipped) / float64(skipped+cand)
+		}
+		s.Columns = append(s.Columns, obs.HistoryColumn{
+			Table:     table,
+			Column:    name,
+			SkipRatio: ratio,
+			Zones:     cm.zones.Load(),
+			Enabled:   cm.enabled.Load() != 0,
+		})
+	}
+}
+
+// LatencyBounds returns the engine latency histogram's bucket bounds
+// (shared across all engines: obs.LatencyBuckets).
+func (e *Engine) LatencyBounds() []float64 { return e.m.latency.Bounds() }
+
+// AccumulateLatency adds the engine's latency bucket counts into dst
+// (len(LatencyBounds())+1 entries), allocation-free, so a caller can
+// merge latency distributions across tables and estimate quantiles with
+// obs.QuantileFromBuckets.
+func (e *Engine) AccumulateLatency(dst []int64) { e.m.latency.AccumulateBuckets(dst) }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"log/slog"
 	"time"
 
 	"adskip/internal/core"
@@ -77,8 +79,12 @@ type colMetrics struct {
 	enabled       *obs.Gauge // 1 while arbitration allows skipping
 }
 
-// colMetrics resolves (and caches) the handles for one column.
+// colMetrics resolves (and caches) the handles for one column. The map
+// is guarded by colMu (not the engine mutex) so the history sampler can
+// read it while a query runs.
 func (e *Engine) colMetrics(name string) *colMetrics {
+	e.colMu.Lock()
+	defer e.colMu.Unlock()
 	if cm, ok := e.colM[name]; ok {
 		return cm
 	}
@@ -133,7 +139,9 @@ func (cm *colMetrics) refreshGauges(s core.Skipper) {
 
 // eventSink returns the adaptation-event sink installed on a column's
 // skipper: it stamps table/column identity, bumps the per-kind event
-// counter, and appends to the shared event log.
+// counter, appends to the shared event log, and (when a logger is
+// configured) emits a structured log line — milestones at info, chatty
+// per-zone structural churn at debug.
 func (e *Engine) eventSink(col string) func(obs.Event) {
 	table := e.tbl.Name()
 	return func(ev obs.Event) {
@@ -141,6 +149,19 @@ func (e *Engine) eventSink(col string) func(obs.Event) {
 		e.reg.Counter("adskip_adapt_events_total", "Adaptation events by kind.",
 			obs.L("table", table), obs.L("column", col), obs.L("kind", ev.Kind.String())).Inc()
 		e.events.Append(ev)
+		if e.log != nil {
+			lvl := slog.LevelDebug
+			switch ev.Kind {
+			case obs.EventDisable, obs.EventEnable, obs.EventSkipperBuilt,
+				obs.EventSkipperLoad, obs.EventRebuild:
+				lvl = slog.LevelInfo
+			case obs.EventQuarantine:
+				lvl = slog.LevelWarn
+			}
+			e.log.Log(context.Background(), lvl, "adaptation event",
+				"table", table, "column", col, "kind", ev.Kind.String(),
+				"zones", ev.Zones, "delta", ev.Delta)
+		}
 	}
 }
 
@@ -210,6 +231,12 @@ func (e *Engine) finishTrace(res *Result, tr *obs.QueryTrace, plans []colPlan, n
 		tr.Slow = true
 		e.m.slowQueries.Inc()
 		e.slow.Append(tr)
+		if e.log != nil {
+			e.log.Warn("slow query",
+				"table", tr.Table, "total", tr.Total,
+				"rows_scanned", tr.RowsScanned, "rows_skipped", tr.RowsSkipped,
+				"session", tr.Session, "trace_id", tr.TraceID)
+		}
 	}
 	e.traces.Append(tr)
 

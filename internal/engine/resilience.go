@@ -272,6 +272,10 @@ func (e *Engine) quarantineLocked(col string, cause error) {
 		zones = s.Metadata().Zones
 	}()
 	e.eventSink(col)(obs.Event{Kind: obs.EventQuarantine, Zones: zones})
+	if e.log != nil {
+		e.log.Error("skipper quarantined: column falls back to full scans",
+			"table", e.tbl.Name(), "column", col, "cause", cause.Error())
+	}
 	cm := e.colMetrics(col)
 	cm.enabled.Set(0)
 	cm.zones.Set(0)

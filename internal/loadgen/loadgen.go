@@ -38,6 +38,10 @@ type Options struct {
 	Prepared    bool          // prepare once per template, then exec by ID
 	Seed        int64         // RNG seed for templates and picks (default 1)
 	Timeout     time.Duration // per-request timeout (default 10s)
+	// Timing tags every request with a trace ID and asks the server for
+	// its latency breakdown, so the report can attribute client-observed
+	// latency to server execution, server-side queueing, and the network.
+	Timing bool
 }
 
 func (o *Options) defaults() {
@@ -84,6 +88,23 @@ type Report struct {
 	P95      time.Duration
 	P99      time.Duration
 	Max      time.Duration
+
+	// Latency attribution, populated when Options.Timing is set and the
+	// server returns breakdowns. Server is the server-side total (frame
+	// read to response ready), Queue its read-to-dispatch component, and
+	// Network the per-request remainder (client RTT minus server total:
+	// wire time plus client-side encode/decode).
+	TimedRequests    int64 // requests that carried a server breakdown
+	TimingViolations int64 // breakdowns that failed a sanity invariant
+	ServerP50        time.Duration
+	ServerP95        time.Duration
+	ServerP99        time.Duration
+	QueueP50         time.Duration
+	QueueP95         time.Duration
+	QueueP99         time.Duration
+	NetworkP50       time.Duration
+	NetworkP95       time.Duration
+	NetworkP99       time.Duration
 }
 
 // String renders the report as the one-line-per-fact summary the CLI
@@ -98,6 +119,14 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "p95       %v\n", r.P95)
 	fmt.Fprintf(&b, "p99       %v\n", r.P99)
 	fmt.Fprintf(&b, "max       %v", r.Max)
+	if r.TimedRequests > 0 {
+		fmt.Fprintf(&b, "\n\nlatency attribution (%d timed requests, %d violations)\n",
+			r.TimedRequests, r.TimingViolations)
+		fmt.Fprintf(&b, "%-9s %10s %10s %10s\n", "phase", "p50", "p95", "p99")
+		fmt.Fprintf(&b, "%-9s %10v %10v %10v\n", "server", r.ServerP50, r.ServerP95, r.ServerP99)
+		fmt.Fprintf(&b, "%-9s %10v %10v %10v\n", "queue", r.QueueP50, r.QueueP95, r.QueueP99)
+		fmt.Fprintf(&b, "%-9s %10v %10v %10v", "network", r.NetworkP50, r.NetworkP95, r.NetworkP99)
+	}
 	return b.String()
 }
 
@@ -121,12 +150,18 @@ func Run(opts Options) Report {
 	wg.Wait()
 
 	merged := newHist()
+	server, queue, network := newHist(), newHist(), newHist()
 	rep := Report{Elapsed: time.Since(t0)}
 	for i := range stats {
 		rep.Requests += stats[i].requests
 		rep.Errors += stats[i].errors
 		rep.Rows += stats[i].rows
+		rep.TimedRequests += stats[i].timed
+		rep.TimingViolations += stats[i].violations
 		merged.merge(stats[i].h)
+		server.merge(stats[i].server)
+		queue.merge(stats[i].queue)
+		network.merge(stats[i].network)
 		if stats[i].max > rep.Max {
 			rep.Max = stats[i].max
 		}
@@ -137,6 +172,17 @@ func Run(opts Options) Report {
 	rep.P50 = merged.quantile(0.50)
 	rep.P95 = merged.quantile(0.95)
 	rep.P99 = merged.quantile(0.99)
+	if rep.TimedRequests > 0 {
+		rep.ServerP50 = server.quantile(0.50)
+		rep.ServerP95 = server.quantile(0.95)
+		rep.ServerP99 = server.quantile(0.99)
+		rep.QueueP50 = queue.quantile(0.50)
+		rep.QueueP95 = queue.quantile(0.95)
+		rep.QueueP99 = queue.quantile(0.99)
+		rep.NetworkP50 = network.quantile(0.50)
+		rep.NetworkP95 = network.quantile(0.95)
+		rep.NetworkP99 = network.quantile(0.99)
+	}
 	return rep
 }
 
@@ -168,11 +214,16 @@ func makeTemplates(opts Options) []string {
 }
 
 type workerStats struct {
-	requests int64
-	errors   int64
-	rows     int64
-	max      time.Duration
-	h        *hist
+	requests   int64
+	errors     int64
+	rows       int64
+	max        time.Duration
+	h          *hist
+	timed      int64 // responses carrying a server breakdown
+	violations int64 // breakdowns failing a sanity invariant
+	server     *hist // server-side total (Timing.TotalUS)
+	queue      *hist // server-side queueing (Timing.QueueUS)
+	network    *hist // client RTT minus server total
 }
 
 // runWorker is one closed-loop connection. Transport errors trigger a
@@ -184,7 +235,7 @@ func runWorker(opts Options, templates []string, deadline time.Time, id int) wor
 	if len(templates) > 1 {
 		zipf = rand.NewZipf(rng, opts.ZipfS, 1, uint64(len(templates)-1))
 	}
-	st := workerStats{h: newHist()}
+	st := workerStats{h: newHist(), server: newHist(), queue: newHist(), network: newHist()}
 	var c *client.Client
 	stmts := make(map[int]uint64) // template index -> prepared stmt ID
 
@@ -195,7 +246,7 @@ func runWorker(opts Options, templates []string, deadline time.Time, id int) wor
 	}()
 	for time.Now().Before(deadline) {
 		if c == nil {
-			cc, err := client.Dial(opts.Addr, client.Options{Timeout: opts.Timeout})
+			cc, err := client.Dial(opts.Addr, client.Options{Timeout: opts.Timeout, Timing: opts.Timing})
 			if err != nil {
 				st.errors++
 				time.Sleep(50 * time.Millisecond)
@@ -208,6 +259,12 @@ func runWorker(opts Options, templates []string, deadline time.Time, id int) wor
 		if zipf != nil {
 			i = int(zipf.Uint64())
 		}
+		// Each timed request carries a distinct trace ID, so its span tree
+		// is findable in the server's /traces afterwards.
+		var traceID string
+		if opts.Timing {
+			traceID = fmt.Sprintf("load-w%d-%d", id, st.requests)
+		}
 		start := time.Now()
 		var res *proto.Result
 		var err error
@@ -219,7 +276,7 @@ func runWorker(opts Options, templates []string, deadline time.Time, id int) wor
 				}
 			}
 			if err == nil {
-				res, err = c.Exec(sid)
+				res, err = c.ExecTraced(sid, traceID)
 			}
 			var se *client.ServerError
 			if errors.As(err, &se) && se.Kind == proto.ErrKindNoStmt {
@@ -227,7 +284,7 @@ func runWorker(opts Options, templates []string, deadline time.Time, id int) wor
 				continue
 			}
 		} else {
-			res, err = c.Query(templates[i])
+			res, err = c.QueryTraced(templates[i], traceID)
 		}
 		if err != nil {
 			st.errors++
@@ -245,6 +302,24 @@ func runWorker(opts Options, templates []string, deadline time.Time, id int) wor
 		st.h.observe(lat)
 		if lat > st.max {
 			st.max = lat
+		}
+		if tm := res.Timing; tm != nil {
+			st.timed++
+			serverTotal := time.Duration(tm.TotalUS) * time.Microsecond
+			// Two invariants every honest breakdown satisfies: the phases
+			// sum to at most the server total, and the server total fits
+			// inside the client-observed round trip (the server interval
+			// is strictly contained in it).
+			if tm.PhaseSumUS() > tm.TotalUS || serverTotal > lat {
+				st.violations++
+			}
+			st.server.observe(serverTotal)
+			st.queue.observe(time.Duration(tm.QueueUS) * time.Microsecond)
+			net := lat - serverTotal
+			if net < 0 {
+				net = 0
+			}
+			st.network.observe(net)
 		}
 	}
 	return st

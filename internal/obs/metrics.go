@@ -98,6 +98,55 @@ func (h *Histogram) BucketCounts() []int64 {
 	return out
 }
 
+// AccumulateBuckets adds the histogram's per-bucket counts into dst,
+// which must have len(Bounds())+1 entries. Allocation-free, so periodic
+// samplers can merge histograms across tables without garbage.
+func (h *Histogram) AccumulateBuckets(dst []int64) {
+	for i := range h.buckets {
+		dst[i] += h.buckets[i].Load()
+	}
+}
+
+// QuantileFromBuckets estimates the q-th quantile (q in [0,1]) from
+// fixed-bucket counts (len(bounds)+1 entries, last = overflow), linearly
+// interpolating within the winning bucket. Estimates are bounded by one
+// bucket width; the overflow bucket reports the top finite bound.
+func QuantileFromBuckets(bounds []float64, buckets []int64, q float64) float64 {
+	var total int64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range buckets {
+		prev := cum
+		cum += c
+		if float64(cum) < target {
+			continue
+		}
+		if i >= len(bounds) { // overflow bucket: no finite upper bound
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (target - float64(prev)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return bounds[len(bounds)-1]
+}
+
 // Label is one name=value dimension of a metric series (e.g. the table or
 // column a counter is scoped to).
 type Label struct {

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSamplerRingWrap drives the sampler well past its capacity and
+// proves the ring keeps exactly the newest samples, oldest-first, with
+// per-sample columns sorted by (table, column).
+func TestSamplerRingWrap(t *testing.T) {
+	var n atomic.Int64
+	s := NewSampler(time.Millisecond, 4, func(h *HistorySample) {
+		h.Queries = n.Add(1)
+		// Deliberately unsorted: the sampler must sort.
+		h.Columns = append(h.Columns,
+			HistoryColumn{Table: "t", Column: "z"},
+			HistoryColumn{Table: "a", Column: "b"},
+			HistoryColumn{Table: "t", Column: "a"},
+		)
+	})
+	defer s.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Total() < 10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler took only %d samples in 5s", s.Total())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+
+	total := s.Total()
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d after %d samples, want capacity 4", got, total)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot holds %d samples, want 4", len(snap))
+	}
+	// Oldest-first and contiguous: the newest sample is the total'th fill.
+	for i, h := range snap {
+		want := int64(total) - int64(len(snap)-1-i)
+		if h.Queries != want {
+			t.Fatalf("sample %d carries fill #%d, want #%d (ring order broken)", i, h.Queries, want)
+		}
+		if len(h.Columns) != 3 {
+			t.Fatalf("sample %d has %d columns, want 3", i, len(h.Columns))
+		}
+		for j := 1; j < len(h.Columns); j++ {
+			if !columnLess(&h.Columns[j-1], &h.Columns[j]) {
+				t.Fatalf("sample %d columns unsorted: %+v", i, h.Columns)
+			}
+		}
+	}
+
+	// Snapshot must be a deep copy: mutating it cannot reach the ring.
+	snap[0].Columns[0].Table = "mutated"
+	if s.Snapshot()[0].Columns[0].Table == "mutated" {
+		t.Fatal("Snapshot shares column backing arrays with the ring")
+	}
+}
+
+// TestSamplerFirstSampleImmediate: History is never empty, even before
+// the first tick.
+func TestSamplerFirstSampleImmediate(t *testing.T) {
+	s := NewSampler(time.Hour, 8, func(h *HistorySample) { h.Queries = 42 })
+	defer s.Stop()
+	if s.Len() != 1 || s.Total() != 1 {
+		t.Fatalf("Len=%d Total=%d right after NewSampler, want 1/1", s.Len(), s.Total())
+	}
+	if got := s.Snapshot()[0].Queries; got != 42 {
+		t.Fatalf("first sample not filled: Queries=%d", got)
+	}
+}
+
+// TestSamplerStopIdempotent: Stop joins the goroutine and is safe to
+// call repeatedly and concurrently.
+func TestSamplerStopIdempotent(t *testing.T) {
+	s := NewSampler(time.Millisecond, 4, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); s.Stop() }()
+	}
+	wg.Wait()
+	s.Stop()
+	if s.Len() < 1 {
+		t.Fatal("nil fill should still record empty samples")
+	}
+}
+
+// TestHistorySampleGoldenJSON locks the serialized shape of one timeline
+// sample — key names and order — so /history consumers (the dashboard,
+// scripts scraping the endpoint) can't be broken by a silent rename.
+func TestHistorySampleGoldenJSON(t *testing.T) {
+	const want = `{
+  "time": "2026-01-02T03:04:05Z",
+  "queries": 100,
+  "rows_scanned": 2000,
+  "rows_skipped": 8000,
+  "rows_covered": 50,
+  "slow_queries": 1,
+  "skip_ratio": 0.8,
+  "latency_p50_seconds": 0.0001,
+  "latency_p95_seconds": 0.002,
+  "adapt_events": 17,
+  "columns": [
+    {
+      "table": "data",
+      "column": "v",
+      "skip_ratio": 0.9,
+      "zones": 64,
+      "enabled": true
+    }
+  ]
+}`
+	h := HistorySample{
+		Time:    time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
+		Queries: 100, RowsScanned: 2000, RowsSkipped: 8000, RowsCovered: 50,
+		SlowQueries: 1, SkipRatio: 0.8,
+		LatencyP50: 0.0001, LatencyP95: 0.002, AdaptEvents: 17,
+		Columns: []HistoryColumn{{Table: "data", Column: "v", SkipRatio: 0.9, Zones: 64, Enabled: true}},
+	}
+	got, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Errorf("history sample JSON drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// BenchmarkSamplerTick measures one timeline sample end to end (slot
+// reuse, fill, column sort). The steady state must not allocate: the
+// ring recycles slots and their Columns backing arrays.
+func BenchmarkSamplerTick(b *testing.B) {
+	s := NewSampler(time.Hour, 64, func(h *HistorySample) {
+		h.Queries = 1
+		h.Columns = append(h.Columns,
+			HistoryColumn{Table: "t", Column: "d"},
+			HistoryColumn{Table: "t", Column: "c"},
+			HistoryColumn{Table: "t", Column: "b"},
+			HistoryColumn{Table: "t", Column: "a"},
+		)
+	})
+	defer s.Stop()
+	for i := 0; i < 70; i++ {
+		s.sample() // warm the ring past capacity
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.sample()
+	}
+}

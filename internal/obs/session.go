@@ -23,3 +23,24 @@ func SessionFromContext(ctx context.Context) string {
 	id, _ := ctx.Value(sessionKey{}).(string)
 	return id
 }
+
+// traceKey is the private context key for the client trace ID.
+type traceKey struct{}
+
+// WithTrace returns a context carrying a client-generated trace ID. The
+// network server stamps each request's context with the ID its client
+// sent, and the engine copies it onto the QueryTrace — so a remote caller
+// can correlate its own latency measurements with the server's /traces
+// span tree for the same query.
+func WithTrace(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFromContext returns the trace ID carried by ctx, or "".
+func TraceFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

@@ -19,6 +19,11 @@ type QueryTrace struct {
 	// on (see WithSession); "" for in-process queries.
 	Session string `json:"session,omitempty"`
 
+	// TraceID is the client-generated trace ID propagated over the wire
+	// (see WithTrace); "" when the client sent none. It lets a remote
+	// caller find this query's span tree in /traces.
+	TraceID string `json:"trace_id,omitempty"`
+
 	// Phase timings. Scan excludes the feedback time spent inside
 	// skipper.Observe calls, which is accounted to Feedback.
 	Plan     time.Duration `json:"plan_ns"`     // validation + aggregate/projection binding

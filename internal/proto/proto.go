@@ -28,12 +28,18 @@
 //	{"op":"ping"}                       liveness probe
 //	{"op":"catalog"}                    list tables (sorted)
 //
+// Any request may additionally carry "trace" (a client-generated trace
+// ID the server tags the query's span tree with) and "timing" (true to
+// request a server-side latency breakdown on the response). Both are
+// optional: old clients omit them, old servers ignore them.
+//
 // # Responses
 //
 // Every response has "ok". Failures carry "error" (human-readable) and
 // "error_kind" (stable machine tag, see ErrKind*). Successes carry the
 // op-specific payload: "result" (a wire-encoded engine.Result, see
-// engine.Result.MarshalJSON), "stmt", or "tables".
+// engine.Result.MarshalJSON), "stmt", or "tables" — plus "timing" (a
+// Timing breakdown) when the request asked for one.
 package proto
 
 import (
@@ -71,10 +77,24 @@ const (
 const MaxFrameDefault = 4 << 20
 
 // Request is one client request frame.
+//
+// TraceID and WantTiming are optional observability fields added after
+// the first protocol release. Both sides tolerate their absence — an old
+// client's frames simply carry neither, and an old server ignores them
+// (unknown JSON fields are dropped on decode) — so mixed-version
+// deployments keep working.
 type Request struct {
 	Op   string `json:"op"`
 	SQL  string `json:"sql,omitempty"`
 	Stmt uint64 `json:"stmt,omitempty"`
+	// TraceID is an optional client-generated trace ID. The server tags
+	// the query's span tree with it, so the client can find "its" query
+	// in the server's /traces endpoint.
+	TraceID string `json:"trace,omitempty"`
+	// WantTiming asks the server to return a Timing breakdown on the
+	// response. Off by default: the breakdown costs a few clock reads
+	// and ~200 response bytes per request.
+	WantTiming bool `json:"timing,omitempty"`
 }
 
 // Response is one server response frame.
@@ -85,6 +105,47 @@ type Response struct {
 	Result  json.RawMessage `json:"result,omitempty"`
 	Stmt    uint64          `json:"stmt,omitempty"`
 	Tables  []string        `json:"tables,omitempty"`
+	// Timing is the server-side latency breakdown, present only when the
+	// request set WantTiming and the server understands it (old servers
+	// leave it nil — clients must treat absence as "not supported").
+	Timing *Timing `json:"timing,omitempty"`
+}
+
+// Timing is the server-side latency attribution for one request, in
+// microseconds. Phases are disjoint and sum to at most TotalUS (the
+// remainder is dispatch overhead); TotalUS is measured from the moment
+// the request frame was read off the wire to the moment the response was
+// ready to write, so client_rtt - TotalUS is network plus client-side
+// time. All fields are additive over the strict request/response
+// conversation — there is no pipelining to double-charge.
+type Timing struct {
+	// TraceID echoes the request's trace ID (or is empty), so a client
+	// aggregating many in-flight requests can match breakdowns without
+	// relying on response ordering.
+	TraceID string `json:"trace_id,omitempty"`
+	// QueueUS is time the request spent parked behind earlier requests
+	// on the same session (read-to-dispatch).
+	QueueUS int64 `json:"queue_us"`
+	// ParseUS and PlanUS are SQL text costs; both are zero on a
+	// statement-cache hit — that is the cache paying off, visibly.
+	ParseUS int64 `json:"parse_us"`
+	PlanUS  int64 `json:"plan_us"`
+	// PruneUS is metadata probe time (the skipping decision), ScanUS
+	// kernel execution plus adaptive feedback.
+	PruneUS int64 `json:"prune_us"`
+	ScanUS  int64 `json:"scan_us"`
+	// SerializeUS is result wire-encoding time.
+	SerializeUS int64 `json:"serialize_us"`
+	TotalUS     int64 `json:"total_us"`
+	// RowsSkipped is the rows pruned by skipping metadata for this
+	// query, so remote clients see skipping effectiveness per request.
+	RowsSkipped int64 `json:"rows_skipped"`
+}
+
+// PhaseSumUS returns the sum of the attributed phases (everything but
+// TotalUS); always <= TotalUS up to clock granularity.
+func (t *Timing) PhaseSumUS() int64 {
+	return t.QueueUS + t.ParseUS + t.PlanUS + t.PruneUS + t.ScanUS + t.SerializeUS
 }
 
 // Column is one result column on the decode side: name plus SQL-ish type
@@ -112,6 +173,11 @@ type Result struct {
 	Rows    [][]any  `json:"rows,omitempty"`
 	Aggs    []any    `json:"aggs,omitempty"`
 	Stats   Stats    `json:"stats"`
+	// Timing is attached by the client library from the response frame
+	// when the connection requested server timing; it is not part of the
+	// wire-encoded result itself (hence the "-" tag). Nil when the
+	// server predates timing or timing was not requested.
+	Timing *Timing `json:"-"`
 }
 
 // ErrFrameTooLarge reports a frame whose declared length exceeds the

@@ -132,3 +132,72 @@ func TestResultDecodesEngineShape(t *testing.T) {
 		t.Fatalf("stats: %+v", res.Stats)
 	}
 }
+
+// TestTimingFieldCompat proves the trace/timing fields are optional in
+// both directions: an old client's request (no trace/timing keys) decodes
+// on a new server with zero values, and an old server's response (no
+// timing key) decodes on a new client with a nil Timing — so mixed
+// deployments keep working.
+func TestTimingFieldCompat(t *testing.T) {
+	// Old client -> new server: bare request frame.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte(`{"op":"query","sql":"SELECT COUNT(*) FROM data"}`)); err != nil {
+		t.Fatal(err)
+	}
+	req, err := ReadRequest(&buf, MaxFrameDefault)
+	if err != nil {
+		t.Fatalf("old-style request rejected: %v", err)
+	}
+	if req.TraceID != "" || req.WantTiming {
+		t.Fatalf("absent fields decoded non-zero: %+v", req)
+	}
+
+	// New client -> old server: the old server's strict decoder is
+	// mirrored by ReadRequest; unknown-to-it fields are simply dropped by
+	// encoding/json, so the new frame must still parse as a Request.
+	buf.Reset()
+	if err := WriteMessage(&buf, Request{Op: OpQuery, SQL: "SELECT 1", TraceID: "t-1", WantTiming: true}); err != nil {
+		t.Fatal(err)
+	}
+	req2, err := ReadRequest(&buf, MaxFrameDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req2.TraceID != "t-1" || !req2.WantTiming {
+		t.Fatalf("timing fields lost in round-trip: %+v", req2)
+	}
+
+	// Old server -> new client: response without a timing key.
+	buf.Reset()
+	if err := WriteFrame(&buf, []byte(`{"ok":true,"result":{"count":1,"stats":{}}}`)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadResponse(&buf, MaxFrameDefault)
+	if err != nil {
+		t.Fatalf("old-style response rejected: %v", err)
+	}
+	if resp.Timing != nil {
+		t.Fatalf("absent timing decoded non-nil: %+v", resp.Timing)
+	}
+
+	// New server -> new client: full breakdown round-trips.
+	buf.Reset()
+	tm := &Timing{TraceID: "t-1", QueueUS: 1, ParseUS: 2, PlanUS: 3, PruneUS: 4,
+		ScanUS: 5, SerializeUS: 6, TotalUS: 30, RowsSkipped: 7}
+	if err := WriteMessage(&buf, Response{OK: true, Timing: tm}); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := ReadResponse(&buf, MaxFrameDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Timing == nil || *resp2.Timing != *tm {
+		t.Fatalf("timing round-trip: %+v, want %+v", resp2.Timing, tm)
+	}
+	if got := resp2.Timing.PhaseSumUS(); got != 21 {
+		t.Fatalf("PhaseSumUS = %d, want 21", got)
+	}
+	if resp2.Timing.PhaseSumUS() > resp2.Timing.TotalUS {
+		t.Fatal("phase sum exceeds total")
+	}
+}

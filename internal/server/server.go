@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"strconv"
@@ -50,6 +51,10 @@ type Options struct {
 	IdleTimeout   time.Duration // close connections idle this long (default 5m)
 	WriteTimeout  time.Duration // per-response write deadline (default 30s)
 	StmtCacheSize int           // prepared-statement LRU capacity (default 256)
+	// Logger receives structured server events: lifecycle at info,
+	// connection open/close at debug, protocol errors at warn. Nil
+	// disables logging.
+	Logger *slog.Logger
 }
 
 // Server serves SQL queries against one adskip.DB over TCP.
@@ -59,6 +64,7 @@ type Server struct {
 	ln    net.Listener
 	m     *srvMetrics
 	cache *stmtCache
+	log   *slog.Logger
 
 	done chan struct{} // closed when draining begins
 	sem  chan struct{} // connection slots, taken before Accept
@@ -102,9 +108,13 @@ func Start(db *adskip.DB, opts Options) (*Server, error) {
 		ln:       ln,
 		m:        newSrvMetrics(db.Metrics()),
 		cache:    newStmtCache(opts.StmtCacheSize),
+		log:      opts.Logger,
 		done:     make(chan struct{}),
 		sem:      make(chan struct{}, opts.MaxConns),
 		sessions: make(map[uint64]*session),
+	}
+	if s.log != nil {
+		s.log.Info("server listening", "addr", ln.Addr().String(), "max_conns", opts.MaxConns)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -123,6 +133,9 @@ func (s *Server) Close() error {
 		s.closed = true
 		close(s.done)
 		s.closeErr = s.ln.Close()
+		if s.log != nil {
+			s.log.Info("server draining", "sessions", len(s.sessions))
+		}
 		// Poke every reader awake so idle sessions notice the drain
 		// immediately instead of waiting out IdleTimeout. A session
 		// mid-request recognizes the poke as drain-induced (not a dead
@@ -178,6 +191,14 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// frame is one request frame plus the moment it came off the wire, so
+// the handler can attribute read-to-dispatch time (requests parked behind
+// an earlier request on the same session) to Timing.QueueUS.
+type frame struct {
+	payload []byte
+	read    time.Time
+}
+
 // session is one client connection: its buffered transport, the context
 // canceled when the connection dies, and the frame channel its reader
 // feeds.
@@ -189,7 +210,7 @@ type session struct {
 	bw     *bufio.Writer
 	ctx    context.Context // carries the session tag; canceled on disconnect
 	cancel context.CancelFunc
-	frames chan []byte // closed by readLoop on exit
+	frames chan frame // closed by readLoop on exit
 	// frameErr, set before frames is closed, carries a protocol error the
 	// session loop should report to the client before hanging up.
 	frameErr error
@@ -211,11 +232,14 @@ func (s *Server) newSession(conn net.Conn) *session {
 		bw:     bufio.NewWriter(&countWriter{w: conn, n: s.m.bytesSent}),
 		ctx:    obs.WithSession(ctx, fmt.Sprintf("conn-%d", id)),
 		cancel: cancel,
-		frames: make(chan []byte),
+		frames: make(chan frame),
 	}
 	s.sessions[id] = ss
 	s.m.connsTotal.Inc()
 	s.m.connsActive.Add(1)
+	if s.log != nil {
+		s.log.Debug("connection open", "conn", id, "remote", conn.RemoteAddr().String())
+	}
 	return ss
 }
 
@@ -230,19 +254,25 @@ func (ss *session) run() {
 		delete(s.sessions, ss.id)
 		s.mu.Unlock()
 		s.m.connsActive.Add(-1)
+		if s.log != nil {
+			s.log.Debug("connection closed", "conn", ss.id)
+		}
 		<-s.sem
 		s.wg.Done()
 	}()
 	for {
 		select {
-		case payload, ok := <-ss.frames:
+		case fr, ok := <-ss.frames:
 			if !ok {
 				if ss.frameErr != nil {
+					if s.log != nil {
+						s.log.Warn("protocol error", "conn", ss.id, "err", ss.frameErr)
+					}
 					ss.write(errResp(proto.ErrKindBadOp, ss.frameErr.Error()))
 				}
 				return
 			}
-			if !ss.write(ss.handle(payload)) {
+			if !ss.write(ss.handle(fr)) {
 				return
 			}
 		case <-s.done:
@@ -274,6 +304,7 @@ func (ss *session) readLoop() {
 			ss.conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
 		}
 		payload, err := proto.ReadFrame(ss.br, s.opts.MaxFrameBytes)
+		readAt := time.Now()
 		if err != nil {
 			var tooBig *proto.ErrFrameTooLarge
 			if errors.As(err, &tooBig) {
@@ -293,7 +324,7 @@ func (ss *session) readLoop() {
 		}
 		s.m.framesRead.Inc()
 		select {
-		case ss.frames <- payload:
+		case ss.frames <- frame{payload: payload, read: readAt}:
 		case <-ss.ctx.Done():
 			return
 		}
@@ -314,28 +345,57 @@ func (ss *session) write(resp proto.Response) bool {
 	return true
 }
 
-// handle dispatches one request and produces its response.
-func (ss *session) handle(payload []byte) proto.Response {
+// handle dispatches one request and produces its response. When the
+// request asks for timing, the response carries the server-side latency
+// attribution: queue time (frame read to dispatch) is measured here, the
+// parse/plan/prune/scan/serialize phases are filled in along the
+// execution path, and TotalUS closes over everything just before the
+// response goes back.
+func (ss *session) handle(fr frame) proto.Response {
 	s := ss.srv
 	var req proto.Request
-	if err := json.Unmarshal(payload, &req); err != nil {
+	if err := json.Unmarshal(fr.payload, &req); err != nil {
 		s.m.failure(proto.ErrKindBadOp)
+		if s.log != nil {
+			s.log.Warn("bad request frame", "conn", ss.id, "err", err)
+		}
 		return errResp(proto.ErrKindBadOp, "bad request frame: "+err.Error())
 	}
 	s.m.request(req.Op)
 	s.m.inflight.Add(1)
 	t0 := time.Now()
+	var tm *proto.Timing
+	if req.WantTiming {
+		tm = &proto.Timing{TraceID: req.TraceID, QueueUS: t0.Sub(fr.read).Microseconds()}
+	}
+	ctx := ss.ctx
+	if req.TraceID != "" {
+		// Tag the query's span tree with the client's trace ID so the
+		// client can find "its" queries in /traces.
+		ctx = obs.WithTrace(ctx, req.TraceID)
+	}
 	defer func() {
 		s.m.latency.Observe(time.Since(t0).Seconds())
 		s.m.inflight.Add(-1)
 	}()
+	resp := ss.dispatch(ctx, &req, tm)
+	if tm != nil {
+		tm.TotalUS = time.Since(fr.read).Microseconds()
+		resp.Timing = tm
+	}
+	return resp
+}
+
+// dispatch routes one decoded request to its operation.
+func (ss *session) dispatch(ctx context.Context, req *proto.Request, tm *proto.Timing) proto.Response {
+	s := ss.srv
 	switch req.Op {
 	case proto.OpPing:
 		return proto.Response{OK: true}
 	case proto.OpCatalog:
 		return proto.Response{OK: true, Tables: s.db.TableNames()}
 	case proto.OpQuery:
-		return ss.query(req.SQL)
+		return ss.query(ctx, req.SQL, tm)
 	case proto.OpPrepare:
 		return ss.prepare(req.SQL)
 	case proto.OpExec:
@@ -346,7 +406,7 @@ func (ss *session) handle(payload []byte) proto.Response {
 				fmt.Sprintf("unknown prepared statement %d (never prepared, or evicted — prepare again)", req.Stmt))
 		}
 		s.m.cacheHits.Inc()
-		return ss.exec(ent)
+		return ss.exec(ctx, ent, tm)
 	default:
 		s.m.failure(proto.ErrKindBadOp)
 		return errResp(proto.ErrKindBadOp, "unknown op "+strconv.Quote(req.Op))
@@ -355,15 +415,20 @@ func (ss *session) handle(payload []byte) proto.Response {
 
 // query executes SQL text. Hot statements hit the prepared-statement
 // cache even when the client never prepared them: the cache key is the
-// SQL text, so repeated templates skip the parser and planner entirely.
-func (ss *session) query(sqlText string) proto.Response {
+// SQL text, so repeated templates skip the parser and planner entirely —
+// a cache hit legitimately reports parse_us = plan_us = 0.
+func (ss *session) query(ctx context.Context, sqlText string, tm *proto.Timing) proto.Response {
 	s := ss.srv
 	if ent, ok := s.cache.get(sqlText); ok {
 		s.m.cacheHits.Inc()
-		return ss.exec(ent)
+		return ss.exec(ctx, ent, tm)
 	}
 	s.m.cacheMisses.Inc()
+	tParse := time.Now()
 	stmt, err := sqlpkg.Parse(sqlText)
+	if tm != nil {
+		tm.ParseUS = time.Since(tParse).Microseconds()
+	}
 	if err != nil {
 		s.m.failure(proto.ErrKindSyntax)
 		return errResp(proto.ErrKindSyntax, err.Error())
@@ -377,20 +442,24 @@ func (ss *session) query(sqlText string) proto.Response {
 	if stmt.Explain {
 		// EXPLAIN goes through the sql layer (it renders plan text) and
 		// is not worth caching.
-		res, err := sqlpkg.ExecParsedContext(ss.ctx, eng, stmt)
+		res, err := sqlpkg.ExecParsedContext(ctx, eng, stmt)
 		if err != nil {
 			return ss.execFailure(err)
 		}
-		return okResult(s.m, res)
+		return okResult(s.m, res, tm)
 	}
+	tPlan := time.Now()
 	q, err := sqlpkg.Plan(stmt, eng.Table())
+	if tm != nil {
+		tm.PlanUS = time.Since(tPlan).Microseconds()
+	}
 	if err != nil {
 		s.m.failure(proto.ErrKindSyntax)
 		return errResp(proto.ErrKindSyntax, err.Error())
 	}
 	ent, evicted := s.cache.put(&stmtEntry{sqlText: sqlText, id: s.nextStmt.Add(1), eng: eng, q: q})
 	s.cacheAccount(evicted)
-	return ss.exec(ent)
+	return ss.exec(ctx, ent, tm)
 }
 
 // prepare parses and plans once, returning a statement ID for exec.
@@ -425,14 +494,15 @@ func (ss *session) prepare(sqlText string) proto.Response {
 	return proto.Response{OK: true, Stmt: ent.id}
 }
 
-// exec runs a cached plan under the session context (so disconnects
-// cancel it) and wire-encodes the result.
-func (ss *session) exec(ent *stmtEntry) proto.Response {
-	res, err := ent.eng.QueryContext(ss.ctx, ent.q)
+// exec runs a cached plan under the request context (derived from the
+// session context, so disconnects cancel it) and wire-encodes the
+// result.
+func (ss *session) exec(ctx context.Context, ent *stmtEntry, tm *proto.Timing) proto.Response {
+	res, err := ent.eng.QueryContext(ctx, ent.q)
 	if err != nil {
 		return ss.execFailure(err)
 	}
-	return okResult(ss.srv.m, res)
+	return okResult(ss.srv.m, res, tm)
 }
 
 // execFailure maps an execution error to its stable wire kind.
@@ -457,11 +527,24 @@ func (s *Server) cacheAccount(evicted int) {
 	s.m.cacheEntries.Set(int64(s.cache.size()))
 }
 
-func okResult(m *srvMetrics, res *engine.Result) proto.Response {
+// okResult wire-encodes a successful result and, when timing was
+// requested, fills in the engine-attributed phases from the query's
+// trace plus the serialization cost measured here.
+func okResult(m *srvMetrics, res *engine.Result, tm *proto.Timing) proto.Response {
+	tSer := time.Now()
 	raw, err := json.Marshal(res)
 	if err != nil {
 		m.failure(proto.ErrKindInternal)
 		return errResp(proto.ErrKindInternal, "encode result: "+err.Error())
+	}
+	if tm != nil {
+		tm.SerializeUS = time.Since(tSer).Microseconds()
+		if tr := res.Trace; tr != nil {
+			tm.PlanUS += tr.Plan.Microseconds()
+			tm.PruneUS = tr.Probe.Microseconds()
+			tm.ScanUS = (tr.Scan + tr.Feedback).Microseconds()
+			tm.RowsSkipped = int64(tr.RowsSkipped)
+		}
 	}
 	return proto.Response{OK: true, Result: raw}
 }

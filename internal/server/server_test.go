@@ -466,3 +466,90 @@ func TestMaxConnsBackpressure(t *testing.T) {
 		t.Fatalf("connection not serviced after slot freed: %v", err)
 	}
 }
+
+// TestTimingBreakdown proves the wire-level timing contract: a request
+// that asks for timing gets a breakdown whose phases sum to no more than
+// the total, whose trace ID tags the engine-side trace, and a request
+// that doesn't ask gets none.
+func TestTimingBreakdown(t *testing.T) {
+	db := adskip.Open(adskip.Options{Policy: adskip.Adaptive, TraceRingSize: 32})
+	defer db.Close()
+	tbl, err := db.CreateTable("data", adskip.Col("v", adskip.Int64), adskip.Col("seq", adskip.Int64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		if err := tbl.Append((i/1000)*1000+i%7, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.EnableSkipping("v"); err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, db, server.Options{})
+
+	tc, err := client.Dial(srv.Addr().String(), client.Options{Timeout: 30 * time.Second, Timing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+
+	const q = "SELECT COUNT(*) FROM data WHERE v BETWEEN 3000 AND 3006"
+	t0 := time.Now()
+	res, err := tc.QueryTraced(q, "test-trace-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(t0)
+
+	tm := res.Timing
+	if tm == nil {
+		t.Fatal("timing requested but response carried none")
+	}
+	if tm.TraceID != "test-trace-1" {
+		t.Fatalf("breakdown echoes trace %q, want test-trace-1", tm.TraceID)
+	}
+	if tm.TotalUS <= 0 {
+		t.Fatalf("TotalUS = %d, want > 0", tm.TotalUS)
+	}
+	if sum := tm.PhaseSumUS(); sum > tm.TotalUS {
+		t.Fatalf("phase sum %dus exceeds total %dus: %+v", sum, tm.TotalUS, tm)
+	}
+	if serverTotal := time.Duration(tm.TotalUS) * time.Microsecond; serverTotal > rtt {
+		t.Fatalf("server total %v exceeds client round-trip %v", serverTotal, rtt)
+	}
+	if tm.RowsSkipped != int64(res.Stats.RowsSkipped) {
+		t.Fatalf("breakdown says %d rows skipped, stats say %d", tm.RowsSkipped, res.Stats.RowsSkipped)
+	}
+
+	// The trace ID must tag the engine-side trace for /traces correlation.
+	var found bool
+	for _, tr := range db.Traces() {
+		if tr.TraceID == "test-trace-1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("trace ID missing from the engine trace ring")
+	}
+
+	// A fresh query with the cached plan: parse/plan legitimately hit 0us,
+	// but the invariants must still hold.
+	res2, err := tc.QueryTraced(q, "test-trace-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Timing == nil || res2.Timing.PhaseSumUS() > res2.Timing.TotalUS {
+		t.Fatalf("cached-plan breakdown broken: %+v", res2.Timing)
+	}
+
+	// No timing asked -> none attached (and no breakdown work done).
+	pc := dial(t, srv)
+	res3, err := pc.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Timing != nil {
+		t.Fatalf("unsolicited timing attached: %+v", res3.Timing)
+	}
+}

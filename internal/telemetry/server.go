@@ -37,6 +37,10 @@ type Source struct {
 	// Skipmap returns per-table skipping-effectiveness snapshots with at
 	// most maxZones of per-zone detail per column.
 	Skipmap func(maxZones int) []obs.SkipmapTable
+	// History is the adaptation-timeline sampler behind /history and the
+	// /dash convergence chart. Optional: /history serves an empty series
+	// and /dash degrades gracefully when nil.
+	History *obs.Sampler
 }
 
 // Options tunes the server.
@@ -117,6 +121,8 @@ func (s *Server) mux() *http.ServeMux {
 	m.HandleFunc("/skipmap", s.handleSkipmap)
 	m.HandleFunc("/events", s.handleEvents)
 	m.HandleFunc("/runtime", s.handleRuntime)
+	m.HandleFunc("/history", s.handleHistory)
+	m.HandleFunc("/dash", s.handleDash)
 	m.HandleFunc("/debug/pprof/", pprof.Index)
 	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -141,6 +147,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/skipmap">/skipmap</a> — per-zone skipping-effectiveness heatmap (add <code>?zones=N</code>)</li>
 <li><a href="/events">/events</a> — adaptation-event log</li>
 <li><a href="/runtime">/runtime</a> — sampled Go runtime statistics</li>
+<li><a href="/history">/history</a> — adaptation timeline (sampled skip ratio, latency quantiles, per-column series)</li>
+<li><a href="/dash">/dash</a> — live dashboard (convergence curve + zone heatmap)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — pprof profiles</li>
 </ul></body></html>`)
 }
@@ -238,6 +246,28 @@ func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
 // handleRuntime serves the sampled runtime statistics oldest-first.
 func (s *Server) handleRuntime(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.coll.Snapshot())
+}
+
+// historyListing is the /history JSON shape. Samples are oldest-first;
+// per-sample column series are sorted by (table, column), so the
+// serialization is deterministic for a given state.
+type historyListing struct {
+	IntervalNS int64               `json:"interval_ns"`
+	Total      uint64              `json:"total"`
+	Samples    []obs.HistorySample `json:"samples"`
+}
+
+// handleHistory serves the adaptation timeline oldest-first.
+func (s *Server) handleHistory(w http.ResponseWriter, _ *http.Request) {
+	if s.src.History == nil {
+		writeJSON(w, historyListing{Samples: []obs.HistorySample{}})
+		return
+	}
+	writeJSON(w, historyListing{
+		IntervalNS: int64(s.src.History.Interval()),
+		Total:      s.src.History.Total(),
+		Samples:    s.src.History.Snapshot(),
+	})
 }
 
 // writeJSON writes v as indented JSON.

@@ -166,3 +166,90 @@ func TestCollectorRingAndStop(t *testing.T) {
 		t.Fatal("collector kept sampling after Stop")
 	}
 }
+
+// TestHistoryEndpoint serves an adaptation timeline and locks the
+// listing envelope: interval, total, then samples, oldest-first.
+func TestHistoryEndpoint(t *testing.T) {
+	smp := obs.NewSampler(time.Hour, 8, func(h *obs.HistorySample) {
+		h.Queries = 7
+		h.Columns = append(h.Columns, obs.HistoryColumn{Table: "t", Column: "v", SkipRatio: 0.5, Zones: 3, Enabled: true})
+	})
+	defer smp.Stop()
+	src := testSource()
+	src.History = smp
+	srv, err := Start(Options{}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, srv.URL()+"/history")
+	if code != http.StatusOK {
+		t.Fatalf("/history = %d, want 200", code)
+	}
+	var listing struct {
+		IntervalNS int64               `json:"interval_ns"`
+		Total      uint64              `json:"total"`
+		Samples    []obs.HistorySample `json:"samples"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("invalid /history JSON: %v\n%s", err, body)
+	}
+	if listing.IntervalNS != int64(time.Hour) || listing.Total != 1 || len(listing.Samples) != 1 {
+		t.Fatalf("listing = interval %d, total %d, %d samples", listing.IntervalNS, listing.Total, len(listing.Samples))
+	}
+	if s := listing.Samples[0]; s.Queries != 7 || len(s.Columns) != 1 || s.Columns[0].Column != "v" {
+		t.Fatalf("sample did not survive serving: %+v", listing.Samples[0])
+	}
+	// Envelope key order is part of the contract (scripts cut on it).
+	if !strings.Contains(body, `"interval_ns"`) ||
+		strings.Index(body, `"interval_ns"`) > strings.Index(body, `"total"`) ||
+		strings.Index(body, `"total"`) > strings.Index(body, `"samples"`) {
+		t.Fatalf("/history envelope keys out of order:\n%s", body)
+	}
+
+	// With no sampler the endpoint still answers with an empty listing.
+	srv2, err := Start(Options{}, testSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	code, body = get(t, srv2.URL()+"/history")
+	if code != http.StatusOK {
+		t.Fatalf("/history without sampler = %d, want 200", code)
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("invalid empty /history JSON: %v\n%s", err, body)
+	}
+	if len(listing.Samples) != 0 {
+		t.Fatalf("empty listing has %d samples", len(listing.Samples))
+	}
+}
+
+// TestDashEndpoint: the dashboard is a self-contained HTML page wired to
+// the JSON endpoints it polls.
+func TestDashEndpoint(t *testing.T) {
+	srv, err := Start(Options{}, testSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(srv.URL() + "/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/dash = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("/dash Content-Type = %q, want text/html", ct)
+	}
+	page := string(body)
+	for _, want := range []string{"<!DOCTYPE html>", "/history", "/skipmap", "prefers-color-scheme"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("/dash page missing %q", want)
+		}
+	}
+}

@@ -46,6 +46,50 @@ echo "plain load: 64 connections, zero errors"
 "$BIN/adskip-load" -addr "$ADDR" -conns 16 -duration 1s -domain "$ROWS" -seed 3 -prepared
 echo "prepared load: zero errors"
 
+# Timed load: every request carries a trace ID and asks for the server's
+# latency breakdown. The binary exits 1 if any breakdown violates its
+# invariants (attributed phases must sum to <= the server total, and the
+# server total must fit inside the client-observed round trip), so this
+# run asserts the timing contract end to end over a real network path.
+TIMED=$(mktemp)
+"$BIN/adskip-load" -addr "$ADDR" -conns 16 -duration 2s -domain "$ROWS" -seed 7 -timing | tee "$TIMED"
+grep -q 'latency attribution' "$TIMED" || {
+  echo "timed load printed no attribution table" >&2
+  exit 1
+}
+rm -f "$TIMED"
+echo "timed load: breakdowns within client-observed latency, zero violations"
+
+# The adaptation timeline must have been sampling throughout the load:
+# /history carries samples whose cumulative counters saw the workload.
+HIST=$(mktemp)
+code=$(curl -sS -o "$HIST" -w '%{http_code}' "$URL/history")
+if [ "$code" != "200" ]; then
+  echo "GET /history -> $code" >&2
+  cat "$HIST" >&2
+  exit 1
+fi
+python3 - "$HIST" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    h = json.load(f)
+assert h["interval_ns"] > 0, "missing sampling interval"
+assert len(h["samples"]) >= 2, f"only {len(h['samples'])} samples after seconds of load"
+last = h["samples"][-1]
+assert last["queries"] > 0, "timeline never saw a query"
+assert any(c["column"] == "v" for c in last["columns"]), "column v missing from timeline"
+PY
+rm -f "$HIST"
+echo "GET /history -> 200, timeline sampled the load"
+
+# And the dashboard that renders it.
+code=$(curl -sS -o /dev/null -w '%{http_code}' "$URL/dash")
+if [ "$code" != "200" ]; then
+  echo "GET /dash -> $code" >&2
+  exit 1
+fi
+echo "GET /dash -> 200"
+
 # The server's own counters must be on the shared /metrics endpoint.
 # Give the server a moment to reap the load generator's closed sessions
 # so the active-connections gauge is back to zero.

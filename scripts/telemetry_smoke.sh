@@ -85,6 +85,20 @@ check_json /skipmap
 check_json '/skipmap?zones=0'
 check_json /events
 check_json /runtime
+check_json /history
+
+# The dashboard is a self-contained HTML page (the demo serves it even
+# without an adaptation sampler; the charts just stay empty).
+DASH=$(check_status /dash 1000)
+for needle in '<!DOCTYPE html>' '/history' '/skipmap' 'prefers-color-scheme'; do
+  grep -qF "$needle" "$DASH" || {
+    echo "/dash page missing $needle" >&2
+    rm -f "$DASH"
+    exit 1
+  }
+done
+rm -f "$DASH"
+echo "GET /dash -> 200, dashboard page"
 
 # A one-second CPU profile must come back whole (pprof protobuf, gzipped).
 PROFILE=$(check_status '/debug/pprof/profile?seconds=1' 64)
