@@ -34,6 +34,7 @@ import (
 	"adskip/internal/adaptive"
 	"adskip/internal/core"
 	"adskip/internal/engine"
+	"adskip/internal/health"
 	"adskip/internal/obs"
 	"adskip/internal/sql"
 	"adskip/internal/storage"
@@ -122,6 +123,47 @@ type HistorySample = obs.HistorySample
 // HistoryColumn is one column's skipping state inside a HistorySample.
 type HistoryColumn = obs.HistoryColumn
 
+// Objective is one declarative service-level objective evaluated against
+// the adaptation timeline (e.g. "p95 ≤ 5ms", "skip rate ≥ 60%"). Set
+// Options.Objectives to enable SLO tracking; see the health package for
+// signal semantics.
+type Objective = health.Objective
+
+// HealthSignal names the measured series an Objective targets.
+type HealthSignal = health.Signal
+
+// The supported objective signals.
+const (
+	SignalLatencyP50 = health.SignalLatencyP50
+	SignalLatencyP95 = health.SignalLatencyP95
+	SignalErrorRate  = health.SignalErrorRate
+	SignalSkipRate   = health.SignalSkipRate
+	SignalQueueDepth = health.SignalQueueDepth
+)
+
+// HealthConfig tunes SLO evaluation: the short/mid/long burn-rate
+// windows, burn thresholds, and hysteresis. The zero value uses the
+// SRE-style defaults (10s/1m/5m windows, 14.4×/6× burns).
+type HealthConfig = health.Config
+
+// HealthSeverity is an objective's (or the DB's) alert state.
+type HealthSeverity = health.Severity
+
+// The alert states.
+const (
+	HealthOK       = health.SevOK
+	HealthWarning  = health.SevWarning
+	HealthCritical = health.SevCritical
+)
+
+// HealthSnapshot is the full SLO picture returned by DB.Health and
+// served (with readiness semantics) by the telemetry /health endpoint.
+type HealthSnapshot = health.Snapshot
+
+// HealthAlerts holds the firing objectives and the bounded alert
+// transition history, as returned by DB.Alerts and served by /alerts.
+type HealthAlerts = health.AlertsSnapshot
+
 // Limits bounds each query's resource consumption (rows scanned, result
 // rows, wall-clock time). The zero value imposes no limits; enforcement
 // happens at cooperative checkpoints, so overshoot is bounded by one
@@ -174,6 +216,18 @@ type Options struct {
 	// HistoryCapacity is how many timeline samples the DB retains
 	// (default 1024 — about 17 minutes at the default interval).
 	HistoryCapacity int
+	// Objectives declares the DB's service-level objectives. When any are
+	// set, the adaptation-timeline sampler starts at Open (not just at
+	// StartTelemetry) and a health monitor evaluates every objective each
+	// tick; DB.Health, DB.Alerts, and the telemetry /health and /alerts
+	// endpoints report the result. Objectives with an unknown signal
+	// panic at Open — a misdeclared SLO is a programming error the
+	// process should not limp past. Remember to Close a DB with
+	// objectives: the sampler owns a goroutine.
+	Objectives []Objective
+	// Health tunes objective evaluation (windows, burn thresholds,
+	// hysteresis). Ignored unless Objectives is non-empty.
+	Health HealthConfig
 }
 
 // ColumnDef defines one column of a new table.
@@ -204,10 +258,10 @@ type DB struct {
 	telem   *telemetry.Server
 	sampler *obs.Sampler
 
-	// latScratch is the sampler's reusable bucket-merge buffer. It is
-	// touched only from the sampler goroutine (fillHistory), so it needs
-	// no lock of its own.
-	latScratch []int64
+	// monitor evaluates Options.Objectives on each sampler tick. Set once
+	// at Open (immutable afterwards), nil when no objectives are declared.
+	monitor     *health.Monitor
+	unsubHealth func()
 }
 
 // DB-level errors.
@@ -216,9 +270,11 @@ var (
 	ErrTableExists = errors.New("adskip: table already exists")
 )
 
-// Open creates an empty database.
+// Open creates an empty database. When Options.Objectives is non-empty
+// the adaptation-timeline sampler and the SLO monitor start immediately
+// (headless health: no telemetry server required); Close stops them.
 func Open(opts Options) *DB {
-	return &DB{
+	db := &DB{
 		opts:      opts,
 		engines:   make(map[string]*engine.Engine),
 		reg:       obs.NewRegistry(),
@@ -227,6 +283,20 @@ func Open(opts Options) *DB {
 		traces:    obs.NewTraceRing(opts.TraceRingSize),
 		slow:      obs.NewTraceRing(opts.TraceRingSize),
 	}
+	if len(opts.Objectives) > 0 {
+		smp := obs.NewSampler(opts.HistoryInterval, opts.HistoryCapacity, db.fillHistory)
+		mon, err := health.New(opts.Objectives, smp.Interval(), opts.Health, db.reg, opts.Logger)
+		if err != nil {
+			smp.Stop()
+			panic("adskip: " + err.Error())
+		}
+		db.monitor = mon
+		db.unsubHealth = smp.Subscribe(mon.OnSample)
+		db.mu.Lock()
+		db.sampler = smp
+		db.mu.Unlock()
+	}
+	return db
 }
 
 // engineOptions maps DB options onto per-table engine options. All tables
@@ -284,30 +354,48 @@ func (db *DB) Skipmap(maxZones int) []SkipmapTable {
 // timeline sampler (behind /history and DB.History) starts alongside
 // and also stops at Close. Starting twice is an error.
 func (db *DB) StartTelemetry(addr string) (string, error) {
-	// The sampler is created before the catalog lock is taken: it takes
-	// its first sample synchronously, and fillHistory needs the read
-	// lock. Stopping it (on a lost start race) must also happen outside
-	// the lock for the same reason.
-	smp := obs.NewSampler(db.opts.HistoryInterval, db.opts.HistoryCapacity, db.fillHistory)
-	db.mu.Lock()
-	if db.telem != nil {
-		db.mu.Unlock()
-		smp.Stop()
-		return "", errors.New("adskip: telemetry server already running")
+	// The sampler (unless Open already started one for SLO tracking) is
+	// created before the catalog lock is taken: it takes its first sample
+	// synchronously, and fillHistory needs the read lock. Stopping it (on
+	// a lost start race) must also happen outside the lock for the same
+	// reason.
+	db.mu.RLock()
+	smp := db.sampler
+	db.mu.RUnlock()
+	created := smp == nil
+	if created {
+		smp = obs.NewSampler(db.opts.HistoryInterval, db.opts.HistoryCapacity, db.fillHistory)
 	}
-	db.sampler = smp
-	srv, err := telemetry.Start(telemetry.Options{Addr: addr}, telemetry.Source{
+	src := telemetry.Source{
 		Registry:   db.reg,
 		Traces:     db.traces,
 		SlowTraces: db.slow,
 		Events:     db.events.Events,
 		Skipmap:    db.Skipmap,
 		History:    smp,
-	})
-	if err != nil {
-		db.sampler = nil
+	}
+	if db.monitor != nil {
+		src.Health = func() (health.Snapshot, bool) { return db.monitor.Snapshot(), true }
+		src.Alerts = db.monitor.Alerts
+	}
+	db.mu.Lock()
+	if db.telem != nil {
 		db.mu.Unlock()
-		smp.Stop()
+		if created {
+			smp.Stop()
+		}
+		return "", errors.New("adskip: telemetry server already running")
+	}
+	db.sampler = smp
+	srv, err := telemetry.Start(telemetry.Options{Addr: addr}, src)
+	if err != nil {
+		if created {
+			db.sampler = nil
+		}
+		db.mu.Unlock()
+		if created {
+			smp.Stop()
+		}
 		return "", err
 	}
 	db.telem = srv
@@ -315,8 +403,36 @@ func (db *DB) StartTelemetry(addr string) (string, error) {
 	return srv.URL(), nil
 }
 
+// Health reports the DB's current SLO evaluation. ok is false when no
+// Objectives were declared at Open.
+func (db *DB) Health() (HealthSnapshot, bool) {
+	if db.monitor == nil {
+		return HealthSnapshot{}, false
+	}
+	return db.monitor.Snapshot(), true
+}
+
+// HealthStatus returns the overall alert state (HealthOK when no
+// objectives are declared). Lock-free: safe to call per request.
+func (db *DB) HealthStatus() HealthSeverity {
+	if db.monitor == nil {
+		return HealthOK
+	}
+	return db.monitor.Status()
+}
+
+// Alerts returns the firing objectives and retained alert transitions
+// (zero value when no objectives are declared).
+func (db *DB) Alerts() HealthAlerts {
+	if db.monitor == nil {
+		return HealthAlerts{Active: []health.ObjectiveStatus{}, History: []health.Transition{}}
+	}
+	return db.monitor.Alerts()
+}
+
 // History returns the retained adaptation-timeline samples oldest-first.
-// Empty until StartTelemetry starts the sampler.
+// Empty until the sampler starts — at Open when Objectives are declared,
+// otherwise at StartTelemetry.
 func (db *DB) History() []HistorySample {
 	db.mu.RLock()
 	s := db.sampler
@@ -341,18 +457,20 @@ func (db *DB) fillHistory(s *HistorySample) {
 	}
 	db.mu.RUnlock()
 
+	// The merged latency histogram lives on the sample itself (slot slice
+	// reused by the ring), so the health monitor can window per-tick
+	// bucket deltas without another copy.
 	bounds := obs.LatencyBuckets()
-	if cap(db.latScratch) < len(bounds)+1 {
-		db.latScratch = make([]int64, len(bounds)+1)
-	}
-	buckets := db.latScratch[:len(bounds)+1]
-	for i := range buckets {
-		buckets[i] = 0
+	buckets := s.LatencyBuckets[:0]
+	for i := 0; i < len(bounds)+1; i++ {
+		buckets = append(buckets, 0)
 	}
 	for _, e := range engines {
 		e.FillHistory(s)
 		e.AccumulateLatency(buckets)
 	}
+	s.LatencyBuckets = buckets
+	s.QueueDepth = db.admission.Waiting()
 	if denom := s.RowsSkipped + s.RowsScanned; denom > 0 {
 		s.SkipRatio = float64(s.RowsSkipped) / float64(denom)
 	}
@@ -384,6 +502,9 @@ func (db *DB) Close() error {
 	db.telem = nil
 	db.sampler = nil
 	db.mu.Unlock()
+	if db.unsubHealth != nil {
+		db.unsubHealth()
+	}
 	if smp != nil {
 		smp.Stop()
 	}

@@ -6,6 +6,7 @@
 //	adskip-bench -experiment fig1 -rows 16777216 # paper-scale headline figure
 //	adskip-bench -experiment tab2 -csv           # machine-readable output
 //	adskip-bench -experiment fig1 -json auto     # plus BENCH_<timestamp>.json summary
+//	adskip-bench -baseline BENCH_BASELINE.json   # CI perf gate: exit 1 on regression
 //
 // Each experiment prints the data series behind the corresponding figure
 // or table in EXPERIMENTS.md.
@@ -37,8 +38,14 @@ func main() {
 		serve      = flag.String("serve", "", "serve live telemetry (metrics, traces, pprof) on this address while the suite runs, e.g. 127.0.0.1:0")
 		addr       = flag.String("addr", "", "replay the figure workload mixes against a remote adskip-server at this address instead of running local experiments")
 		jsonOut    = flag.String("json", "", `also write a machine-readable run summary to this path ("auto" = BENCH_<timestamp>.json)`)
+		baseline   = flag.String("baseline", "", "perf-gate mode: re-run the gate stream at this summary's recorded scale and exit 1 on regression beyond -gate-tolerance")
+		gateTol    = flag.Float64("gate-tolerance", 0.15, "relative regression tolerance for -baseline (0.15 = 15%)")
 	)
 	flag.Parse()
+
+	if *baseline != "" {
+		os.Exit(runGate(*baseline, *gateTol))
+	}
 
 	sum := &benchSummary{
 		Experiment: *experiment, Rows: *rows, Queries: *queries,
@@ -164,9 +171,52 @@ func main() {
 	}
 
 	if *jsonOut != "" {
+		// Every JSON summary carries the gate stream's stats, so any
+		// summary can later serve as a perf-gate baseline.
+		g, err := harness.GateRun(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adskip-bench: gate stream: %v\n", err)
+			os.Exit(1)
+		}
+		sum.Gate = &g
 		if err := writeSummary(*jsonOut, sum, reg); err != nil {
 			fmt.Fprintf(os.Stderr, "adskip-bench: json summary: %v\n", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// runGate is -baseline mode: load the committed baseline, re-run the
+// gate stream at its recorded scale and seed, and compare. Returns the
+// process exit code (0 pass, 1 regression or error).
+func runGate(path string, tolerance float64) int {
+	base, err := readBaseline(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adskip-bench: baseline: %v\n", err)
+		return 1
+	}
+	cur, err := harness.GateRun(harness.Config{
+		Rows: base.Gate.Rows, Queries: base.Gate.Queries,
+		Seed: base.Gate.Seed, StaticZoneRows: base.Gate.StaticZone,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adskip-bench: gate stream: %v\n", err)
+		return 1
+	}
+	fmt.Printf("perf gate vs %s (rows %d, queries %d, seed %d, tolerance %.0f%%)\n",
+		path, base.Gate.Rows, base.Gate.Queries, base.Gate.Seed, 100*tolerance)
+	fmt.Printf("  %-12s %12s %12s\n", "metric", "baseline", "current")
+	fmt.Printf("  %-12s %11.0fns %11.0fns\n", "p50", base.Gate.P50NS, cur.P50NS)
+	fmt.Printf("  %-12s %11.0fns %11.0fns\n", "p95", base.Gate.P95NS, cur.P95NS)
+	fmt.Printf("  %-12s %9.0f qps %9.0f qps\n", "throughput", base.Gate.ThroughputQPS, cur.ThroughputQPS)
+	fmt.Printf("  %-12s %12.3f %12.3f\n", "skip ratio", base.Gate.SkipRatio, cur.SkipRatio)
+	violations := harness.CompareGate(*base.Gate, cur, tolerance)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Printf("REGRESSION: %s\n", v)
+		}
+		return 1
+	}
+	fmt.Println("perf gate: PASS")
+	return 0
 }

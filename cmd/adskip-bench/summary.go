@@ -26,6 +26,26 @@ type benchSummary struct {
 
 	Tables  []*harness.Table `json:"tables"`
 	Metrics json.RawMessage  `json:"metrics,omitempty"`
+	// Gate is the perf-regression gate stream's structured stats; a
+	// summary carrying one can serve as the committed CI baseline for
+	// `adskip-bench -baseline <file>` (see scripts/perf_gate.sh).
+	Gate *harness.GateStats `json:"gate,omitempty"`
+}
+
+// readBaseline loads a previously written summary to gate against.
+func readBaseline(path string) (*benchSummary, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sum benchSummary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if sum.Gate == nil {
+		return nil, fmt.Errorf("%s carries no gate stats (regenerate it with -json)", path)
+	}
+	return &sum, nil
 }
 
 // writeSummary marshals the summary to path; "auto" derives a

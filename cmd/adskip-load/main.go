@@ -17,8 +17,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -41,6 +43,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 		timing   = flag.Bool("timing", false, "request server-side latency breakdowns and print a network/queue/server attribution table")
+		health   = flag.String("assert-health", "", "after the run, GET this telemetry /health URL and exit non-zero unless it answers 200 with status ok")
 	)
 	flag.Parse()
 
@@ -79,4 +82,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "adskip-load: no requests completed")
 		os.Exit(1)
 	}
+	if *health != "" {
+		if err := assertHealth(*health); err != nil {
+			fmt.Fprintf(os.Stderr, "adskip-load: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("health: ok")
+	}
+}
+
+// assertHealth probes a telemetry /health endpoint and fails unless the
+// service answers 200 with overall status "ok" — so a load run can
+// double as an SLO acceptance check: the traffic it just generated must
+// not have left any objective burning.
+func assertHealth(url string) error {
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		return fmt.Errorf("assert-health: %w", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Enabled bool   `json:"enabled"`
+		Status  string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("assert-health: decode %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("assert-health: %s answered %d (status %q)", url, resp.StatusCode, body.Status)
+	}
+	if !body.Enabled {
+		return fmt.Errorf("assert-health: %s has no health monitor (server started without objectives?)", url)
+	}
+	if body.Status != "ok" {
+		return fmt.Errorf("assert-health: status %q, want ok", body.Status)
+	}
+	return nil
 }

@@ -22,8 +22,11 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"adskip"
+	"adskip/internal/faultinject"
+	"adskip/internal/health"
 	"adskip/internal/server"
 	"adskip/internal/storage"
 	"adskip/internal/workload"
@@ -48,6 +51,14 @@ func main() {
 		skipCols  = flag.String("skip-cols", "v,seq", "comma-separated columns to enable skipping on")
 		logMode   = flag.String("log", "off", "structured logging to stderr: off|text|json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+
+		sloP95     = flag.Duration("slo-p95", 0, "p95 latency SLO threshold (0 = objective off), e.g. 5ms")
+		sloErr     = flag.Float64("slo-err", 0, "error-rate SLO threshold in (0,1) (0 = objective off)")
+		sloSkip    = flag.Float64("slo-skip", 0, "minimum skip-rate SLO threshold in (0,1] (0 = objective off)")
+		sloWindows = flag.String("slo-windows", "", "burn-rate windows as short,mid,long (default 10s,1m,5m)")
+		histInt    = flag.Duration("history-interval", 0, "health/timeline sampling interval (0 = default 1s)")
+		faultDelay = flag.Duration("fault-scan-delay", 0,
+			"arm a scan-delay fault toggled at runtime: SIGUSR1 injects this delay per scan checkpoint, SIGUSR2 clears it (0 = off)")
 	)
 	flag.Parse()
 
@@ -56,7 +67,27 @@ func main() {
 		StaticZoneSize:       *zone,
 		Parallelism:          *par,
 		MaxConcurrentQueries: *maxConc,
+		HistoryInterval:      *histInt,
 		Logger:               logger,
+	}
+	if *sloP95 > 0 {
+		opts.Objectives = append(opts.Objectives,
+			adskip.Objective{Name: "latency-p95", Signal: adskip.SignalLatencyP95, Threshold: sloP95.Seconds()})
+	}
+	if *sloErr > 0 {
+		opts.Objectives = append(opts.Objectives,
+			adskip.Objective{Name: "error-rate", Signal: adskip.SignalErrorRate, Threshold: *sloErr})
+	}
+	if *sloSkip > 0 {
+		opts.Objectives = append(opts.Objectives,
+			adskip.Objective{Name: "skip-rate", Signal: adskip.SignalSkipRate, Threshold: *sloSkip})
+	}
+	if *sloWindows != "" {
+		short, mid, long, err := health.ParseWindows(*sloWindows)
+		if err != nil {
+			fatalf("-slo-windows: %v", err)
+		}
+		opts.Health.Short, opts.Health.Mid, opts.Health.Long = short, mid, long
 	}
 	switch *policy {
 	case "none":
@@ -105,6 +136,12 @@ func main() {
 		}
 		fmt.Printf("telemetry: %s\n", url)
 		fmt.Printf("dashboard: %s/dash\n", url)
+		if len(opts.Objectives) > 0 {
+			fmt.Printf("health: %s/health\n", url)
+		}
+	}
+	if *faultDelay > 0 {
+		armFaultToggle(*faultDelay)
 	}
 
 	srv, err := server.Start(db, server.Options{
@@ -114,6 +151,9 @@ func main() {
 		IdleTimeout:   *idle,
 		StmtCacheSize: *stmtCache,
 		Logger:        logger,
+		// With declared objectives the server sheds query load during
+		// critical burn instead of digging the latency hole deeper.
+		RefuseOnCritical: len(opts.Objectives) > 0,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -129,6 +169,29 @@ func main() {
 	}
 	db.Close()
 	fmt.Println("drained")
+}
+
+// armFaultToggle wires runtime fault injection to signals: SIGUSR1
+// activates a deterministic scan-delay injector (every scan checkpoint
+// sleeps d), SIGUSR2 deactivates it. Smoke tests use this to drive the
+// health monitor through a 200 -> 503 -> 200 readiness flip without
+// needing real overload.
+func armFaultToggle(d time.Duration) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGUSR1, syscall.SIGUSR2)
+	go func() {
+		for s := range ch {
+			if s == syscall.SIGUSR1 {
+				faultinject.Activate(faultinject.New(1).
+					Set(faultinject.ScanDelay, faultinject.Rule{Prob: 1, Delay: d}))
+				fmt.Printf("fault armed: scan-delay %s per checkpoint\n", d)
+			} else {
+				faultinject.Deactivate()
+				fmt.Println("fault cleared")
+			}
+		}
+	}()
+	fmt.Printf("fault toggle ready: SIGUSR1 injects scan-delay %s, SIGUSR2 clears\n", d)
 }
 
 // generate builds the adskip-gen dataset shape in-process: v carries the

@@ -1,0 +1,173 @@
+package adskip
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHealthFacade proves the SLO surface through the facade: a DB opened
+// with Objectives evaluates them on the live sampler feed, Health exposes
+// every declared objective, HealthStatus stays consistent with it, and
+// Close tears the monitor down without leaking the sampler goroutine.
+func TestHealthFacade(t *testing.T) {
+	before := runtime.NumGoroutine()
+	db := seededDB(t, Options{
+		Policy:          Adaptive,
+		HistoryInterval: 2 * time.Millisecond,
+		Objectives: []Objective{
+			{Name: "tail", Signal: SignalLatencyP95, Threshold: 10}, // 10s: never breached
+			{Name: "errors", Signal: SignalErrorRate, Threshold: 0.5},
+		},
+	})
+
+	// The monitor must tick at least once so the snapshot carries data.
+	deadline := time.Now().Add(5 * time.Second)
+	var snap HealthSnapshot
+	for {
+		var ok bool
+		snap, ok = db.Health()
+		if !ok {
+			t.Fatal("Health reports disabled despite declared Objectives")
+		}
+		if snap.Ticks > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("health monitor never ticked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(snap.Objectives) != 2 {
+		t.Fatalf("snapshot has %d objectives, want 2: %+v", len(snap.Objectives), snap.Objectives)
+	}
+	names := map[string]bool{}
+	for _, o := range snap.Objectives {
+		names[o.Name] = true
+		if len(o.Windows) != 3 {
+			t.Fatalf("objective %s has %d windows, want 3", o.Name, len(o.Windows))
+		}
+	}
+	if !names["tail"] || !names["errors"] {
+		t.Fatalf("objective names missing: %+v", names)
+	}
+
+	// With generous thresholds and a healthy workload the service is ok,
+	// and the two views of overall state agree.
+	if st := db.HealthStatus(); st != snap.Status && st != HealthOK {
+		t.Fatalf("HealthStatus %v disagrees with snapshot %v", st, snap.Status)
+	}
+	alerts := db.Alerts()
+	if len(alerts.Active) != 0 {
+		t.Fatalf("active alerts under a healthy workload: %+v", alerts.Active)
+	}
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Health(); !ok {
+		// Health stays answerable after Close (the monitor is just frozen);
+		// it must not panic or block.
+		t.Log("Health disabled after Close")
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHealthConcurrentWithQueries races objective evaluation (driven by
+// the sampler goroutine) against live queries and concurrent readers of
+// every health accessor. Run under -race in CI: it proves the monitor's
+// locking discipline — eval inside the sampler callback, snapshots under
+// RLock — holds when the facade is hammered from many goroutines.
+func TestHealthConcurrentWithQueries(t *testing.T) {
+	db := seededDB(t, Options{
+		Policy:          Adaptive,
+		HistoryInterval: time.Millisecond, // aggressive: eval races everything below
+		Objectives: []Objective{
+			{Name: "tail", Signal: SignalLatencyP95, Threshold: 10},
+			{Name: "skip", Signal: SignalSkipRate, Threshold: 0.01},
+			{Name: "queue", Signal: SignalQueueDepth, Threshold: 1 << 20},
+		},
+	})
+	defer db.Close()
+
+	const workers = 4
+	stop := make(chan struct{})
+	var snapshots, reads atomic.Int64
+	var wg sync.WaitGroup
+
+	// Query writers: keep the engine (and therefore the sampler's
+	// cumulative counters) moving the whole time.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lo := ((i + w*5) % 20) * 1000
+				if _, err := db.Exec("SELECT COUNT(*) FROM events WHERE v BETWEEN " +
+					itoa(lo) + " AND " + itoa(lo+6)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Health readers: every accessor, from several goroutines at once.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if snap, ok := db.Health(); ok {
+					if len(snap.Objectives) != 3 {
+						t.Errorf("snapshot lost objectives: %d", len(snap.Objectives))
+						return
+					}
+					snapshots.Add(1)
+				}
+				_ = db.HealthStatus()
+				a := db.Alerts()
+				for _, tr := range a.History {
+					if tr.Objective == "" {
+						t.Error("alert transition with empty objective name")
+						return
+					}
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if snapshots.Load() == 0 || reads.Load() == 0 {
+		t.Fatalf("readers made no progress: %d snapshots, %d reads",
+			snapshots.Load(), reads.Load())
+	}
+	snap, _ := db.Health()
+	if snap.Ticks == 0 {
+		t.Fatal("monitor never ticked while racing queries")
+	}
+}

@@ -19,6 +19,7 @@ func (e *Engine) FillHistory(s *obs.HistorySample) {
 	s.RowsSkipped += e.m.rowsSkipped.Load()
 	s.RowsCovered += e.m.rowsCovered.Load()
 	s.SlowQueries += e.m.slowQueries.Load()
+	s.Errors += e.m.canceled.Load() + e.m.overBudget.Load() + e.m.panics.Load()
 
 	table := e.tbl.Name()
 	e.colMu.Lock()

@@ -208,7 +208,8 @@ func firstWorkerError(errs []error) error {
 // Admission bounds the number of concurrently executing queries across
 // the engines that share it. A nil *Admission admits everything.
 type Admission struct {
-	sem chan struct{}
+	sem     chan struct{}
+	waiting atomic.Int64
 }
 
 // NewAdmission returns an admission controller allowing n concurrent
@@ -231,12 +232,25 @@ func (a *Admission) acquire(ctx context.Context) error {
 		return nil
 	default:
 	}
+	// Only the blocked path maintains the queue-depth gauge: admitted
+	// queries pay nothing beyond the channel send above.
+	a.waiting.Add(1)
+	defer a.waiting.Add(-1)
 	select {
 	case a.sem <- struct{}{}:
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("%w while waiting for admission: %v", ErrCanceled, context.Cause(ctx))
 	}
+}
+
+// Waiting reports how many queries are currently blocked waiting for an
+// execution slot. Zero for a nil (unbounded) controller.
+func (a *Admission) Waiting() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.waiting.Load()
 }
 
 // release returns an execution slot.

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// gateBase is a plausible baseline the comparison tests perturb.
+func gateBase() GateStats {
+	return GateStats{
+		Rows: 1 << 18, Queries: 128, Seed: 42, StaticZone: 4096,
+		P50NS: 100_000, P95NS: 400_000, ThroughputQPS: 8000, SkipRatio: 0.85,
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*GateStats)
+		tol     float64
+		violate []string // substrings expected in violations, in order; empty = pass
+	}{
+		{name: "identical passes", mutate: func(*GateStats) {}, tol: 0.15},
+		{name: "p95 at tolerance edge passes",
+			mutate: func(g *GateStats) { g.P95NS *= 1.15 }, tol: 0.15},
+		{name: "p95 beyond tolerance fails",
+			mutate:  func(g *GateStats) { g.P95NS *= 1.30 },
+			tol:     0.15,
+			violate: []string{"p95 latency regressed"}},
+		{name: "throughput drop fails",
+			mutate:  func(g *GateStats) { g.ThroughputQPS *= 0.5 },
+			tol:     0.15,
+			violate: []string{"throughput regressed"}},
+		{name: "skip ratio drop fails",
+			mutate:  func(g *GateStats) { g.SkipRatio = 0.2 },
+			tol:     0.15,
+			violate: []string{"skip ratio regressed"}},
+		{name: "improvements never violate",
+			mutate: func(g *GateStats) {
+				g.P50NS /= 2
+				g.P95NS /= 2
+				g.ThroughputQPS *= 2
+				g.SkipRatio = 0.99
+			}, tol: 0.15},
+		{name: "everything regressed reports each metric",
+			mutate: func(g *GateStats) {
+				g.P95NS *= 2
+				g.ThroughputQPS *= 0.5
+				g.SkipRatio = 0.1
+			},
+			tol:     0.15,
+			violate: []string{"p95 latency regressed", "throughput regressed", "skip ratio regressed"}},
+		{name: "tighter tolerance catches smaller drift",
+			mutate:  func(g *GateStats) { g.P95NS *= 1.10 },
+			tol:     0.05,
+			violate: []string{"p95 latency regressed"}},
+		{name: "mismatched config refuses to compare",
+			mutate:  func(g *GateStats) { g.Rows = 1 << 10 },
+			tol:     0.15,
+			violate: []string{"config mismatch"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			base, cur := gateBase(), gateBase()
+			tt.mutate(&cur)
+			got := CompareGate(base, cur, tt.tol)
+			if len(got) != len(tt.violate) {
+				t.Fatalf("CompareGate returned %d violations %q, want %d", len(got), got, len(tt.violate))
+			}
+			for i, want := range tt.violate {
+				if !strings.Contains(got[i], want) {
+					t.Errorf("violation %d = %q, want substring %q", i, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestQuantileNs(t *testing.T) {
+	ns := []int64{50, 10, 40, 20, 30} // unsorted on purpose; must not mutate
+	if got := quantileNs(ns, 0.50); got != 30 {
+		t.Errorf("p50 = %v, want 30", got)
+	}
+	if got := quantileNs(ns, 0.95); got != 50 {
+		t.Errorf("p95 = %v, want 50 (nearest rank)", got)
+	}
+	if ns[0] != 50 {
+		t.Error("quantileNs mutated its input")
+	}
+	if got := quantileNs(nil, 0.5); got != 0 {
+		t.Errorf("empty input: got %v, want 0", got)
+	}
+}
+
+// TestGateRunSmoke runs a tiny gate stream end to end: the stats must be
+// internally consistent and deterministic across runs of the same seed
+// (timings aside — only the seed-deterministic skip ratio is compared).
+func TestGateRunSmoke(t *testing.T) {
+	cfg := Config{Rows: 1 << 14, Queries: 32, Seed: 7}
+	g1, err := GateRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Rows != 1<<14 || g1.Queries != 32 || g1.Seed != 7 {
+		t.Errorf("config not echoed: %+v", g1)
+	}
+	if g1.P95NS < g1.P50NS {
+		t.Errorf("p95 (%v) < p50 (%v)", g1.P95NS, g1.P50NS)
+	}
+	if g1.ThroughputQPS <= 0 {
+		t.Errorf("throughput = %v, want > 0", g1.ThroughputQPS)
+	}
+	if g1.SkipRatio <= 0 || g1.SkipRatio > 1 {
+		t.Errorf("skip ratio = %v, want (0,1]", g1.SkipRatio)
+	}
+	g2, err := GateRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.SkipRatio != g2.SkipRatio {
+		t.Errorf("skip ratio not deterministic: %v vs %v", g1.SkipRatio, g2.SkipRatio)
+	}
+	if v := CompareGate(g1, g2, 10); len(v) != 0 {
+		// Enormous tolerance: only a config echo bug could trip this.
+		t.Errorf("self-comparison violated: %q", v)
+	}
+}

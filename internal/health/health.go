@@ -1,0 +1,209 @@
+// Package health is the engine's SLO layer: it turns the raw adaptation
+// timeline (obs.Sampler ticks) into service-level judgments an operator
+// or load balancer can act on. Declarative Objectives ("p95 ≤ 5ms",
+// "skip-rate ≥ 60%", "error rate ≤ 0.1%") are evaluated over
+// multi-resolution rolling windows using Google-SRE-style multi-window
+// burn rates, producing a per-objective alert state machine
+// (ok → warning → critical) with hysteresis on the way back down.
+//
+// The package is stdlib-only and goroutine-free: a Monitor updates
+// synchronously inside the sampler's Subscribe callback and uses the
+// sample's own timestamp as its clock, so evaluation is deterministic
+// under injected tick times and costs the query hot path nothing.
+package health
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Signal names one measurable series an Objective can target. Signals are
+// derived per tick from the sampler's cumulative counters (deltas between
+// consecutive ticks), except queue depth, which is instantaneous.
+type Signal string
+
+// The supported signals.
+const (
+	// SignalLatencyP50 is the median query latency (seconds) estimated
+	// from the per-tick latency-histogram delta.
+	SignalLatencyP50 Signal = "latency_p50"
+	// SignalLatencyP95 is the tail query latency (seconds) estimated from
+	// the per-tick latency-histogram delta.
+	SignalLatencyP95 Signal = "latency_p95"
+	// SignalErrorRate is failed queries / queries per tick (canceled,
+	// over-budget, and recovered-panic queries count as failed).
+	SignalErrorRate Signal = "error_rate"
+	// SignalSkipRate is rows skipped / rows probed per tick — the paper's
+	// core effectiveness measure; an Objective on it alerts when the
+	// adaptive zonemaps stop pruning (higher is better).
+	SignalSkipRate Signal = "skip_rate"
+	// SignalQueueDepth is the number of queries waiting for admission at
+	// tick time.
+	SignalQueueDepth Signal = "queue_depth"
+)
+
+// LowerIsBad reports the breach direction: skip rate breaches when it
+// falls below its threshold, every other signal when it rises above.
+func (s Signal) LowerIsBad() bool { return s == SignalSkipRate }
+
+// valid reports whether s is one of the supported signals.
+func (s Signal) valid() bool {
+	switch s {
+	case SignalLatencyP50, SignalLatencyP95, SignalErrorRate, SignalSkipRate, SignalQueueDepth:
+		return true
+	}
+	return false
+}
+
+// Objective is one declarative service-level objective. A tick is "bad"
+// for the objective when its signal breaches Threshold; the objective
+// burns error budget at the rate bad-ticks accrue.
+type Objective struct {
+	// Name identifies the objective in alerts, logs, and metrics.
+	// Defaults to the signal name.
+	Name string `json:"name"`
+	// Signal selects the measured series.
+	Signal Signal `json:"signal"`
+	// Threshold is the breach boundary in the signal's native unit:
+	// seconds for latency signals, a fraction in [0,1] for error and skip
+	// rates, a count for queue depth. Skip rate breaches below the
+	// threshold; everything else breaches above it.
+	Threshold float64 `json:"threshold"`
+	// Budget is the tolerated fraction of bad ticks per window (the SRE
+	// error budget). Defaults to DefaultBudget.
+	Budget float64 `json:"budget"`
+}
+
+// Severity is an objective's (or the whole service's) alert state.
+type Severity int
+
+// The alert states, in escalation order.
+const (
+	SevOK Severity = iota
+	SevWarning
+	SevCritical
+)
+
+// String returns the lowercase state name.
+func (s Severity) String() string {
+	switch s {
+	case SevWarning:
+		return "warning"
+	case SevCritical:
+		return "critical"
+	default:
+		return "ok"
+	}
+}
+
+// MarshalJSON renders the severity as its string name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the string form produced by MarshalJSON.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	switch strings.Trim(string(b), `"`) {
+	case "ok":
+		*s = SevOK
+	case "warning":
+		*s = SevWarning
+	case "critical":
+		*s = SevCritical
+	default:
+		return fmt.Errorf("health: unknown severity %s", b)
+	}
+	return nil
+}
+
+// Defaults for Config and Objective.
+const (
+	DefaultShortWindow = 10 * time.Second
+	DefaultMidWindow   = time.Minute
+	DefaultLongWindow  = 5 * time.Minute
+	DefaultBudget      = 0.01
+	// DefaultCritBurn and DefaultWarnBurn follow the SRE workbook's
+	// multiwindow alert table: a 14.4× burn exhausts a 30-day budget in
+	// ~2 days (page), a 6× burn in ~5 days (ticket).
+	DefaultCritBurn   = 14.4
+	DefaultWarnBurn   = 6.0
+	DefaultClearTicks = 5
+	DefaultAlertRing  = 128
+)
+
+// Config tunes the monitor; the zero value uses the defaults above.
+type Config struct {
+	// Short, Mid, and Long are the three rolling evaluation windows.
+	// Critical requires the burn rate to exceed CritBurn on both the
+	// short and mid windows (fast burn); warning requires WarnBurn on
+	// both the mid and long windows (slow burn). Windows are converted to
+	// whole ticks of the sampler interval (minimum one) and clamped to be
+	// non-decreasing.
+	Short, Mid, Long time.Duration
+	// CritBurn and WarnBurn are the burn-rate thresholds described above.
+	CritBurn, WarnBurn float64
+	// ClearTicks is the hysteresis: an objective steps down only after
+	// this many consecutive ticks at the lower raw severity, so a state
+	// flap needs sustained recovery to resolve.
+	ClearTicks int
+	// AlertRingSize bounds the retained alert-transition history.
+	AlertRingSize int
+}
+
+// withDefaults fills unset fields and clamps window ordering.
+func (c Config) withDefaults() Config {
+	if c.Short <= 0 {
+		c.Short = DefaultShortWindow
+	}
+	if c.Mid <= 0 {
+		c.Mid = DefaultMidWindow
+	}
+	if c.Long <= 0 {
+		c.Long = DefaultLongWindow
+	}
+	if c.Mid < c.Short {
+		c.Mid = c.Short
+	}
+	if c.Long < c.Mid {
+		c.Long = c.Mid
+	}
+	if c.CritBurn <= 0 {
+		c.CritBurn = DefaultCritBurn
+	}
+	if c.WarnBurn <= 0 {
+		c.WarnBurn = DefaultWarnBurn
+	}
+	if c.ClearTicks <= 0 {
+		c.ClearTicks = DefaultClearTicks
+	}
+	if c.AlertRingSize <= 0 {
+		c.AlertRingSize = DefaultAlertRing
+	}
+	return c
+}
+
+// ParseWindows parses a "short,mid,long" duration triple (e.g.
+// "10s,1m,5m") into the three Config windows. Used by command-line
+// wiring; an empty string returns zero durations (defaults apply).
+func ParseWindows(s string) (short, mid, long time.Duration, err error) {
+	if s == "" {
+		return 0, 0, 0, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("health: windows %q: want short,mid,long", s)
+	}
+	out := make([]time.Duration, 3)
+	for i, p := range parts {
+		d, err := time.ParseDuration(strings.TrimSpace(p))
+		if err != nil || d <= 0 {
+			return 0, 0, 0, fmt.Errorf("health: windows %q: bad duration %q", s, p)
+		}
+		out[i] = d
+	}
+	if out[0] > out[1] || out[1] > out[2] {
+		return 0, 0, 0, fmt.Errorf("health: windows %q must be non-decreasing", s)
+	}
+	return out[0], out[1], out[2], nil
+}

@@ -1,0 +1,116 @@
+package health
+
+import (
+	"time"
+
+	"adskip/internal/obs"
+)
+
+// Window bookkeeping. The monitor retains one cumulative tickPoint per
+// sampler tick in a bounded ring sized to the long window plus one, so
+// any window's aggregate is the delta between the newest point and the
+// point w ticks back — no per-window accumulators to keep in sync.
+
+// tickPoint is the cumulative counter state at one sampler tick, plus
+// the instantaneous queue depth.
+type tickPoint struct {
+	time    time.Time
+	queries int64
+	errors  int64
+	skipped int64
+	scanned int64
+	queue   int64
+	buckets []int64 // cumulative latency histogram; slot slice is reused
+}
+
+// tickRing is a bounded ring of tickPoints, newest-last.
+type tickRing struct {
+	buf  []tickPoint
+	next int
+	n    int
+}
+
+func newTickRing(capacity int) *tickRing {
+	return &tickRing{buf: make([]tickPoint, capacity)}
+}
+
+// push copies s into the next ring slot, reusing the slot's bucket
+// backing array so a warm ring allocates nothing per tick.
+func (r *tickRing) push(s *obs.HistorySample) {
+	slot := &r.buf[r.next]
+	slot.time = s.Time
+	slot.queries = s.Queries
+	slot.errors = s.Errors
+	slot.skipped = s.RowsSkipped
+	slot.scanned = s.RowsScanned
+	slot.queue = s.QueueDepth
+	slot.buckets = append(slot.buckets[:0], s.LatencyBuckets...)
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// at returns the point back ticks behind the newest (at(0) = newest).
+// back must be < r.n.
+func (r *tickRing) at(back int) *tickPoint {
+	idx := r.next - 1 - back
+	if idx < 0 {
+		idx += len(r.buf)
+	}
+	return &r.buf[idx]
+}
+
+// span returns the newest point and the point w ticks behind it (clamped
+// to the oldest retained), so the pair's deltas aggregate the last
+// min(w, n-1) ticks. Returns false until two points exist.
+func (r *tickRing) span(w int) (now, then *tickPoint, ok bool) {
+	if r.n < 2 {
+		return nil, nil, false
+	}
+	if w > r.n-1 {
+		w = r.n - 1
+	}
+	return r.at(0), r.at(w), true
+}
+
+// badRing tracks one objective's per-tick verdicts: +1 bad, 0 good,
+// -1 no data. Capacity is the long window.
+type badRing struct {
+	buf  []int8
+	next int
+	n    int
+}
+
+func newBadRing(capacity int) *badRing {
+	return &badRing{buf: make([]int8, capacity)}
+}
+
+func (r *badRing) push(v int8) {
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// counts tallies bad and with-data ticks over the last w verdicts.
+func (r *badRing) counts(w int) (bad, data int) {
+	if w > r.n {
+		w = r.n
+	}
+	for back := 0; back < w; back++ {
+		idx := r.next - 1 - back
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		switch r.buf[idx] {
+		case 1:
+			bad++
+			data++
+		case 0:
+			data++
+		}
+	}
+	return bad, data
+}

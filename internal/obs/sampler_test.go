@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -104,6 +105,8 @@ func TestHistorySampleGoldenJSON(t *testing.T) {
   "rows_skipped": 8000,
   "rows_covered": 50,
   "slow_queries": 1,
+  "errors": 2,
+  "queue_depth": 3,
   "skip_ratio": 0.8,
   "latency_p50_seconds": 0.0001,
   "latency_p95_seconds": 0.002,
@@ -121,7 +124,10 @@ func TestHistorySampleGoldenJSON(t *testing.T) {
 	h := HistorySample{
 		Time:    time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
 		Queries: 100, RowsScanned: 2000, RowsSkipped: 8000, RowsCovered: 50,
-		SlowQueries: 1, SkipRatio: 0.8,
+		SlowQueries: 1, Errors: 2, QueueDepth: 3, SkipRatio: 0.8,
+		// LatencyBuckets is json:"-": raw histogram state stays off the
+		// wire; consumers get the derived quantiles.
+		LatencyBuckets: []int64{1, 2, 3},
 		LatencyP50: 0.0001, LatencyP95: 0.002, AdaptEvents: 17,
 		Columns: []HistoryColumn{{Table: "data", Column: "v", SkipRatio: 0.9, Zones: 64, Enabled: true}},
 	}
@@ -132,6 +138,78 @@ func TestHistorySampleGoldenJSON(t *testing.T) {
 	if string(got) != want {
 		t.Errorf("history sample JSON drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
+}
+
+// TestSamplerSubscribe: subscribers see every tick exactly once, on the
+// sampler goroutine, and unsubscribe takes effect for later ticks.
+func TestSamplerSubscribe(t *testing.T) {
+	var fills atomic.Int64
+	s := NewSampler(time.Millisecond, 8, func(h *HistorySample) {
+		h.Queries = fills.Add(1)
+	})
+	defer s.Stop()
+
+	var seen atomic.Int64
+	var last atomic.Int64
+	unsub := s.Subscribe(func(h *HistorySample) {
+		seen.Add(1)
+		// Ticks arrive in order; the fill sequence must be monotonic.
+		if prev := last.Swap(h.Queries); h.Queries <= prev {
+			t.Errorf("tick out of order: %d after %d", h.Queries, prev)
+		}
+	})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for seen.Load() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber saw only %d ticks in 5s", seen.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	unsub()
+	frozen := seen.Load()
+	// The sampler keeps ticking, but the unsubscribed callback must not
+	// run again. (One in-flight dispatch may still land; allow it.)
+	start := s.Total()
+	for s.Total() < start+5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := seen.Load(); got > frozen+1 {
+		t.Fatalf("unsubscribed callback kept firing: %d ticks after unsubscribe", got-frozen)
+	}
+}
+
+// TestSamplerStopUnsubscribes: Stop halts the sampling goroutine — and
+// with it all subscriber dispatch — without leaking the goroutine.
+func TestSamplerStopUnsubscribes(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var ticks atomic.Int64
+	s := NewSampler(time.Millisecond, 8, nil)
+	s.Subscribe(func(*HistorySample) { ticks.Add(1) })
+
+	deadline := time.Now().Add(5 * time.Second)
+	for ticks.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber never ran (%d ticks)", ticks.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	n := ticks.Load()
+	time.Sleep(10 * time.Millisecond)
+	if got := ticks.Load(); got != n {
+		t.Fatalf("subscriber ran %d more times after Stop", got-n)
+	}
+	// The sampling goroutine is joined by Stop; the count must settle
+	// back to (at most) where it started.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after Stop", before, runtime.NumGoroutine())
 }
 
 // BenchmarkSamplerTick measures one timeline sample end to end (slot

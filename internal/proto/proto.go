@@ -69,6 +69,10 @@ const (
 	ErrKindBadOp    = "bad_op"   // unknown request op
 	ErrKindInternal = "internal" // anything else
 	ErrKindShutdown = "shutdown" // server is draining
+	// ErrKindUnavailable means the server is alive but refusing query
+	// traffic because a health objective is in critical burn (load
+	// shedding). Retryable: back off and try again, or fail over.
+	ErrKindUnavailable = "unavailable"
 )
 
 // MaxFrameDefault is the default maximum frame size (4 MiB): generous for

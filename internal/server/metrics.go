@@ -21,6 +21,7 @@ type srvMetrics struct {
 
 	inflight *obs.Gauge     // requests currently executing
 	latency  *obs.Histogram // request wall-clock seconds, all ops
+	rejected *obs.Counter   // queries refused during critical health burn
 
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
@@ -47,6 +48,7 @@ func newSrvMetrics(reg *obs.Registry) *srvMetrics {
 		bytesSent:      reg.Counter("adskip_server_bytes_written_total", "Bytes written to client connections."),
 		inflight:       reg.Gauge("adskip_server_inflight_requests", "Requests currently executing."),
 		latency:        reg.Histogram("adskip_server_request_seconds", "Request wall-clock latency, all ops.", obs.LatencyBuckets()),
+		rejected:       reg.Counter("adskip_server_rejected_total", "Queries refused while health status was critical."),
 		cacheHits:      reg.Counter("adskip_server_stmt_cache_hits_total", "Requests served from the prepared-statement cache."),
 		cacheMisses:    reg.Counter("adskip_server_stmt_cache_misses_total", "Requests that had to parse and plan."),
 		cacheEvictions: reg.Counter("adskip_server_stmt_cache_evictions_total", "Prepared statements evicted by the LRU."),

@@ -55,6 +55,13 @@ type Options struct {
 	// connection open/close at debug, protocol errors at warn. Nil
 	// disables logging.
 	Logger *slog.Logger
+	// RefuseOnCritical sheds query load while the DB's health monitor
+	// reports critical burn: query and exec requests are answered with
+	// ErrKindUnavailable instead of executing, so a saturated server stops
+	// digging. Ping, catalog, and prepare stay up — load balancers keep
+	// probing and clients keep their statements warm for recovery. No-op
+	// unless the DB declared health objectives.
+	RefuseOnCritical bool
 }
 
 // Server serves SQL queries against one adskip.DB over TCP.
@@ -395,10 +402,16 @@ func (ss *session) dispatch(ctx context.Context, req *proto.Request, tm *proto.T
 	case proto.OpCatalog:
 		return proto.Response{OK: true, Tables: s.db.TableNames()}
 	case proto.OpQuery:
+		if resp, refused := s.refuse(); refused {
+			return resp
+		}
 		return ss.query(ctx, req.SQL, tm)
 	case proto.OpPrepare:
 		return ss.prepare(req.SQL)
 	case proto.OpExec:
+		if resp, refused := s.refuse(); refused {
+			return resp
+		}
 		ent, ok := s.cache.getID(req.Stmt)
 		if !ok {
 			s.m.failure(proto.ErrKindNoStmt)
@@ -411,6 +424,20 @@ func (ss *session) dispatch(ctx context.Context, req *proto.Request, tm *proto.T
 		s.m.failure(proto.ErrKindBadOp)
 		return errResp(proto.ErrKindBadOp, "unknown op "+strconv.Quote(req.Op))
 	}
+}
+
+// refuse implements the load-shedding gate: when RefuseOnCritical is set
+// and the DB's health monitor is in critical burn, query traffic is
+// answered with a retryable unavailable error. HealthStatus is one
+// atomic load, so the healthy path pays nothing measurable.
+func (s *Server) refuse() (proto.Response, bool) {
+	if !s.opts.RefuseOnCritical || s.db.HealthStatus() != adskip.HealthCritical {
+		return proto.Response{}, false
+	}
+	s.m.rejected.Inc()
+	s.m.failure(proto.ErrKindUnavailable)
+	return errResp(proto.ErrKindUnavailable,
+		"server refusing queries: health status critical (SLO burn); retry after recovery"), true
 }
 
 // query executes SQL text. Hot statements hit the prepared-statement

@@ -20,6 +20,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"adskip/internal/health"
 	"adskip/internal/obs"
 )
 
@@ -41,6 +42,14 @@ type Source struct {
 	// /dash convergence chart. Optional: /history serves an empty series
 	// and /dash degrades gracefully when nil.
 	History *obs.Sampler
+	// Health returns the current SLO snapshot behind /health. When nil
+	// (or when it reports ok=false), /health serves a 200 "disabled"
+	// body; otherwise /health is a readiness probe: 503 while any
+	// objective is critical, 200 otherwise.
+	Health func() (health.Snapshot, bool)
+	// Alerts returns the firing objectives and alert-transition history
+	// behind /alerts. Optional.
+	Alerts func() health.AlertsSnapshot
 }
 
 // Options tunes the server.
@@ -122,6 +131,8 @@ func (s *Server) mux() *http.ServeMux {
 	m.HandleFunc("/events", s.handleEvents)
 	m.HandleFunc("/runtime", s.handleRuntime)
 	m.HandleFunc("/history", s.handleHistory)
+	m.HandleFunc("/health", s.handleHealth)
+	m.HandleFunc("/alerts", s.handleAlerts)
 	m.HandleFunc("/dash", s.handleDash)
 	m.HandleFunc("/debug/pprof/", pprof.Index)
 	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -148,6 +159,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/events">/events</a> — adaptation-event log</li>
 <li><a href="/runtime">/runtime</a> — sampled Go runtime statistics</li>
 <li><a href="/history">/history</a> — adaptation timeline (sampled skip ratio, latency quantiles, per-column series)</li>
+<li><a href="/health">/health</a> — SLO snapshot / readiness probe (503 while any objective is critical)</li>
+<li><a href="/alerts">/alerts</a> — firing objectives + alert-transition history</li>
 <li><a href="/dash">/dash</a> — live dashboard (convergence curve + zone heatmap)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — pprof profiles</li>
 </ul></body></html>`)
@@ -268,6 +281,44 @@ func (s *Server) handleHistory(w http.ResponseWriter, _ *http.Request) {
 		Total:      s.src.History.Total(),
 		Samples:    s.src.History.Snapshot(),
 	})
+}
+
+// healthListing is the /health JSON shape: an enabled flag wrapping the
+// monitor's snapshot (zero-valued when SLO tracking is off).
+type healthListing struct {
+	Enabled bool `json:"enabled"`
+	health.Snapshot
+}
+
+// handleHealth serves the SLO snapshot with readiness-probe semantics:
+// HTTP 503 while any objective burns at critical, 200 otherwise (also
+// 200 when no objectives are configured — a probe must not fail a
+// deployment that never declared SLOs).
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.src.Health == nil {
+		writeJSON(w, healthListing{})
+		return
+	}
+	snap, ok := s.src.Health()
+	if !ok {
+		writeJSON(w, healthListing{})
+		return
+	}
+	if snap.Status == health.SevCritical {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, healthListing{Enabled: true, Snapshot: snap})
+}
+
+// handleAlerts serves the firing objectives and the retained alert
+// transitions, oldest-first.
+func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	out := health.AlertsSnapshot{Active: []health.ObjectiveStatus{}, History: []health.Transition{}}
+	if s.src.Alerts != nil {
+		out = s.src.Alerts()
+	}
+	writeJSON(w, out)
 }
 
 // writeJSON writes v as indented JSON.

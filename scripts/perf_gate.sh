@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# perf_gate.sh — CI perf-regression gate.
+#
+# Re-runs the gate stream (fig1 headline configuration: clustered data,
+# adaptive policy, 1% range queries) at the scale recorded in the
+# committed baseline and fails if steady-state p95 latency, throughput,
+# or skip ratio regressed beyond the tolerance (default 15%).
+#
+#   bash scripts/perf_gate.sh                       # enforce
+#   PERF_GATE_WARN_ONLY=1 bash scripts/perf_gate.sh # report, never fail
+#   BASELINE=other.json bash scripts/perf_gate.sh   # gate against another run
+#
+# Refresh the baseline (on a quiet machine) with:
+#   go run ./cmd/adskip-bench -experiment fig1 -rows 262144 -queries 128 \
+#     -json BENCH_BASELINE.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${BASELINE:-BENCH_BASELINE.json}"
+TOLERANCE="${TOLERANCE:-0.15}"
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "perf gate: baseline $BASELINE not found" >&2
+  exit 1
+fi
+
+if go run ./cmd/adskip-bench -baseline "$BASELINE" -gate-tolerance "$TOLERANCE"; then
+  exit 0
+fi
+
+if [[ "${PERF_GATE_WARN_ONLY:-0}" == "1" ]]; then
+  echo "perf gate: regression detected, but PERF_GATE_WARN_ONLY=1 — not failing"
+  exit 0
+fi
+echo "perf gate: FAIL (set PERF_GATE_WARN_ONLY=1 to downgrade, or refresh $BASELINE if the regression is intended)" >&2
+exit 1
