@@ -29,6 +29,7 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adskip/internal/adaptive"
@@ -40,6 +41,7 @@ import (
 	"adskip/internal/storage"
 	"adskip/internal/table"
 	"adskip/internal/telemetry"
+	"adskip/internal/wal"
 )
 
 // Type is a column's logical type.
@@ -139,7 +141,14 @@ const (
 	SignalErrorRate  = health.SignalErrorRate
 	SignalSkipRate   = health.SignalSkipRate
 	SignalQueueDepth = health.SignalQueueDepth
+	SignalWALLag     = health.SignalWALLag
 )
+
+// RecoveryStats summarizes one WAL replay pass, as returned by DB.Recover.
+type RecoveryStats = wal.RecoveryStats
+
+// WALStatus is a point-in-time view of the write-ahead log.
+type WALStatus = wal.Status
 
 // HealthConfig tunes SLO evaluation: the short/mid/long burn-rate
 // windows, burn thresholds, and hysteresis. The zero value uses the
@@ -228,6 +237,31 @@ type Options struct {
 	// Health tunes objective evaluation (windows, burn thresholds,
 	// hysteresis). Ignored unless Objectives is non-empty.
 	Health HealthConfig
+	// Durability, when Dir is set, arms a write-ahead log: appends and
+	// updates are group-committed to disk before they are acknowledged,
+	// and DB.Recover replays them after a crash. A DB opened with
+	// durability starts in recovering state — load the deterministic base
+	// data (CreateTable/LoadTable + bulk load), then call Recover before
+	// serving mutations.
+	Durability Durability
+}
+
+// Durability configures the write-ahead log (see Options.Durability).
+type Durability struct {
+	// Dir is the WAL segment directory; empty disables durability.
+	Dir string
+	// GroupWindow bounds how long a commit may linger waiting to share an
+	// fsync with concurrent writers (default 2ms). Larger windows
+	// amortize fsync across more writers at the cost of commit latency.
+	GroupWindow time.Duration
+	// SegmentBytes is the segment rotation threshold (default 64 MiB).
+	SegmentBytes int64
+	// FlushBytes flushes a pending batch early once it exceeds this many
+	// bytes (default 1 MiB).
+	FlushBytes int64
+	// DisableFsync keeps the logging and group-commit machinery but skips
+	// fsync — for benchmarks isolating fsync cost. No crash durability.
+	DisableFsync bool
 }
 
 // ColumnDef defines one column of a new table.
@@ -262,6 +296,12 @@ type DB struct {
 	// at Open (immutable afterwards), nil when no objectives are declared.
 	monitor     *health.Monitor
 	unsubHealth func()
+
+	// wal is the armed write-ahead log (nil until Recover completes on a
+	// DB with Options.Durability). Guarded by mu; recovering is read on
+	// request paths, hence atomic.
+	wal        *wal.Log
+	recovering atomic.Bool
 }
 
 // DB-level errors.
@@ -283,6 +323,10 @@ func Open(opts Options) *DB {
 		traces:    obs.NewTraceRing(opts.TraceRingSize),
 		slow:      obs.NewTraceRing(opts.TraceRingSize),
 	}
+	// A durable DB starts in recovering state: mutations are not durable
+	// (and servers should refuse them) until Recover has replayed the log
+	// and armed the engines.
+	db.recovering.Store(opts.Durability.Dir != "")
 	if len(opts.Objectives) > 0 {
 		smp := obs.NewSampler(opts.HistoryInterval, opts.HistoryCapacity, db.fillHistory)
 		mon, err := health.New(opts.Objectives, smp.Interval(), opts.Health, db.reg, opts.Logger)
@@ -477,6 +521,12 @@ func (db *DB) fillHistory(s *HistorySample) {
 	s.LatencyP50 = obs.QuantileFromBuckets(bounds, buckets, 0.50)
 	s.LatencyP95 = obs.QuantileFromBuckets(bounds, buckets, 0.95)
 	s.AdaptEvents = int64(db.events.Seq())
+	db.mu.RLock()
+	l := db.wal
+	db.mu.RUnlock()
+	if l != nil {
+		s.WALLagSeconds = l.Lag().Seconds()
+	}
 }
 
 // TelemetryAddr returns the telemetry server's bound listen address, or
@@ -499,8 +549,10 @@ func (db *DB) Close() error {
 	db.mu.Lock()
 	srv := db.telem
 	smp := db.sampler
+	l := db.wal
 	db.telem = nil
 	db.sampler = nil
+	db.wal = nil
 	db.mu.Unlock()
 	if db.unsubHealth != nil {
 		db.unsubHealth()
@@ -508,10 +560,16 @@ func (db *DB) Close() error {
 	if smp != nil {
 		smp.Stop()
 	}
-	if srv == nil {
-		return nil
+	var err error
+	if l != nil {
+		// Flush and fsync the log before the process can exit: the drain
+		// half of SIGTERM handling.
+		err = l.Close()
 	}
-	return srv.Close()
+	if srv != nil {
+		err = errors.Join(err, srv.Close())
+	}
+	return err
 }
 
 // Metrics returns the database's metrics registry, shared by all tables.
@@ -551,6 +609,7 @@ func (db *DB) lookup(name string) (*engine.Engine, bool) {
 }
 
 // register adds an engine to the catalog; it fails if the name is taken.
+// Tables created after Recover are armed with the WAL immediately.
 func (db *DB) register(name string, e *engine.Engine) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -558,7 +617,117 @@ func (db *DB) register(name string, e *engine.Engine) error {
 		return fmt.Errorf("%w: %q", ErrTableExists, name)
 	}
 	db.engines[name] = e
+	if db.wal != nil {
+		e.SetWAL(db.wal)
+	}
 	return nil
+}
+
+// Recovering reports whether the DB is a durable store that has not yet
+// completed Recover. Servers refuse mutations (and queries, whose answers
+// would predate the replayed tail) while recovering. Lock-free.
+func (db *DB) Recovering() bool { return db.recovering.Load() }
+
+// Recover replays the write-ahead log at Options.Durability.Dir into the
+// catalog's tables, verifies every table's skipping metadata against the
+// recovered contents, then arms the WAL so subsequent appends and updates
+// are durable. Call it exactly once, after the deterministic base data is
+// loaded (replay routes records by table name and errors on unknown
+// tables) and before serving mutations. On a fresh directory it succeeds
+// with zero records — Recover is how a durable DB arms its WAL, crash or
+// no crash.
+func (db *DB) Recover() (RecoveryStats, error) {
+	if db.opts.Durability.Dir == "" {
+		return RecoveryStats{}, errors.New("adskip: Options.Durability.Dir not set")
+	}
+	db.mu.RLock()
+	armed := db.wal != nil
+	db.mu.RUnlock()
+	if armed {
+		return RecoveryStats{}, errors.New("adskip: Recover already completed")
+	}
+	d := db.opts.Durability
+	l, stats, err := wal.Open(wal.Options{
+		Dir:          d.Dir,
+		GroupWindow:  d.GroupWindow,
+		SegmentBytes: d.SegmentBytes,
+		FlushBytes:   d.FlushBytes,
+		NoSync:       d.DisableFsync,
+		Metrics:      db.reg,
+		Logger:       db.opts.Logger,
+	}, func(rec *wal.Record) error {
+		e, ok := db.lookup(rec.Table)
+		if !ok {
+			return fmt.Errorf("%w: %q (create tables before Recover)", ErrNoSuchTable, rec.Table)
+		}
+		return e.ReplayRecord(rec)
+	})
+	if err != nil {
+		return stats, err
+	}
+	// The replayed state must satisfy every skipping invariant before the
+	// store accepts new writes on top of it.
+	db.mu.RLock()
+	engines := make([]*engine.Engine, 0, len(db.engines))
+	for _, e := range db.engines {
+		engines = append(engines, e)
+	}
+	db.mu.RUnlock()
+	var verr error
+	for _, e := range engines {
+		if err := e.VerifySkipping(); err != nil {
+			verr = errors.Join(verr, fmt.Errorf("table %q: %w", e.Table().Name(), err))
+		}
+	}
+	if verr != nil {
+		l.Close()
+		return stats, fmt.Errorf("adskip: recovery verification failed: %w", verr)
+	}
+	db.mu.Lock()
+	db.wal = l
+	for _, e := range db.engines {
+		e.SetWAL(l)
+	}
+	db.mu.Unlock()
+	db.recovering.Store(false)
+	return stats, nil
+}
+
+// WALStatus reports the write-ahead log's current state; ok is false
+// until Recover has armed it.
+func (db *DB) WALStatus() (WALStatus, bool) {
+	db.mu.RLock()
+	l := db.wal
+	db.mu.RUnlock()
+	if l == nil {
+		return WALStatus{}, false
+	}
+	return l.Status(), true
+}
+
+// SyncWAL forces everything logged so far to disk and waits — the drain
+// path for graceful shutdown. No-op without an armed WAL.
+func (db *DB) SyncWAL() error {
+	db.mu.RLock()
+	l := db.wal
+	db.mu.RUnlock()
+	if l == nil {
+		return nil
+	}
+	return l.Sync()
+}
+
+// CompactWAL recycles WAL segments whose every record has LSN <=
+// throughLSN, asserting those records are captured elsewhere (e.g. via
+// SaveTable). Returns how many segments were recycled.
+func (db *DB) CompactWAL(throughLSN uint64) (int, error) {
+	db.mu.RLock()
+	l := db.wal
+	db.mu.RUnlock()
+	if l == nil {
+		return 0, errors.New("adskip: no WAL armed")
+	}
+	return l.Compact(throughLSN)
 }
 
 // CreateTable creates a table with the given columns.
@@ -724,6 +893,11 @@ func (t *Table) Append(vals ...interface{}) error {
 
 // AppendValues ingests one row of typed Values.
 func (t *Table) AppendValues(vals ...Value) error { return t.eng.AppendRow(vals...) }
+
+// AppendBatch ingests a batch of typed rows atomically with respect to
+// queries. On a durable DB the whole batch is one WAL record and one
+// group-commit wait, so batching is the high-throughput ingest path.
+func (t *Table) AppendBatch(rows [][]Value) error { return t.eng.AppendRows(rows) }
 
 // Update overwrites one cell in place (BIGINT and DOUBLE columns).
 func (t *Table) Update(col string, row int, v interface{}) error {

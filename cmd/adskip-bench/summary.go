@@ -30,6 +30,10 @@ type benchSummary struct {
 	// summary carrying one can serve as the committed CI baseline for
 	// `adskip-bench -baseline <file>` (see scripts/perf_gate.sh).
 	Gate *harness.GateStats `json:"gate,omitempty"`
+	// Ingest is the durability-cost measurement (with -ingest): volatile
+	// vs WAL-group-commit vs WAL-no-sync throughput and fsync
+	// amortization. The durable path is expected within 2x of volatile.
+	Ingest *harness.IngestStats `json:"ingest,omitempty"`
 }
 
 // readBaseline loads a previously written summary to gate against.

@@ -11,9 +11,16 @@
 // its latency breakdown; the report then attributes client-observed
 // latency to server execution, server-side queueing, and the network.
 //
+// With -insert-frac a fraction of requests become batched inserts (the
+// target table must have the adskip-gen schema: v BIGINT, seq BIGINT,
+// noise DOUBLE), and -retries arms client-side retry of retryable
+// refusals — requests refused while the server replays its WAL or sheds
+// load, then answered on a later attempt, count as successes. The retry
+// volume is reported separately.
+//
 // The exit status is 1 if any request failed (or, under -timing, if any
 // breakdown violated its sanity invariants), so scripts can assert an
-// error-free run.
+// error-free run. Retries alone never fail the run.
 package main
 
 import (
@@ -43,6 +50,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 		timing   = flag.Bool("timing", false, "request server-side latency breakdowns and print a network/queue/server attribution table")
+		insFrac  = flag.Float64("insert-frac", 0, "fraction of requests that are inserts instead of queries (target table must have the adskip-gen schema)")
+		insBatch = flag.Int("insert-batch", 16, "rows per insert request")
+		retries  = flag.Int("retries", 0, "client retries for retryable refusals (recovering / load shedding); retried-then-succeeded requests are not errors")
 		health   = flag.String("assert-health", "", "after the run, GET this telemetry /health URL and exit non-zero unless it answers 200 with status ok")
 	)
 	flag.Parse()
@@ -62,6 +72,10 @@ func main() {
 		Seed:        *seed,
 		Timeout:     *timeout,
 		Timing:      *timing,
+
+		InsertFraction: *insFrac,
+		InsertBatch:    *insBatch,
+		Retries:        *retries,
 	})
 	fmt.Println(rep)
 	if *timing && rep.TimingViolations > 0 {

@@ -8,9 +8,16 @@
 //
 //	adskip-server -rows 1000000 -dist clustered -addr :7878 -telemetry 127.0.0.1:0
 //	adskip-server -load data.adsk
+//	adskip-server -rows 100000 -wal-dir /var/lib/adskip/wal
+//
+// With -wal-dir the server is durable: inserts are group-committed to a
+// write-ahead log before they are acknowledged, and on startup the WAL
+// is replayed (after the listener is up, so clients see retryable
+// "recovering" refusals rather than connection errors). The base dataset
+// is deterministic from its flags and is not logged — only ingest is.
 //
 // SIGINT/SIGTERM drains: in-flight queries finish and are answered, then
-// the process prints "drained" and exits 0.
+// the WAL is flushed and closed, the process prints "drained" and exits 0.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -52,9 +60,16 @@ func main() {
 		logMode   = flag.String("log", "off", "structured logging to stderr: off|text|json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 
+		walDir    = flag.String("wal-dir", "", "write-ahead log directory: arms durable ingest and crash recovery (empty = volatile)")
+		walWindow = flag.Duration("wal-window", 0, "group-commit linger window (0 = default 2ms; requires -wal-dir)")
+		walNoSync = flag.Bool("wal-no-sync", false, "skip fsync on WAL writes (testing only: crashes lose acked data)")
+		faultCrash = flag.String("fault-crash", "",
+			"arm a deterministic crash as point:N (SIGKILL on the N-th trigger of that WAL injection point), e.g. wal-crash-after-sync:25; points: "+strings.Join(faultinject.Points(), ", "))
+
 		sloP95     = flag.Duration("slo-p95", 0, "p95 latency SLO threshold (0 = objective off), e.g. 5ms")
 		sloErr     = flag.Float64("slo-err", 0, "error-rate SLO threshold in (0,1) (0 = objective off)")
 		sloSkip    = flag.Float64("slo-skip", 0, "minimum skip-rate SLO threshold in (0,1] (0 = objective off)")
+		sloWALLag  = flag.Duration("slo-wal-lag", 0, "max WAL fsync lag SLO threshold (0 = objective off; requires -wal-dir)")
 		sloWindows = flag.String("slo-windows", "", "burn-rate windows as short,mid,long (default 10s,1m,5m)")
 		histInt    = flag.Duration("history-interval", 0, "health/timeline sampling interval (0 = default 1s)")
 		faultDelay = flag.Duration("fault-scan-delay", 0,
@@ -81,6 +96,22 @@ func main() {
 	if *sloSkip > 0 {
 		opts.Objectives = append(opts.Objectives,
 			adskip.Objective{Name: "skip-rate", Signal: adskip.SignalSkipRate, Threshold: *sloSkip})
+	}
+	if *sloWALLag > 0 {
+		if *walDir == "" {
+			fatalf("-slo-wal-lag requires -wal-dir")
+		}
+		opts.Objectives = append(opts.Objectives,
+			adskip.Objective{Name: "wal-lag", Signal: adskip.SignalWALLag, Threshold: sloWALLag.Seconds()})
+	}
+	if *walDir != "" {
+		opts.Durability = adskip.Durability{
+			Dir:          *walDir,
+			GroupWindow:  *walWindow,
+			DisableFsync: *walNoSync,
+		}
+	} else if *walWindow != 0 || *walNoSync {
+		fatalf("-wal-window/-wal-no-sync require -wal-dir")
 	}
 	if *sloWindows != "" {
 		short, mid, long, err := health.ParseWindows(*sloWindows)
@@ -143,6 +174,9 @@ func main() {
 	if *faultDelay > 0 {
 		armFaultToggle(*faultDelay)
 	}
+	if *faultCrash != "" {
+		armCrash(*faultCrash)
+	}
 
 	srv, err := server.Start(db, server.Options{
 		Addr:          *addr,
@@ -158,10 +192,31 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("listening on %s\n", srv.Addr())
-
+	// Arm the drain signal before announcing the address: a supervisor
+	// that SIGTERMs the instant it sees output must get a graceful drain,
+	// not the default kill disposition.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	fmt.Printf("listening on %s\n", srv.Addr())
+
+	// Recovery runs AFTER the listener is up: clients connecting during a
+	// long replay get a retryable "recovering" refusal instead of a
+	// connection error, so a retrying fleet rides through a restart. Base
+	// data loaded or generated above is deterministic and is NOT in the
+	// WAL — only post-recovery ingest is logged.
+	if *walDir != "" {
+		stats, err := db.Recover()
+		if err != nil {
+			fatalf("wal recovery: %v", err)
+		}
+		// One parseable line the crash-torture harness greps for.
+		fmt.Printf("wal recovered: segments=%d records=%d rows=%d torn=%v dropped_bytes=%d elapsed=%s\n",
+			stats.Segments, stats.Records, stats.Rows, stats.TornTail, stats.DroppedBytes,
+			stats.Elapsed.Round(time.Microsecond))
+	}
+	fmt.Println("ready")
+
 	<-sig
 	fmt.Println("shutting down: draining connections")
 	if err := srv.Close(); err != nil {
@@ -192,6 +247,28 @@ func armFaultToggle(d time.Duration) {
 		}
 	}()
 	fmt.Printf("fault toggle ready: SIGUSR1 injects scan-delay %s, SIGUSR2 clears\n", d)
+}
+
+// armCrash installs a one-shot SIGKILL at a named WAL injection point:
+// "point:N" fires on the N-th trigger of that point. This is how the
+// crash-torture harness makes a child server die at a precise moment in
+// the commit pipeline — deterministically, so a failure reproduces.
+func armCrash(spec string) {
+	name, nStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		fatalf("-fault-crash: want point:N, got %q", spec)
+	}
+	p, err := faultinject.ParsePoint(name)
+	if err != nil {
+		fatalf("-fault-crash: %v (points: %s)", err, strings.Join(faultinject.Points(), ", "))
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil || n < 1 {
+		fatalf("-fault-crash: bad trigger count %q", nStr)
+	}
+	faultinject.Activate(faultinject.New(1).
+		Set(p, faultinject.Rule{After: n - 1, Limit: 1}))
+	fmt.Printf("fault armed: %s on trigger %d\n", p, n)
 }
 
 // generate builds the adskip-gen dataset shape in-process: v carries the

@@ -9,9 +9,12 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adskip/internal/proto"
@@ -26,6 +29,37 @@ type ServerError struct {
 
 func (e *ServerError) Error() string { return fmt.Sprintf("server: %s (%s)", e.Msg, e.Kind) }
 
+// Retryable reports whether err is a server refusal that a later attempt
+// can reasonably expect to succeed: the load-shedding gate
+// (ErrKindUnavailable) and the WAL-replay gate (ErrKindRecovering). Both
+// are pre-execution refusals — the server rejected the request before
+// touching any data — so retrying a mutation cannot double-apply it.
+// Transport errors are deliberately NOT retryable: a connection that
+// died mid-request leaves the outcome unknown, and retrying an insert
+// over a fresh connection could append the rows twice.
+func Retryable(err error) bool {
+	var se *ServerError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.Kind == proto.ErrKindUnavailable || se.Kind == proto.ErrKindRecovering
+}
+
+// RetryPolicy configures automatic retry of retryable server refusals
+// (see Retryable). The backoff is capped exponential with full jitter:
+// attempt n sleeps uniform(0, min(Cap, Base<<n)), which spreads a
+// thundering herd of clients waiting out the same recovery over the
+// whole window instead of synchronizing their retries.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt. Zero
+	// disables retry entirely (the default).
+	Max int
+	// Base is the backoff base (default 10ms when Max > 0).
+	Base time.Duration
+	// Cap bounds a single backoff sleep (default 1s).
+	Cap time.Duration
+}
+
 // Options configures a Client.
 type Options struct {
 	// Timeout bounds each request round-trip (dial, write, read).
@@ -38,12 +72,19 @@ type Options struct {
 	// field ignore the ask and Timing stays nil — callers must tolerate
 	// absence.
 	Timing bool
+	// Retry enables automatic retry of retryable refusals (load
+	// shedding, WAL recovery) with jittered exponential backoff. The
+	// zero policy never retries.
+	Retry RetryPolicy
 }
 
 // Client is one connection to an adskip server. Methods are safe for
 // concurrent use; they serialize on the connection.
 type Client struct {
 	opts Options
+
+	retries atomic.Int64
+	closed  atomic.Bool
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -69,14 +110,55 @@ func Dial(addr string, opts Options) (*Client, error) {
 }
 
 // Close closes the connection. A request in flight on another goroutine
-// fails (and is canceled server-side by the disconnect).
+// fails (and is canceled server-side by the disconnect). A backoff sleep
+// in a retry loop is abandoned at its next attempt.
 func (c *Client) Close() error {
+	c.closed.Store(true)
 	c.conn.SetDeadline(time.Now()) // unblock a concurrent round-trip
 	return c.conn.Close()
 }
 
-// roundTrip sends one request and reads its response under the mutex.
+// Retries reports the cumulative number of automatic retries this client
+// has performed (attempts beyond the first, successful or not). Load
+// generators report this separately from errors: a request that was
+// refused during recovery and then succeeded is a success, not a
+// failure, but the retry volume is still worth watching.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// roundTrip sends one request, retrying retryable refusals per the
+// client's RetryPolicy with full-jitter capped exponential backoff.
 func (c *Client) roundTrip(req proto.Request) (proto.Response, error) {
+	resp, err := c.roundTripOnce(req)
+	if err == nil || c.opts.Retry.Max <= 0 || !Retryable(err) {
+		return resp, err
+	}
+	pol := c.opts.Retry
+	if pol.Base <= 0 {
+		pol.Base = 10 * time.Millisecond
+	}
+	if pol.Cap <= 0 {
+		pol.Cap = time.Second
+	}
+	for attempt := 0; attempt < pol.Max; attempt++ {
+		ceil := pol.Base << uint(attempt)
+		if ceil > pol.Cap || ceil <= 0 {
+			ceil = pol.Cap
+		}
+		time.Sleep(time.Duration(rand.Int63n(int64(ceil) + 1)))
+		if c.closed.Load() {
+			return resp, err
+		}
+		c.retries.Add(1)
+		resp, err = c.roundTripOnce(req)
+		if err == nil || !Retryable(err) {
+			return resp, err
+		}
+	}
+	return resp, err
+}
+
+// roundTripOnce sends one request and reads its response under the mutex.
+func (c *Client) roundTripOnce(req proto.Request) (proto.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.opts.Timeout > 0 {
@@ -167,6 +249,33 @@ func decodeTimedResult(resp proto.Response) (*proto.Result, error) {
 	}
 	res.Timing = resp.Timing
 	return res, nil
+}
+
+// Insert appends rows to a table and returns the number of rows the
+// server acknowledged. Cells may be int/int64, float64, string, or nil
+// for NULL, matched positionally to the table schema. On a durable
+// server a non-error return means the rows are fsynced to the WAL.
+// With a RetryPolicy configured, refusals during WAL replay or load
+// shedding are retried automatically — those gates reject before any
+// append, so the retry cannot double-insert. A transport error leaves
+// the outcome unknown and is never retried.
+func (c *Client) Insert(table string, rows [][]any) (int, error) {
+	wire := make([][]json.RawMessage, len(rows))
+	for i, row := range rows {
+		wire[i] = make([]json.RawMessage, len(row))
+		for j, cell := range row {
+			raw, err := json.Marshal(cell)
+			if err != nil {
+				return 0, fmt.Errorf("client: row %d cell %d: %w", i, j, err)
+			}
+			wire[i][j] = raw
+		}
+	}
+	resp, err := c.roundTrip(proto.Request{Op: proto.OpInsert, Table: table, Rows: wire})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Inserted, nil
 }
 
 // Ping checks liveness.

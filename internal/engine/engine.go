@@ -15,10 +15,12 @@ import (
 
 	"adskip/internal/adaptive"
 	"adskip/internal/core"
+	"adskip/internal/faultinject"
 	"adskip/internal/imprint"
 	"adskip/internal/obs"
 	"adskip/internal/storage"
 	"adskip/internal/table"
+	"adskip/internal/wal"
 )
 
 // Policy selects the data-skipping policy applied to indexed columns.
@@ -144,6 +146,11 @@ type Engine struct {
 	traces *obs.TraceRing
 	slow   *obs.TraceRing
 	log    *slog.Logger
+
+	// wal, when armed via SetWAL, makes appends and updates durable:
+	// mutations are logged (group-committed) before they touch the
+	// columns. Guarded by mu.
+	wal *wal.Log
 }
 
 // Errors returned by the engine.
@@ -278,29 +285,181 @@ func (e *Engine) SkipperMetadata() map[string]core.Metadata {
 // cannot skew column lengths. Skipper metadata is synchronized lazily at
 // the next query, so bulk ingest pays no per-row metadata cost.
 func (e *Engine) AppendRow(vals ...storage.Value) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.tbl.ValidateRow(vals...); err != nil {
-		return err
-	}
-	return e.tbl.AppendRow(vals...)
+	return e.AppendRows([][]storage.Value{vals})
 }
 
-// Update overwrites a cell in place and keeps skipping metadata sound by
-// widening the enclosing zone's bounds.
-func (e *Engine) Update(colName string, row int, v storage.Value) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	col, err := e.tbl.Column(colName)
+// AppendRows appends a batch of rows atomically with respect to queries.
+// With a WAL armed (SetWAL) the batch is logged as one columnar record
+// before the tail mutates, the in-memory apply happens under the engine
+// mutex, and the call then blocks OUTSIDE the mutex until the record is
+// durable — so an acknowledged append is always recoverable, and
+// concurrent appenders coalesce into shared fsyncs (group commit) instead
+// of serializing on the disk.
+func (e *Engine) AppendRows(rows [][]storage.Value) error {
+	c, err := e.AppendRowsAsync(rows)
 	if err != nil {
 		return err
 	}
+	return c.Wait()
+}
+
+// AppendRowsAsync is AppendRows without the durability wait: the batch is
+// logged and applied, and the returned Commit lets the caller overlap
+// further appends with the group commit in flight — the pipelined shape
+// sustained ingest needs, since a full commit pipeline is what lets one
+// fsync absorb many batches. The caller MUST NOT acknowledge the rows to
+// anyone until Wait returns nil; with no WAL armed the zero Commit waits
+// instantly.
+func (e *Engine) AppendRowsAsync(rows [][]storage.Value) (wal.Commit, error) {
+	if len(rows) == 0 {
+		return wal.Commit{}, nil
+	}
+	e.mu.Lock()
+	for _, r := range rows {
+		if err := e.validateDurableRow(r); err != nil {
+			e.mu.Unlock()
+			return wal.Commit{}, err
+		}
+	}
+	var commit wal.Commit
+	if e.wal != nil {
+		rec := &wal.Record{
+			Kind:    wal.KindRows,
+			Table:   e.tbl.Name(),
+			BaseRow: uint64(e.tbl.NumRows()),
+			Types:   e.schemaTypes(),
+			Rows:    rows,
+		}
+		c, err := e.wal.Append(rec)
+		if err != nil {
+			e.mu.Unlock()
+			return wal.Commit{}, fmt.Errorf("engine: durable append: %w", err)
+		}
+		commit = c
+	}
+	base := e.tbl.NumRows()
+	for i, r := range rows {
+		if err := e.tbl.AppendRow(r...); err != nil {
+			// validateDurableRow should make this unreachable; roll the
+			// block back so the table never diverges from the log's
+			// BaseRow chain (replay will fail this record the same way).
+			for ci := 0; ci < e.tbl.NumColumns(); ci++ {
+				e.tbl.ColumnAt(ci).Truncate(base)
+			}
+			e.mu.Unlock()
+			return wal.Commit{}, fmt.Errorf("engine: append row %d: %w", i, err)
+		}
+	}
+	faultinject.Crash(faultinject.CrashWALAfterApply)
+	e.mu.Unlock()
+	return commit, nil
+}
+
+// validateDurableRow rejects, before anything is logged or applied,
+// every row the table could later refuse: arity or type mismatches, NaN
+// floats, and strings absent from a sealed dictionary. Caller holds e.mu.
+func (e *Engine) validateDurableRow(vals []storage.Value) error {
+	if err := e.tbl.ValidateRow(vals...); err != nil {
+		return err
+	}
+	for i, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		col := e.tbl.ColumnAt(i)
+		switch col.Type() {
+		case storage.Float64:
+			if _, _, err := col.EncodeValue(v); err != nil {
+				return fmt.Errorf("column %q: %w", col.Name(), err)
+			}
+		case storage.String:
+			if !col.DictSorted() {
+				continue // unsealed dictionary accepts any string
+			}
+			if _, ok, err := col.EncodeValue(v); err != nil {
+				return fmt.Errorf("column %q: %w", col.Name(), err)
+			} else if !ok {
+				return fmt.Errorf("engine: column %q: string %q not in sealed dictionary", col.Name(), v.Str())
+			}
+		}
+	}
+	return nil
+}
+
+// schemaTypes returns the table's column types in schema order.
+func (e *Engine) schemaTypes() []storage.Type {
+	types := make([]storage.Type, e.tbl.NumColumns())
+	for i := range types {
+		types[i] = e.tbl.ColumnAt(i).Type()
+	}
+	return types
+}
+
+// SetWAL arms (or, with nil, disarms) write-ahead logging on the append
+// and update paths. The facade arms engines only after recovery has
+// replayed the existing log, so replayed mutations are never re-logged.
+func (e *Engine) SetWAL(l *wal.Log) {
+	e.mu.Lock()
+	e.wal = l
+	e.mu.Unlock()
+}
+
+// WAL returns the armed log, or nil.
+func (e *Engine) WAL() *wal.Log {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.wal
+}
+
+// Update overwrites a cell in place and keeps skipping metadata sound by
+// widening the enclosing zone's bounds. With a WAL armed the overwrite is
+// logged first and the call blocks until it is durable.
+func (e *Engine) Update(colName string, row int, v storage.Value) error {
+	e.mu.Lock()
+	col, err := e.tbl.Column(colName)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
 	if row < 0 || row >= col.Len() {
+		e.mu.Unlock()
 		return fmt.Errorf("%w: %d of %d", table.ErrOutOfRange, row, col.Len())
 	}
 	if v.IsNull() {
+		e.mu.Unlock()
 		return errors.New("engine: updating a cell to NULL is unsupported (zone null counts would drift)")
 	}
+	var commit wal.Commit
+	if e.wal != nil && updatableType(col.Type()) {
+		c, err := e.wal.Append(&wal.Record{
+			Kind: wal.KindUpdate, Table: e.tbl.Name(),
+			Col: colName, Row: uint64(row), Value: v,
+		})
+		if err != nil {
+			e.mu.Unlock()
+			return fmt.Errorf("engine: durable update: %w", err)
+		}
+		commit = c
+	}
+	if err := e.applyUpdateLocked(col, colName, row, v); err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	faultinject.Crash(faultinject.CrashWALAfterApply)
+	e.mu.Unlock()
+	return commit.Wait()
+}
+
+// updatableType reports whether Update supports the column type (the WAL
+// only logs updates the apply path can perform).
+func updatableType(t storage.Type) bool {
+	return t == storage.Int64 || t == storage.Float64
+}
+
+// applyUpdateLocked performs the in-memory half of Update: the cell
+// overwrite plus the skipper widen. Caller holds e.mu and has validated
+// row bounds and non-NULL.
+func (e *Engine) applyUpdateLocked(col *storage.Column, colName string, row int, v storage.Value) error {
 	wasNull := col.IsNull(row)
 	switch col.Type() {
 	case storage.Int64:
@@ -335,6 +494,44 @@ func (e *Engine) Update(colName string, row int, v storage.Value) error {
 		}
 	}
 	return nil
+}
+
+// ReplayRecord applies one recovered WAL record, bypassing the log.
+// Replay is idempotent over the BaseRow chain: a rows record whose rows
+// are already present is skipped, a partially present record appends only
+// the missing suffix, and a record that would leave a gap errors out.
+func (e *Engine) ReplayRecord(rec *wal.Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch rec.Kind {
+	case wal.KindRows:
+		cur := uint64(e.tbl.NumRows())
+		if rec.BaseRow > cur {
+			return fmt.Errorf("engine: replay gap on %q: record base row %d, table has %d",
+				e.tbl.Name(), rec.BaseRow, cur)
+		}
+		if rec.BaseRow+uint64(len(rec.Rows)) <= cur {
+			return nil // fully present already
+		}
+		for _, r := range rec.Rows[cur-rec.BaseRow:] {
+			if err := e.tbl.AppendRow(r...); err != nil {
+				return fmt.Errorf("engine: replay append on %q: %w", e.tbl.Name(), err)
+			}
+		}
+		return nil
+	case wal.KindUpdate:
+		col, err := e.tbl.Column(rec.Col)
+		if err != nil {
+			return err
+		}
+		if rec.Row >= uint64(col.Len()) {
+			return fmt.Errorf("engine: replay update on %q.%q: row %d of %d",
+				e.tbl.Name(), rec.Col, rec.Row, col.Len())
+		}
+		return e.applyUpdateLocked(col, rec.Col, int(rec.Row), rec.Value)
+	default:
+		return fmt.Errorf("engine: replay: unknown record kind %d", rec.Kind)
+	}
 }
 
 // SaveSkipper serializes a column's learned adaptive zonemap. Only the

@@ -16,8 +16,10 @@
 package faultinject
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +45,24 @@ const (
 	// feedback, violating the tiling invariant. The next probe must
 	// detect it, decline soundly, and let the engine quarantine.
 	InvariantFlip
+	// WALSyncErr makes a WAL fsync report an injected I/O error. The log
+	// must fail the waiting commits and go sticky-failed, never ack.
+	WALSyncErr
+	// CrashWALBeforeWrite SIGKILLs the process before a group-commit
+	// batch reaches the segment file: nothing of the batch survives.
+	CrashWALBeforeWrite
+	// CrashWALTornWrite writes only a prefix of the batch, syncs it, then
+	// SIGKILLs: recovery must truncate the torn tail.
+	CrashWALTornWrite
+	// CrashWALAfterWrite SIGKILLs after the batch is written but before
+	// fsync: the bytes may or may not survive; either way no ack was sent.
+	CrashWALAfterWrite
+	// CrashWALAfterSync SIGKILLs after fsync but before waiters are
+	// notified: the records are durable yet unacknowledged.
+	CrashWALAfterSync
+	// CrashWALAfterApply SIGKILLs after a logged mutation was applied to
+	// the in-memory table but (typically) before its fsync completed.
+	CrashWALAfterApply
 	numPoints
 )
 
@@ -57,9 +77,41 @@ func (p Point) String() string {
 		return "codec-corrupt"
 	case InvariantFlip:
 		return "invariant-flip"
+	case WALSyncErr:
+		return "wal-sync-err"
+	case CrashWALBeforeWrite:
+		return "wal-crash-before-write"
+	case CrashWALTornWrite:
+		return "wal-crash-torn-write"
+	case CrashWALAfterWrite:
+		return "wal-crash-after-write"
+	case CrashWALAfterSync:
+		return "wal-crash-after-sync"
+	case CrashWALAfterApply:
+		return "wal-crash-after-apply"
 	default:
 		return fmt.Sprintf("Point(%d)", uint8(p))
 	}
+}
+
+// ParsePoint resolves a point by its String name, for CLI flags like
+// adskip-server's -fault-crash.
+func ParsePoint(name string) (Point, error) {
+	for p := Point(0); p < numPoints; p++ {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown point %q", name)
+}
+
+// Points lists every point name, for CLI usage strings.
+func Points() []string {
+	out := make([]string, numPoints)
+	for p := Point(0); p < numPoints; p++ {
+		out[p] = p.String()
+	}
+	return out
 }
 
 // Rule decides when a point fires. The zero Rule fires on every trigger.
@@ -203,3 +255,32 @@ func Corrupt(p Point, b []byte) bool {
 // PanicValue is the value injected worker panics carry, so recovery paths
 // can assert provenance in tests.
 const PanicValue = "faultinject: injected panic"
+
+// ErrInjected is the error injected I/O failures (WALSyncErr) surface, so
+// tests can assert provenance with errors.Is.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// Crash SIGKILLs the process when point p fires — the hard kill the
+// crash-torture suite drives: no deferred functions, no flushes, exactly
+// what a kernel OOM kill or power cut looks like to the WAL. It returns
+// normally when the point does not fire.
+func Crash(p Point) {
+	in := active.Load()
+	if in == nil {
+		return
+	}
+	if fired, _ := in.fire(p); fired {
+		Kill()
+	}
+}
+
+// Kill SIGKILLs the current process immediately. Split from Crash so
+// sites that need work between the fire decision and the kill (torn
+// writes) can sequence it themselves.
+func Kill() {
+	proc, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		_ = proc.Kill() // SIGKILL on unix: not catchable, not graceful
+	}
+	select {} // never resume past a kill, even if signal delivery lags
+}

@@ -34,7 +34,19 @@ type GateStats struct {
 	// the latency numbers it is (seed-)deterministic, so a drop means a
 	// real behavior change, not machine noise.
 	SkipRatio float64 `json:"skip_ratio"`
+	// Samples is how many steady-state queries the latency quantiles were
+	// computed from. Below MinGateSamples the quantiles are noise (a
+	// 2-sample p95 is just the max of two warmup-adjacent queries) and
+	// CompareGate refuses to gate on them. Zero in summaries written
+	// before this field existed; the comparison falls back to deriving it
+	// from Queries.
+	Samples int `json:"steady_samples,omitempty"`
 }
+
+// MinGateSamples is the smallest steady-state sample count the gate will
+// draw latency conclusions from. Runs shorter than this produce a skip,
+// never a vacuous pass.
+const MinGateSamples = 8
 
 // GateRun executes the gate stream and returns its stats.
 func GateRun(cfg Config) (GateStats, error) {
@@ -54,8 +66,9 @@ func GateRun(cfg Config) (GateStats, error) {
 	}
 	g := GateStats{
 		Rows: cfg.Rows, Queries: cfg.Queries, Seed: cfg.Seed, StaticZone: cfg.StaticZoneRows,
-		P50NS: quantileNs(steady, 0.50),
-		P95NS: quantileNs(steady, 0.95),
+		P50NS:   quantileNs(steady, 0.50),
+		P95NS:   quantileNs(steady, 0.95),
+		Samples: len(steady),
 	}
 	if steadyNs > 0 {
 		g.ThroughputQPS = float64(len(steady)) / (float64(steadyNs) / 1e9)
@@ -85,12 +98,24 @@ func quantileNs(ns []int64, q float64) float64 {
 // violation per breached metric — empty means the gate passes. Pure and
 // deterministic, so the policy is unit-testable apart from any actual
 // benchmark run. Improvements never violate; only regressions do.
-func CompareGate(baseline, current GateStats, tolerance float64) []string {
+//
+// A non-empty skip means the comparison is statistically meaningless —
+// either side has fewer than MinGateSamples steady-state samples — and
+// no verdict was reached. Callers must surface a skip as "not gated",
+// distinct from a pass: before this existed, a 4-query run produced
+// zero/NaN quantiles that slipped through the `baseline > 0` guards and
+// the gate passed vacuously.
+func CompareGate(baseline, current GateStats, tolerance float64) (violations []string, skip string) {
 	var v []string
 	if baseline.Rows != current.Rows || baseline.Queries != current.Queries || baseline.Seed != current.Seed {
 		return []string{fmt.Sprintf(
 			"config mismatch: baseline rows=%d queries=%d seed=%d vs current rows=%d queries=%d seed=%d — not comparable",
-			baseline.Rows, baseline.Queries, baseline.Seed, current.Rows, current.Queries, current.Seed)}
+			baseline.Rows, baseline.Queries, baseline.Seed, current.Rows, current.Queries, current.Seed)}, ""
+	}
+	if bs, cs := effSamples(baseline), effSamples(current); bs < MinGateSamples || cs < MinGateSamples {
+		return nil, fmt.Sprintf(
+			"insufficient steady-state samples (baseline %d, current %d, need %d) — quantiles at this scale are noise, not a verdict",
+			bs, cs, MinGateSamples)
 	}
 	if baseline.P95NS > 0 && current.P95NS > baseline.P95NS*(1+tolerance) {
 		v = append(v, fmt.Sprintf("p95 latency regressed %.1f%%: %s -> %s (tolerance %.0f%%)",
@@ -105,5 +130,16 @@ func CompareGate(baseline, current GateStats, tolerance float64) []string {
 		v = append(v, fmt.Sprintf("skip ratio regressed: %.3f -> %.3f (tolerance %.0f%%)",
 			baseline.SkipRatio, current.SkipRatio, 100*tolerance))
 	}
-	return v
+	return v, ""
+}
+
+// effSamples is the steady-state sample count to judge a run by. Stats
+// recorded before the Samples field existed (it reads as zero) derive it
+// from the run length: GateRun's steady window is the second half of the
+// stream.
+func effSamples(g GateStats) int {
+	if g.Samples > 0 {
+		return g.Samples
+	}
+	return g.Queries - g.Queries/2
 }

@@ -63,7 +63,10 @@ func TestCompareGate(t *testing.T) {
 		t.Run(tt.name, func(t *testing.T) {
 			base, cur := gateBase(), gateBase()
 			tt.mutate(&cur)
-			got := CompareGate(base, cur, tt.tol)
+			got, skip := CompareGate(base, cur, tt.tol)
+			if skip != "" {
+				t.Fatalf("CompareGate skipped a full-size run: %q", skip)
+			}
 			if len(got) != len(tt.violate) {
 				t.Fatalf("CompareGate returned %d violations %q, want %d", len(got), got, len(tt.violate))
 			}
@@ -74,6 +77,52 @@ func TestCompareGate(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestCompareGateInsufficientSamples: short runs must produce an
+// explicit skip, never a verdict. The old behavior was worse than a
+// false failure — a 4-query run yielded zero/NaN quantiles that slipped
+// through the `baseline > 0` guards and the gate "passed".
+func TestCompareGateInsufficientSamples(t *testing.T) {
+	short := func() GateStats {
+		g := gateBase()
+		g.Queries = 4
+		g.Samples = 2
+		g.P95NS = 0 // degenerate quantile from a 2-sample window
+		return g
+	}
+	t.Run("short current skips even with regressed metrics", func(t *testing.T) {
+		base := gateBase()
+		base.Samples = 64
+		cur := short()
+		cur.Queries = base.Queries // same config, too few samples
+		cur.ThroughputQPS = 1      // would be a flagrant regression if judged
+		v, skip := CompareGate(base, cur, 0.15)
+		if skip == "" || !strings.Contains(skip, "insufficient steady-state samples") {
+			t.Fatalf("skip = %q, want insufficient-samples marker", skip)
+		}
+		if len(v) != 0 {
+			t.Fatalf("skipped comparison still produced violations: %q", v)
+		}
+	})
+	t.Run("short baseline skips", func(t *testing.T) {
+		base, cur := short(), short()
+		cur.P95NS = 400_000
+		if _, skip := CompareGate(base, cur, 0.15); skip == "" {
+			t.Fatal("short baseline was judged, want skip")
+		}
+	})
+	t.Run("legacy stats without Samples derive from Queries", func(t *testing.T) {
+		base, cur := gateBase(), gateBase() // Samples zero, Queries 128
+		v, skip := CompareGate(base, cur, 0.15)
+		if skip != "" || len(v) != 0 {
+			t.Fatalf("legacy full-size run should compare cleanly: skip=%q v=%q", skip, v)
+		}
+		base.Queries, cur.Queries = 6, 6 // legacy AND short
+		if _, skip := CompareGate(base, cur, 0.15); skip == "" {
+			t.Fatal("legacy short run was judged, want skip")
+		}
+	})
 }
 
 func TestQuantileNs(t *testing.T) {
@@ -120,8 +169,11 @@ func TestGateRunSmoke(t *testing.T) {
 	if g1.SkipRatio != g2.SkipRatio {
 		t.Errorf("skip ratio not deterministic: %v vs %v", g1.SkipRatio, g2.SkipRatio)
 	}
-	if v := CompareGate(g1, g2, 10); len(v) != 0 {
+	if g1.Samples != 16 {
+		t.Errorf("steady samples = %d, want 16 (half of 32 queries)", g1.Samples)
+	}
+	if v, skip := CompareGate(g1, g2, 10); skip != "" || len(v) != 0 {
 		// Enormous tolerance: only a config echo bug could trip this.
-		t.Errorf("self-comparison violated: %q", v)
+		t.Errorf("self-comparison: skip=%q violations=%q", skip, v)
 	}
 }

@@ -1,0 +1,36 @@
+package harness
+
+import "testing"
+
+// TestRunIngestSmoke runs a small ingest measurement end to end: every
+// leg must complete, produce positive throughput, and the durable leg
+// must actually amortize fsyncs (rows per sync well above the batch
+// size — otherwise group commit is not grouping).
+func TestRunIngestSmoke(t *testing.T) {
+	st, err := RunIngest(IngestConfig{Rows: 1 << 14, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 1<<14 || st.Batch != 64 || st.Writers != 4 {
+		t.Errorf("config not echoed: %+v", st)
+	}
+	for name, v := range map[string]float64{
+		"mem":        st.MemRowsPerSec,
+		"wal":        st.WALRowsPerSec,
+		"wal-acked":  st.WALAckedRowsPerSec,
+		"wal-nosync": st.WALNoSyncRowsPerSec,
+	} {
+		if v <= 0 {
+			t.Errorf("%s throughput = %v, want > 0", name, v)
+		}
+	}
+	if st.Syncs <= 0 {
+		t.Fatalf("durable leg recorded no fsyncs: %+v", st)
+	}
+	if st.RowsPerSync < float64(st.Batch) {
+		t.Errorf("rows/sync %.0f below batch size %d: group commit is not grouping", st.RowsPerSync, st.Batch)
+	}
+	if st.DurableSlowdown <= 0 {
+		t.Errorf("durable slowdown = %v, want > 0", st.DurableSlowdown)
+	}
+}

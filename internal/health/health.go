@@ -41,6 +41,11 @@ const (
 	// SignalQueueDepth is the number of queries waiting for admission at
 	// tick time.
 	SignalQueueDepth Signal = "queue_depth"
+	// SignalWALLag is the age in seconds of the oldest write-ahead-log
+	// record not yet fsynced, at tick time. A healthy group commit keeps
+	// it under the commit window; sustained growth means the disk cannot
+	// keep up and acknowledged-write latency is climbing.
+	SignalWALLag Signal = "wal_lag"
 )
 
 // LowerIsBad reports the breach direction: skip rate breaches when it
@@ -50,7 +55,7 @@ func (s Signal) LowerIsBad() bool { return s == SignalSkipRate }
 // valid reports whether s is one of the supported signals.
 func (s Signal) valid() bool {
 	switch s {
-	case SignalLatencyP50, SignalLatencyP95, SignalErrorRate, SignalSkipRate, SignalQueueDepth:
+	case SignalLatencyP50, SignalLatencyP95, SignalErrorRate, SignalSkipRate, SignalQueueDepth, SignalWALLag:
 		return true
 	}
 	return false

@@ -397,6 +397,22 @@ func (m *Monitor) windowValue(sig Signal, w int) (value float64, ok bool) {
 			}
 		}
 		return float64(max), true
+	case SignalWALLag:
+		// Like queue depth: instantaneous per-tick verdict, max over the
+		// window for the aggregate an operator reads.
+		if w <= 1 {
+			return now.walLag, true
+		}
+		if w > m.ticks.n-1 {
+			w = m.ticks.n - 1
+		}
+		max := 0.0
+		for back := 0; back < w; back++ {
+			if lag := m.ticks.at(back).walLag; lag > max {
+				max = lag
+			}
+		}
+		return max, true
 	}
 	return 0, false
 }

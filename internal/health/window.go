@@ -20,6 +20,7 @@ type tickPoint struct {
 	skipped int64
 	scanned int64
 	queue   int64
+	walLag  float64
 	buckets []int64 // cumulative latency histogram; slot slice is reused
 }
 
@@ -44,6 +45,7 @@ func (r *tickRing) push(s *obs.HistorySample) {
 	slot.skipped = s.RowsSkipped
 	slot.scanned = s.RowsScanned
 	slot.queue = s.QueueDepth
+	slot.walLag = s.WALLagSeconds
 	slot.buckets = append(slot.buckets[:0], s.LatencyBuckets...)
 	r.next = (r.next + 1) % len(r.buf)
 	if r.n < len(r.buf) {

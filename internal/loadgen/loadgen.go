@@ -42,6 +42,20 @@ type Options struct {
 	// its latency breakdown, so the report can attribute client-observed
 	// latency to server execution, server-side queueing, and the network.
 	Timing bool
+	// InsertFraction makes that fraction of requests inserts instead of
+	// queries (0 = read-only). Inserted rows follow the adskip-gen shape
+	// (v BIGINT, seq BIGINT, noise DOUBLE): v uniform over the domain,
+	// seq a worker-unique counter, so the target table must have that
+	// schema. A mixed read/write load is what the crash-torture harness
+	// runs while it kill -9s the server.
+	InsertFraction float64
+	// InsertBatch is rows per insert request (default 16).
+	InsertBatch int
+	// Retries enables client-side retry of retryable refusals (load
+	// shedding, WAL recovery) with that many attempts beyond the first.
+	// Retried-then-succeeded requests count as successes; the retry
+	// volume is reported separately in Report.Retries.
+	Retries int
 }
 
 func (o *Options) defaults() {
@@ -75,6 +89,18 @@ func (o *Options) defaults() {
 	if o.Timeout <= 0 {
 		o.Timeout = 10 * time.Second
 	}
+	if o.InsertFraction < 0 {
+		o.InsertFraction = 0
+	}
+	if o.InsertFraction > 1 {
+		o.InsertFraction = 1
+	}
+	if o.InsertBatch <= 0 {
+		o.InsertBatch = 16
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
 }
 
 // Report is the outcome of one run.
@@ -82,6 +108,11 @@ type Report struct {
 	Requests int64 // completed requests
 	Errors   int64 // failed requests (transport or server error)
 	Rows     int64 // sum of result counts (sanity signal, not a metric)
+	// Inserts is the number of rows the server acknowledged as appended;
+	// Retries the automatic retry volume (refused-then-retried attempts,
+	// NOT errors — a request that eventually succeeded is a success).
+	Inserts int64
+	Retries int64
 	Elapsed  time.Duration
 	QPS      float64
 	P50      time.Duration
@@ -113,6 +144,10 @@ func (r Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "requests  %d\n", r.Requests)
 	fmt.Fprintf(&b, "errors    %d\n", r.Errors)
+	if r.Inserts > 0 || r.Retries > 0 {
+		fmt.Fprintf(&b, "inserts   %d\n", r.Inserts)
+		fmt.Fprintf(&b, "retries   %d\n", r.Retries)
+	}
 	fmt.Fprintf(&b, "elapsed   %v\n", r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "qps       %.0f\n", r.QPS)
 	fmt.Fprintf(&b, "p50       %v\n", r.P50)
@@ -156,6 +191,8 @@ func Run(opts Options) Report {
 		rep.Requests += stats[i].requests
 		rep.Errors += stats[i].errors
 		rep.Rows += stats[i].rows
+		rep.Inserts += stats[i].inserts
+		rep.Retries += stats[i].retries
 		rep.TimedRequests += stats[i].timed
 		rep.TimingViolations += stats[i].violations
 		merged.merge(stats[i].h)
@@ -217,6 +254,8 @@ type workerStats struct {
 	requests   int64
 	errors     int64
 	rows       int64
+	inserts    int64
+	retries    int64
 	max        time.Duration
 	h          *hist
 	timed      int64 // responses carrying a server breakdown
@@ -238,15 +277,24 @@ func runWorker(opts Options, templates []string, deadline time.Time, id int) wor
 	st := workerStats{h: newHist(), server: newHist(), queue: newHist(), network: newHist()}
 	var c *client.Client
 	stmts := make(map[int]uint64) // template index -> prepared stmt ID
+	var insertSeq int64           // worker-unique seq values for inserted rows
 
-	defer func() {
+	// closeClient retires the connection, folding its retry counter into
+	// the worker's total first (the counter lives on the Client).
+	closeClient := func() {
 		if c != nil {
+			st.retries += c.Retries()
 			c.Close()
+			c = nil
 		}
-	}()
+	}
+	defer closeClient()
 	for time.Now().Before(deadline) {
 		if c == nil {
-			cc, err := client.Dial(opts.Addr, client.Options{Timeout: opts.Timeout, Timing: opts.Timing})
+			cc, err := client.Dial(opts.Addr, client.Options{
+				Timeout: opts.Timeout, Timing: opts.Timing,
+				Retry: client.RetryPolicy{Max: opts.Retries},
+			})
 			if err != nil {
 				st.errors++
 				time.Sleep(50 * time.Millisecond)
@@ -254,6 +302,31 @@ func runWorker(opts Options, templates []string, deadline time.Time, id int) wor
 			}
 			c = cc
 			stmts = make(map[int]uint64)
+		}
+		if opts.InsertFraction > 0 && rng.Float64() < opts.InsertFraction {
+			rows := make([][]any, opts.InsertBatch)
+			for r := range rows {
+				insertSeq++
+				rows[r] = []any{rng.Int63n(opts.Domain), int64(id)<<40 | insertSeq, rng.Float64() * 1000}
+			}
+			start := time.Now()
+			n, err := c.Insert(opts.Table, rows)
+			if err != nil {
+				st.errors++
+				var se *client.ServerError
+				if !errors.As(err, &se) {
+					closeClient()
+				}
+				continue
+			}
+			lat := time.Since(start)
+			st.requests++
+			st.inserts += int64(n)
+			st.h.observe(lat)
+			if lat > st.max {
+				st.max = lat
+			}
+			continue
 		}
 		i := 0
 		if zipf != nil {
@@ -291,8 +364,7 @@ func runWorker(opts Options, templates []string, deadline time.Time, id int) wor
 			var se *client.ServerError
 			if !errors.As(err, &se) {
 				// Transport-level failure: the connection is suspect.
-				c.Close()
-				c = nil
+				closeClient()
 			}
 			continue
 		}

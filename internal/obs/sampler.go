@@ -55,6 +55,10 @@ type HistorySample struct {
 	// AdaptEvents is the cumulative adaptation-event count (splits,
 	// merges, arbitration flips, quarantines).
 	AdaptEvents int64 `json:"adapt_events"`
+	// WALLagSeconds is the age of the oldest write-ahead-log record not
+	// yet fsynced (0 when no WAL is configured or nothing is pending).
+	// Instantaneous, like QueueDepth.
+	WALLagSeconds float64 `json:"wal_lag_seconds"`
 
 	Columns []HistoryColumn `json:"columns"`
 

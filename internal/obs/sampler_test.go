@@ -111,6 +111,7 @@ func TestHistorySampleGoldenJSON(t *testing.T) {
   "latency_p50_seconds": 0.0001,
   "latency_p95_seconds": 0.002,
   "adapt_events": 17,
+  "wal_lag_seconds": 0.004,
   "columns": [
     {
       "table": "data",
@@ -128,7 +129,7 @@ func TestHistorySampleGoldenJSON(t *testing.T) {
 		// LatencyBuckets is json:"-": raw histogram state stays off the
 		// wire; consumers get the derived quantiles.
 		LatencyBuckets: []int64{1, 2, 3},
-		LatencyP50: 0.0001, LatencyP95: 0.002, AdaptEvents: 17,
+		LatencyP50: 0.0001, LatencyP95: 0.002, AdaptEvents: 17, WALLagSeconds: 0.004,
 		Columns: []HistoryColumn{{Table: "data", Column: "v", SkipRatio: 0.9, Zones: 64, Enabled: true}},
 	}
 	got, err := json.MarshalIndent(h, "", "  ")

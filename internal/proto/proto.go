@@ -27,6 +27,7 @@
 //	{"op":"exec","stmt":7}              execute a prepared statement by id
 //	{"op":"ping"}                       liveness probe
 //	{"op":"catalog"}                    list tables (sorted)
+//	{"op":"insert","table":"t","rows":[[...]]}  append rows, response carries "inserted"
 //
 // Any request may additionally carry "trace" (a client-generated trace
 // ID the server tags the query's span tree with) and "timing" (true to
@@ -56,6 +57,12 @@ const (
 	OpExec    = "exec"
 	OpPing    = "ping"
 	OpCatalog = "catalog"
+	// OpInsert appends rows to a table: {"op":"insert","table":"t",
+	// "rows":[[1,2.5,"x"],...]}. Cells are JSON scalars matched to the
+	// table schema positionally (null for NULL). The response's "inserted"
+	// carries the appended row count; on a durable server the response is
+	// only sent after the rows are fsynced.
+	OpInsert = "insert"
 )
 
 // Stable machine-readable error kinds carried in Response.ErrKind, so
@@ -73,6 +80,13 @@ const (
 	// traffic because a health objective is in critical burn (load
 	// shedding). Retryable: back off and try again, or fail over.
 	ErrKindUnavailable = "unavailable"
+	// ErrKindRecovering means the server is alive but still replaying its
+	// write-ahead log; queries and mutations are refused until the store
+	// is consistent. Retryable: recovery completes on its own.
+	ErrKindRecovering = "recovering"
+	// ErrKindBadInsert means an insert payload did not match the table
+	// schema (arity, type, or unparsable cell). Not retryable.
+	ErrKindBadInsert = "bad_insert"
 )
 
 // MaxFrameDefault is the default maximum frame size (4 MiB): generous for
@@ -99,6 +113,12 @@ type Request struct {
 	// response. Off by default: the breakdown costs a few clock reads
 	// and ~200 response bytes per request.
 	WantTiming bool `json:"timing,omitempty"`
+	// Table and Rows are the OpInsert payload: rows of JSON scalar cells
+	// matched positionally to Table's schema. Raw messages so the server
+	// can decode numbers losslessly against the column type instead of
+	// through float64.
+	Table string              `json:"table,omitempty"`
+	Rows  [][]json.RawMessage `json:"rows,omitempty"`
 }
 
 // Response is one server response frame.
@@ -109,6 +129,8 @@ type Response struct {
 	Result  json.RawMessage `json:"result,omitempty"`
 	Stmt    uint64          `json:"stmt,omitempty"`
 	Tables  []string        `json:"tables,omitempty"`
+	// Inserted is the row count appended by a successful OpInsert.
+	Inserted int `json:"inserted,omitempty"`
 	// Timing is the server-side latency breakdown, present only when the
 	// request set WantTiming and the server understands it (old servers
 	// leave it nil — clients must treat absence as "not supported").

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -76,7 +77,7 @@ func TestMessageRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gotReq != req {
+	if !reflect.DeepEqual(gotReq, req) {
 		t.Fatalf("request round-trip: %+v != %+v", gotReq, req)
 	}
 

@@ -22,6 +22,10 @@ type srvMetrics struct {
 	inflight *obs.Gauge     // requests currently executing
 	latency  *obs.Histogram // request wall-clock seconds, all ops
 	rejected *obs.Counter   // queries refused during critical health burn
+	// recovering counts requests refused because the DB was still
+	// replaying its WAL; rowsInserted counts rows appended via OpInsert.
+	recovering   *obs.Counter
+	rowsInserted *obs.Counter
 
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
@@ -49,6 +53,8 @@ func newSrvMetrics(reg *obs.Registry) *srvMetrics {
 		inflight:       reg.Gauge("adskip_server_inflight_requests", "Requests currently executing."),
 		latency:        reg.Histogram("adskip_server_request_seconds", "Request wall-clock latency, all ops.", obs.LatencyBuckets()),
 		rejected:       reg.Counter("adskip_server_rejected_total", "Queries refused while health status was critical."),
+		recovering:     reg.Counter("adskip_server_recovering_rejected_total", "Requests refused while WAL recovery was in progress."),
+		rowsInserted:   reg.Counter("adskip_server_rows_inserted_total", "Rows appended via the insert op."),
 		cacheHits:      reg.Counter("adskip_server_stmt_cache_hits_total", "Requests served from the prepared-statement cache."),
 		cacheMisses:    reg.Counter("adskip_server_stmt_cache_misses_total", "Requests that had to parse and plan."),
 		cacheEvictions: reg.Counter("adskip_server_stmt_cache_evictions_total", "Prepared statements evicted by the LRU."),

@@ -41,6 +41,7 @@ import (
 	"adskip/internal/obs"
 	"adskip/internal/proto"
 	sqlpkg "adskip/internal/sql"
+	"adskip/internal/storage"
 )
 
 // Options configures a Server. Zero values select the defaults noted.
@@ -402,14 +403,19 @@ func (ss *session) dispatch(ctx context.Context, req *proto.Request, tm *proto.T
 	case proto.OpCatalog:
 		return proto.Response{OK: true, Tables: s.db.TableNames()}
 	case proto.OpQuery:
-		if resp, refused := s.refuse(); refused {
+		if resp, refused := s.gate(); refused {
 			return resp
 		}
 		return ss.query(ctx, req.SQL, tm)
 	case proto.OpPrepare:
 		return ss.prepare(req.SQL)
+	case proto.OpInsert:
+		if resp, refused := s.gate(); refused {
+			return resp
+		}
+		return ss.insert(req)
 	case proto.OpExec:
-		if resp, refused := s.refuse(); refused {
+		if resp, refused := s.gate(); refused {
 			return resp
 		}
 		ent, ok := s.cache.getID(req.Stmt)
@@ -426,11 +432,24 @@ func (ss *session) dispatch(ctx context.Context, req *proto.Request, tm *proto.T
 	}
 }
 
-// refuse implements the load-shedding gate: when RefuseOnCritical is set
-// and the DB's health monitor is in critical burn, query traffic is
-// answered with a retryable unavailable error. HealthStatus is one
-// atomic load, so the healthy path pays nothing measurable.
-func (s *Server) refuse() (proto.Response, bool) {
+// gate implements the two admission gates in front of query, exec, and
+// insert traffic. While the DB is replaying its write-ahead log the
+// store is not yet consistent, so all data-touching ops are answered
+// with a retryable "recovering" error — the server accepts connections
+// during replay precisely so clients can park in a retry loop instead
+// of failing over. After recovery, the load-shedding gate applies: when
+// RefuseOnCritical is set and the DB's health monitor is in critical
+// burn, traffic is answered with a retryable unavailable error. Both
+// checks are one atomic load, so the healthy path pays nothing
+// measurable. Ping, catalog, and prepare bypass both gates — load
+// balancers keep probing and clients keep their statements warm.
+func (s *Server) gate() (proto.Response, bool) {
+	if s.db.Recovering() {
+		s.m.recovering.Inc()
+		s.m.failure(proto.ErrKindRecovering)
+		return errResp(proto.ErrKindRecovering,
+			"server recovering: WAL replay in progress; retry shortly"), true
+	}
 	if !s.opts.RefuseOnCritical || s.db.HealthStatus() != adskip.HealthCritical {
 		return proto.Response{}, false
 	}
@@ -438,6 +457,87 @@ func (s *Server) refuse() (proto.Response, bool) {
 	s.m.failure(proto.ErrKindUnavailable)
 	return errResp(proto.ErrKindUnavailable,
 		"server refusing queries: health status critical (SLO burn); retry after recovery"), true
+}
+
+// insert appends req.Rows to req.Table. Cells are decoded against the
+// table schema positionally — json.Number text straight to int64 for
+// BIGINT columns (never through float64, so large keys round-trip
+// losslessly), null for NULL. The whole batch is one engine append: on a
+// durable DB the response is written only after the batch's WAL record
+// is fsynced, so an acked insert survives kill -9.
+func (ss *session) insert(req *proto.Request) proto.Response {
+	s := ss.srv
+	tbl, err := s.db.Table(req.Table)
+	if err != nil {
+		s.m.failure(proto.ErrKindNoTable)
+		return errResp(proto.ErrKindNoTable, err.Error())
+	}
+	if len(req.Rows) == 0 {
+		return proto.Response{OK: true}
+	}
+	schema := tbl.Engine().Table().Schema()
+	rows := make([][]storage.Value, len(req.Rows))
+	for i, raw := range req.Rows {
+		if len(raw) != len(schema) {
+			s.m.failure(proto.ErrKindBadInsert)
+			return errResp(proto.ErrKindBadInsert,
+				fmt.Sprintf("row %d has %d cells, table %q has %d columns", i, len(raw), req.Table, len(schema)))
+		}
+		vals := make([]storage.Value, len(raw))
+		for j, cell := range raw {
+			v, err := decodeCell(cell, schema[j].Type)
+			if err != nil {
+				s.m.failure(proto.ErrKindBadInsert)
+				return errResp(proto.ErrKindBadInsert,
+					fmt.Sprintf("row %d column %q: %v", i, schema[j].Name, err))
+			}
+			vals[j] = v
+		}
+		rows[i] = vals
+	}
+	if err := tbl.AppendBatch(rows); err != nil {
+		s.m.failure(proto.ErrKindInternal)
+		return errResp(proto.ErrKindInternal, "append: "+err.Error())
+	}
+	s.m.rowsInserted.Add(int64(len(rows)))
+	return proto.Response{OK: true, Inserted: len(rows)}
+}
+
+// decodeCell decodes one JSON scalar against a column type.
+func decodeCell(raw json.RawMessage, t storage.Type) (storage.Value, error) {
+	if v := string(raw); v == "null" {
+		return storage.NullValue(t), nil
+	}
+	switch t {
+	case storage.Int64:
+		var n json.Number
+		if err := json.Unmarshal(raw, &n); err != nil {
+			return storage.Value{}, fmt.Errorf("want BIGINT, got %s", raw)
+		}
+		i, err := n.Int64()
+		if err != nil {
+			return storage.Value{}, fmt.Errorf("not an int64: %s", raw)
+		}
+		return storage.IntValue(i), nil
+	case storage.Float64:
+		var n json.Number
+		if err := json.Unmarshal(raw, &n); err != nil {
+			return storage.Value{}, fmt.Errorf("want DOUBLE, got %s", raw)
+		}
+		f, err := n.Float64()
+		if err != nil {
+			return storage.Value{}, fmt.Errorf("not a float64: %s", raw)
+		}
+		return storage.FloatValue(f), nil
+	case storage.String:
+		var str string
+		if err := json.Unmarshal(raw, &str); err != nil {
+			return storage.Value{}, fmt.Errorf("want VARCHAR, got %s", raw)
+		}
+		return storage.StringValue(str), nil
+	default:
+		return storage.Value{}, fmt.Errorf("unsupported column type %v", t)
+	}
 }
 
 // query executes SQL text. Hot statements hit the prepared-statement

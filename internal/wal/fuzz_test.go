@@ -1,0 +1,95 @@
+package wal
+
+import (
+	"encoding/binary"
+	"os"
+	"testing"
+
+	"adskip/internal/storage"
+)
+
+// fuzzSeedSegment renders a small valid segment image (header + a few
+// framed records) the fuzzer mutates from.
+func fuzzSeedSegment() []byte {
+	b := append([]byte(nil), segMagic[:]...)
+	b = binary.LittleEndian.AppendUint64(b, 1)
+	for i := 0; i < 3; i++ {
+		rec := &Record{
+			Kind: KindRows, Table: "data", BaseRow: uint64(i * 2),
+			Types: []storage.Type{storage.Int64, storage.String},
+			Rows: [][]storage.Value{
+				{storage.IntValue(int64(i)), storage.StringValue("ab")},
+				{storage.NullValue(storage.Int64), storage.NullValue(storage.String)},
+			},
+		}
+		payload, err := EncodePayload(rec)
+		if err != nil {
+			panic(err)
+		}
+		b = appendFrame(b, payload)
+	}
+	upd, err := EncodePayload(&Record{
+		Kind: KindUpdate, Table: "data", Col: "v", Row: 1, Value: storage.IntValue(9),
+	})
+	if err != nil {
+		panic(err)
+	}
+	return appendFrame(b, upd)
+}
+
+// FuzzReplay feeds arbitrary bytes to segment replay. The contract under
+// fuzz: never panic, never replay a record whose checksum or structure is
+// bad (every record that reaches the callback re-encodes to a payload
+// matching its claimed checksum), and always leave an appendable log.
+func FuzzReplay(f *testing.F) {
+	seed := fuzzSeedSegment()
+	f.Add(seed)
+	f.Add(seed[:segHeaderLen])
+	f.Add([]byte{})
+	f.Add(seed[:len(seed)-3])
+	// A few deterministic mutations as extra seeds.
+	for _, off := range []int{0, 9, segHeaderLen, segHeaderLen + 4, len(seed) / 2} {
+		m := append([]byte(nil), seed...)
+		m[off] ^= 0xFF
+		f.Add(m)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // keep per-case replay cost bounded
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(segPath(dir, 1), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var replayed int
+		l, stats, err := Open(Options{Dir: dir, MaxRecordBytes: 1 << 20}, func(rec *Record) error {
+			replayed++
+			// Anything replayed must be internally consistent: it re-encodes.
+			if _, err := EncodePayload(rec); err != nil {
+				t.Fatalf("replayed record does not re-encode: %v", err)
+			}
+			return nil
+		})
+		if err != nil {
+			// Open fails hard only on real I/O errors, which a byte-slice
+			// input cannot cause here.
+			t.Fatalf("Open: %v", err)
+		}
+		defer l.Close()
+		if uint64(replayed) != stats.Records {
+			t.Fatalf("callback saw %d records, stats say %d", replayed, stats.Records)
+		}
+		// Whatever the damage, the recovered log accepts a durable append.
+		c, err := l.Append(&Record{
+			Kind: KindRows, Table: "data", BaseRow: 0,
+			Types: []storage.Type{storage.Int64},
+			Rows:  [][]storage.Value{{storage.IntValue(1)}},
+		})
+		if err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if err := c.Wait(); err != nil {
+			t.Fatalf("commit after recovery: %v", err)
+		}
+	})
+}
