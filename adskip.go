@@ -299,8 +299,11 @@ type DB struct {
 
 	// wal is the armed write-ahead log (nil until Recover completes on a
 	// DB with Options.Durability). Guarded by mu; recovering is read on
-	// request paths, hence atomic.
+	// request paths, hence atomic. recoverMu serializes whole Recover
+	// calls, so two concurrent callers cannot both open (and double-
+	// replay) the same directory.
 	wal        *wal.Log
+	recoverMu  sync.Mutex
 	recovering atomic.Bool
 }
 
@@ -640,6 +643,11 @@ func (db *DB) Recover() (RecoveryStats, error) {
 	if db.opts.Durability.Dir == "" {
 		return RecoveryStats{}, errors.New("adskip: Options.Durability.Dir not set")
 	}
+	// Hold recoverMu across open+verify+arm: a second concurrent Recover
+	// must observe the first one's armed WAL, not race past the check and
+	// replay the directory twice.
+	db.recoverMu.Lock()
+	defer db.recoverMu.Unlock()
 	db.mu.RLock()
 	armed := db.wal != nil
 	db.mu.RUnlock()
@@ -719,7 +727,9 @@ func (db *DB) SyncWAL() error {
 
 // CompactWAL recycles WAL segments whose every record has LSN <=
 // throughLSN, asserting those records are captured elsewhere (e.g. via
-// SaveTable). Returns how many segments were recycled.
+// SaveTable). LSNs are stable across restarts, so a horizon recorded
+// alongside a snapshot stays valid after a crash and recovery. Returns
+// how many segments were recycled.
 func (db *DB) CompactWAL(throughLSN uint64) (int, error) {
 	db.mu.RLock()
 	l := db.wal

@@ -124,7 +124,7 @@ func main() {
 }
 
 // corruptWAL damages the newest live segment (NNNNNNNN.wal, spares
-// excluded) in dir. flip xors one byte past the 16-byte segment header —
+// excluded) in dir. flip xors one byte past the 24-byte segment header —
 // replay reports a checksum mismatch (or torn frame, if the byte lands
 // in framing) and truncates there. truncate cuts the last few bytes so
 // the final record is torn mid-frame, the exact shape a crash mid-write
@@ -150,7 +150,7 @@ func corruptWAL(dir, mode string, seed int64) error {
 	if err != nil {
 		return err
 	}
-	const segHeader = 16
+	const segHeader = 24 // magic + index + base LSN; keep in sync with internal/wal
 	if info.Size() <= segHeader {
 		return fmt.Errorf("%s holds no records (%d bytes)", path, info.Size())
 	}

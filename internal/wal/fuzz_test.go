@@ -12,7 +12,8 @@ import (
 // framed records) the fuzzer mutates from.
 func fuzzSeedSegment() []byte {
 	b := append([]byte(nil), segMagic[:]...)
-	b = binary.LittleEndian.AppendUint64(b, 1)
+	b = binary.LittleEndian.AppendUint64(b, 1) // segment index
+	b = binary.LittleEndian.AppendUint64(b, 0) // base LSN
 	for i := 0; i < 3; i++ {
 		rec := &Record{
 			Kind: KindRows, Table: "data", BaseRow: uint64(i * 2),

@@ -66,7 +66,9 @@ type Record struct {
 //
 //	u32le payload length | u32le CRC32C(payload) | payload
 //
-// and each segment file starts with segMagic + u64le segment index.
+// and each segment file starts with segMagic + u64le segment index +
+// u64le base LSN (the LSN of the last record before the segment), which
+// keeps LSN numbering stable across restarts and compactions.
 // Strings are logged as raw bytes, not dictionary codes: dict codes are
 // remapped when a dictionary seals, so only the value itself is stable
 // across restarts. Int64 and Float64 cells are fixed 8-byte slots (floats

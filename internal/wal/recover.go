@@ -13,12 +13,17 @@ import (
 	"adskip/internal/obs"
 )
 
-// Segment layout: a fixed header (magic + index) followed by framed
-// records. Filenames encode the index too, so a directory listing orders
-// segments without opening them; the header is still verified.
-const segHeaderLen = 16
+// Segment layout: a fixed header (magic + index + base LSN) followed by
+// framed records. Filenames encode the index too, so a directory listing
+// orders segments without opening them; the header is still verified.
+// The base LSN — the LSN of the last record *before* this segment — makes
+// numbering stable across restarts: replay resumes absolute LSNs from the
+// first surviving segment's base instead of recounting from 1, so a
+// throughLSN captured before a restart still names the same records after
+// recovery (even once Compact has recycled the early segments).
+const segHeaderLen = 24
 
-var segMagic = [8]byte{'A', 'D', 'S', 'K', 'W', 'A', 'L', 1}
+var segMagic = [8]byte{'A', 'D', 'S', 'K', 'W', 'A', 'L', 2}
 
 func segPath(dir string, index uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%08d.wal", index))
@@ -27,7 +32,7 @@ func segPath(dir string, index uint64) string {
 // createSegment creates (or truncates a recycled) segment file and writes
 // its header. The header is synced immediately so a crash right after
 // rotation cannot leave a headerless active segment.
-func createSegment(path string, index uint64) (*os.File, error) {
+func createSegment(path string, index, baseLSN uint64) (*os.File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
@@ -35,6 +40,7 @@ func createSegment(path string, index uint64) (*os.File, error) {
 	hdr := make([]byte, 0, segHeaderLen)
 	hdr = append(hdr, segMagic[:]...)
 	hdr = binary.LittleEndian.AppendUint64(hdr, index)
+	hdr = binary.LittleEndian.AppendUint64(hdr, baseLSN)
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return nil, err
@@ -79,7 +85,7 @@ type RecoveryStats struct {
 	DroppedBytes int64 `json:"dropped_bytes"`
 	// DroppedSegments counts whole segments discarded past a mid-log
 	// truncation point (0 for an ordinary torn tail).
-	DroppedSegments int `json:"dropped_segments"`
+	DroppedSegments int           `json:"dropped_segments"`
 	Elapsed         time.Duration `json:"elapsed_ns"`
 }
 
@@ -121,31 +127,42 @@ func Open(opts Options, replay func(*Record) error) (*Log, RecoveryStats, error)
 	start := time.Now()
 	var stats RecoveryStats
 	stats.Segments = len(segs)
-	var lsn uint64
+	var lsn, replayed uint64
 	truncated := false
+	renamed := false
+	expectBase := int64(-1) // first surviving segment's base is adopted
 	for si := range segs {
 		s := &segs[si]
 		if truncated {
 			// Records after a truncation point are unreachable: without
 			// the dropped suffix their BaseRow chain has a hole. Recycle
-			// the whole segment.
+			// the whole segment. Rename before truncating — rename is
+			// atomic, so no crash point leaves an empty file under a
+			// numbered segment name (which a later replay would read as
+			// fresh mid-log corruption).
 			stats.DroppedBytes += s.bytes
 			stats.DroppedSegments++
 			spare := filepath.Join(opts.Dir, fmt.Sprintf("spare-%08d.wal", s.index))
-			if err := os.Truncate(s.path, 0); err != nil {
+			if err := os.Rename(s.path, spare); err != nil {
 				return nil, stats, err
 			}
-			if err := os.Rename(s.path, spare); err != nil {
+			renamed = true
+			if err := os.Truncate(spare, 0); err != nil {
 				return nil, stats, err
 			}
 			l.spares = append(l.spares, spare)
 			continue
 		}
-		n, off, reason, err := replaySegment(s, opts.MaxRecordBytes, replay, &stats)
+		base, n, off, reason, err := replaySegment(s, opts.MaxRecordBytes, expectBase, replay, &stats)
 		if err != nil {
 			return nil, stats, err
 		}
-		lsn += n
+		replayed += n
+		if off >= segHeaderLen {
+			// The header parsed, so this segment's LSNs start at its base.
+			lsn = base + n
+			expectBase = int64(lsn)
+		}
 		s.lastLSN = lsn
 		if reason != "" {
 			// Torn or corrupt record: truncate the file right before it.
@@ -159,6 +176,11 @@ func Open(opts Options, replay func(*Record) error) (*Log, RecoveryStats, error)
 			truncated = true
 		}
 	}
+	if renamed {
+		if err := syncDir(opts.Dir); err != nil {
+			return nil, stats, err
+		}
+	}
 	// Keep only segments still on disk (ones past a truncation point were
 	// renamed to spares above).
 	for _, s := range segs {
@@ -167,7 +189,7 @@ func Open(opts Options, replay func(*Record) error) (*Log, RecoveryStats, error)
 		}
 	}
 
-	stats.Records = lsn
+	stats.Records = replayed
 	stats.Elapsed = time.Since(start)
 	l.nextLSN = lsn + 1
 	l.written = lsn
@@ -183,8 +205,10 @@ func Open(opts Options, replay func(*Record) error) (*Log, RecoveryStats, error)
 		}
 	} else if tail := l.segs[len(l.segs)-1]; tail.bytes < segHeaderLen {
 		// The tail lost even its header (crash during rotation, or a
-		// corrupt header truncated to zero): rewrite it in place.
-		f, err := createSegment(tail.path, tail.index)
+		// corrupt header truncated to zero): rewrite it in place. Its
+		// records (if any) were unreadable, so its base is the last
+		// recovered LSN.
+		f, err := createSegment(tail.path, tail.index, lsn)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -278,53 +302,61 @@ func parseIndex(s string, out *uint64) bool {
 }
 
 // replaySegment reads one segment's records through the replay callback.
-// It returns the number of records replayed, the offset of the first bad
-// byte and a human-readable reason when the segment ends in a torn or
-// corrupt record ("" for a clean tail), and a hard error only for I/O or
-// replay-callback failures.
-func replaySegment(s *segInfo, maxRecord int, replay func(*Record) error, stats *RecoveryStats) (uint64, int64, string, error) {
+// It returns the segment's base LSN (valid only when the returned offset
+// is past the header), the number of records replayed, the offset of the
+// first bad byte and a human-readable reason when the segment ends in a
+// torn or corrupt record ("" for a clean tail), and a hard error only for
+// I/O or replay-callback failures. expectBase is the LSN the caller has
+// recovered so far; a header whose base disagrees means the log skips or
+// repeats records and is treated as corruption at offset 0. expectBase < 0
+// (first surviving segment) accepts any base.
+func replaySegment(s *segInfo, maxRecord int, expectBase int64, replay func(*Record) error, stats *RecoveryStats) (uint64, uint64, int64, string, error) {
 	data, err := os.ReadFile(s.path)
 	if err != nil {
-		return 0, 0, "", err
+		return 0, 0, 0, "", err
 	}
 	if len(data) < segHeaderLen {
-		return 0, 0, fmt.Sprintf("short header (%d bytes)", len(data)), nil
+		return 0, 0, 0, fmt.Sprintf("short header (%d bytes)", len(data)), nil
 	}
 	if [8]byte(data[:8]) != segMagic {
-		return 0, 0, "bad segment magic", nil
+		return 0, 0, 0, "bad segment magic", nil
 	}
 	if got := binary.LittleEndian.Uint64(data[8:16]); got != s.index {
-		return 0, 0, fmt.Sprintf("header index %d, filename says %d", got, s.index), nil
+		return 0, 0, 0, fmt.Sprintf("header index %d, filename says %d", got, s.index), nil
+	}
+	base := binary.LittleEndian.Uint64(data[16:24])
+	if expectBase >= 0 && base != uint64(expectBase) {
+		return 0, 0, 0, fmt.Sprintf("header base LSN %d, want %d", base, expectBase), nil
 	}
 	var n uint64
 	off := int64(segHeaderLen)
 	for {
 		rest := data[off:]
 		if len(rest) == 0 {
-			return n, off, "", nil // clean tail
+			return base, n, off, "", nil // clean tail
 		}
 		if len(rest) < frameLen {
-			return n, off, fmt.Sprintf("torn frame header (%d bytes)", len(rest)), nil
+			return base, n, off, fmt.Sprintf("torn frame header (%d bytes)", len(rest)), nil
 		}
 		plen := int(binary.LittleEndian.Uint32(rest[:4]))
 		crc := binary.LittleEndian.Uint32(rest[4:8])
 		if plen == 0 || plen > maxRecord {
-			return n, off, fmt.Sprintf("implausible record length %d", plen), nil
+			return base, n, off, fmt.Sprintf("implausible record length %d", plen), nil
 		}
 		if len(rest)-frameLen < plen {
-			return n, off, fmt.Sprintf("torn record body (%d of %d bytes)", len(rest)-frameLen, plen), nil
+			return base, n, off, fmt.Sprintf("torn record body (%d of %d bytes)", len(rest)-frameLen, plen), nil
 		}
 		payload := rest[frameLen : frameLen+plen]
 		if Checksum(payload) != crc {
-			return n, off, "checksum mismatch", nil
+			return base, n, off, "checksum mismatch", nil
 		}
 		rec, err := DecodePayload(payload)
 		if err != nil {
-			return n, off, fmt.Sprintf("undecodable record: %v", err), nil
+			return base, n, off, fmt.Sprintf("undecodable record: %v", err), nil
 		}
 		if replay != nil {
 			if err := replay(rec); err != nil {
-				return n, off, "", fmt.Errorf("wal: replay record %d of segment %d: %w", n+1, s.index, err)
+				return base, n, off, "", fmt.Errorf("wal: replay record %d of segment %d: %w", n+1, s.index, err)
 			}
 		}
 		switch rec.Kind {

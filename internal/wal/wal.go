@@ -115,6 +115,7 @@ type Log struct {
 	pendRows  int64
 	firstPend time.Time // when the oldest pending record was enqueued
 	cur       *batch
+	inflight  *batch // last batch claimed by flush; may not be durable yet
 	nextLSN   uint64 // LSN the next append receives
 	written   uint64 // last LSN written to the file
 	failed    error  // sticky: a sync failure poisons the log
@@ -210,7 +211,9 @@ func (l *Log) Append(rec *Record) (Commit, error) {
 	return c, nil
 }
 
-// Sync forces everything enqueued so far to disk and waits.
+// Sync forces everything enqueued so far to disk and waits. It is a true
+// durability barrier: a batch the committer has already claimed but not
+// yet fsynced (flush clears l.cur before writing) is waited on too.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	if l.failed != nil {
@@ -218,17 +221,21 @@ func (l *Log) Sync() error {
 		l.mu.Unlock()
 		return err
 	}
-	if l.cur == nil {
-		l.mu.Unlock()
-		return nil
-	}
-	c := Commit{b: l.cur}
+	cur, inflight := l.cur, l.inflight
 	l.mu.Unlock()
-	select {
-	case l.kick <- struct{}{}:
-	default:
+	if cur != nil {
+		// The committer is single-threaded, so the open batch completing
+		// implies every earlier claimed batch completed first.
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+		return Commit{b: cur}.Wait()
 	}
-	return c.Wait()
+	if inflight != nil {
+		return Commit{b: inflight}.Wait()
+	}
+	return nil
 }
 
 // SyncedLSN returns the last durable LSN.
@@ -286,35 +293,50 @@ func (l *Log) Status() Status {
 // throughLSN: the caller asserts those records are captured elsewhere
 // (e.g. a table snapshot), so replay no longer needs them. Recycled files
 // are truncated and parked on a spare list that rotation reuses, keeping
-// steady-state disk usage and file churn bounded. Returns how many
-// segments were recycled.
+// steady-state disk usage and file churn bounded. LSNs are stable across
+// restarts (each segment header records its base LSN), so a horizon
+// captured before a crash still names the same records after recovery.
+// Returns how many segments were recycled.
 func (l *Log) Compact(throughLSN uint64) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	n := 0
+	var ferr error
 	for len(l.segs) > 1 { // never recycle the active segment
 		s := l.segs[0]
 		if s.lastLSN == 0 || s.lastLSN > throughLSN {
 			break
 		}
+		// Rename before truncating: rename is atomic, so no crash point
+		// leaves an empty file under a numbered segment name — which the
+		// next Open would read as mid-log corruption and discard every
+		// record after it. Stale bytes in the spare are harmless; rotation
+		// O_TRUNCs spares on reuse, and the truncate here just returns the
+		// disk space early.
 		spare := filepath.Join(l.opts.Dir, fmt.Sprintf("spare-%08d.wal", s.index))
-		if err := os.Truncate(s.path, 0); err != nil {
-			return n, err
+		if ferr = os.Rename(s.path, spare); ferr != nil {
+			break
 		}
-		if err := os.Rename(s.path, spare); err != nil {
-			return n, err
-		}
-		l.spares = append(l.spares, spare)
 		l.segs = l.segs[1:]
+		l.spares = append(l.spares, spare)
 		n++
+		if ferr = os.Truncate(spare, 0); ferr != nil {
+			break
+		}
 	}
 	if n > 0 {
+		// Make the renames durable before reporting the segments recycled;
+		// a throughLSN horizon implies the caller may now drop whatever
+		// else covered these records.
+		if serr := syncDir(l.opts.Dir); serr != nil && ferr == nil {
+			ferr = serr
+		}
 		l.m.recycled.Add(int64(n))
 		if l.opts.Logger != nil {
 			l.opts.Logger.Info("wal segments recycled", "count", n, "through_lsn", throughLSN)
 		}
 	}
-	return n, nil
+	return n, ferr
 }
 
 // Close flushes pending records, fsyncs, and releases the committer
@@ -387,6 +409,20 @@ func (l *Log) flush() {
 	l.cur = nil
 	l.pendRecs = 0
 	l.pendRows = 0
+	if c != nil {
+		l.inflight = c
+	}
+	if l.failed != nil {
+		// A batch enqueued while a previous flush was failing must not be
+		// written: bytes before it may be lost, and a later successful
+		// fsync would acknowledge records sitting past the hole. Drain it
+		// with the sticky error instead.
+		err := l.failed
+		l.mu.Unlock()
+		l.m.pendBytes.Set(0)
+		l.finish(c, err, first, recs, rows)
+		return
+	}
 	if len(buf) > 0 && l.segOff > segHeaderLen && l.segOff+int64(len(buf)) > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			l.failLocked(err)
@@ -500,7 +536,9 @@ func (l *Log) rotateLocked() error {
 		}
 		recycled = true
 	}
-	f, err := createSegment(path, next)
+	// The new segment's base LSN is the last record written before it;
+	// rotation happens before a batch's write, so that is l.written.
+	f, err := createSegment(path, next, l.written)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -346,6 +347,128 @@ func TestRotationRecycleCompact(t *testing.T) {
 	}
 	if rows != int64(stats.Records)*8 {
 		t.Fatalf("replayed %d rows across %d records, want 8 per record", rows, stats.Records)
+	}
+}
+
+// TestLSNStableAcrossRestartAndCompact: segment headers record a base
+// LSN, so numbering survives compaction plus restart — a throughLSN
+// captured before the restart still names the same records after, and
+// the reopened log continues the absolute sequence instead of
+// renumbering the surviving suffix from 1.
+func TestLSNStableAcrossRestartAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{SegmentBytes: 1, GroupWindow: -1}, nil)
+	var lastLSN uint64
+	for i := 0; i < 40; i++ {
+		c, err := l.Append(rowsRecord("data", uint64(i*8), 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		lastLSN = c.LSN()
+	}
+	if lastLSN != 40 {
+		t.Fatalf("last LSN = %d, want 40", lastLSN)
+	}
+	if n, err := l.Compact(20); err != nil || n == 0 {
+		t.Fatalf("Compact recycled %d segments (err %v)", n, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed uint64
+	l2, stats := openT(t, dir, Options{SegmentBytes: 1}, func(*Record) error { replayed++; return nil })
+	defer l2.Close()
+	if stats.Records != replayed {
+		t.Fatalf("stats.Records = %d, callback saw %d", stats.Records, replayed)
+	}
+	if got := l2.SyncedLSN(); got != 40 {
+		t.Fatalf("SyncedLSN after restart = %d, want 40 (stable numbering)", got)
+	}
+	c, err := l2.Append(rowsRecord("data", 320, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LSN() != 41 {
+		t.Fatalf("post-restart LSN = %d, want 41", c.LSN())
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBaseLSNMismatchStopsReplay: a hole in the segment chain (here a
+// deleted middle segment) must stop replay at the hole — the next
+// segment's base LSN disagrees with the running count — rather than
+// silently renumbering the records after it.
+func TestBaseLSNMismatchStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{SegmentBytes: 1, GroupWindow: -1}, nil)
+	for i := 0; i < 40; i++ {
+		c, err := l.Append(rowsRecord("data", uint64(i*8), 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nsegs := l.Status().Segments
+	if nsegs < 3 {
+		t.Fatalf("need >=3 segments, got %d", nsegs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(segPath(dir, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	var n uint64
+	l2, stats := openT(t, dir, Options{SegmentBytes: 1}, func(*Record) error { n++; return nil })
+	defer l2.Close()
+	if n == 0 || n >= 40 {
+		t.Fatalf("replayed %d records, want only the prefix before the hole", n)
+	}
+	if !strings.Contains(stats.Truncated, "base LSN") {
+		t.Fatalf("Truncated = %q, want base LSN mismatch", stats.Truncated)
+	}
+	// Everything at and past the hole is dropped, and the log continues
+	// the absolute LSN sequence from the intact prefix.
+	c, err := l2.Append(rowsRecord("data", uint64(n*8), 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if c.LSN() != n+1 {
+		t.Fatalf("post-recovery LSN = %d, want %d", c.LSN(), n+1)
+	}
+}
+
+// TestSyncBarrier: Sync must not return until records enqueued before it
+// are durable, even when the group window would otherwise keep them
+// pending (and even if the committer has already claimed the batch).
+func TestSyncBarrier(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{GroupWindow: time.Second}, nil)
+	defer l.Close()
+	for round := uint64(1); round <= 3; round++ {
+		for j := 0; j < 4; j++ {
+			if _, err := l.Append(rowsRecord("data", (round-1)*4+uint64(j), 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if got := l.SyncedLSN(); got != round*4 {
+			t.Fatalf("round %d: SyncedLSN = %d, want %d", round, got, round*4)
+		}
 	}
 }
 
