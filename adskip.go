@@ -38,6 +38,7 @@ import (
 	"adskip/internal/health"
 	"adskip/internal/obs"
 	"adskip/internal/sql"
+	"adskip/internal/stats"
 	"adskip/internal/storage"
 	"adskip/internal/table"
 	"adskip/internal/telemetry"
@@ -179,6 +180,23 @@ type HealthAlerts = health.AlertsSnapshot
 // checkpoint interval (65536 rows).
 type Limits = engine.Limits
 
+// WorkloadSnapshot is the point-in-time workload-analytics view returned
+// by DB.Workload and served by the telemetry /workload endpoint: per-
+// template call counts, latency quantiles, row/zone/byte totals, and
+// zone-touch sketches.
+type WorkloadSnapshot = stats.WorkloadSnapshot
+
+// TemplateStats is one query template's aggregate inside a
+// WorkloadSnapshot.
+type TemplateStats = stats.TemplateSnapshot
+
+// Workload sort orders accepted by DB.Workload.
+const (
+	SortTime  = stats.SortTime
+	SortCalls = stats.SortCalls
+	SortBytes = stats.SortBytes
+)
+
 // Resilience errors, re-exported for errors.Is checks on query results.
 var (
 	// ErrCanceled reports that a query's context was canceled or its
@@ -244,6 +262,17 @@ type Options struct {
 	// data (CreateTable/LoadTable + bulk load), then call Recover before
 	// serving mutations.
 	Durability Durability
+	// StatsMaxTemplates bounds the workload-analytics table: how many
+	// distinct query templates (literal-stripped fingerprints) the DB
+	// tracks before LRU eviction. 0 means the default (256); negative
+	// disables workload analytics entirely — SQL queries then skip
+	// fingerprint attribution and the /workload endpoint reports an
+	// empty table.
+	StatsMaxTemplates int
+	// StatsZoneSketch bounds each template's zone-touch sketch (distinct
+	// zone IDs recorded across all columns; 0 = default 512, negative
+	// disables the sketch). See DESIGN §12.
+	StatsZoneSketch int
 }
 
 // Durability configures the write-ahead log (see Options.Durability).
@@ -292,6 +321,10 @@ type DB struct {
 	telem   *telemetry.Server
 	sampler *obs.Sampler
 
+	// stats is the catalog-wide workload analytics table (nil when
+	// Options.StatsMaxTemplates is negative). Set once at Open.
+	stats *stats.Table
+
 	// monitor evaluates Options.Objectives on each sampler tick. Set once
 	// at Open (immutable afterwards), nil when no objectives are declared.
 	monitor     *health.Monitor
@@ -325,6 +358,13 @@ func Open(opts Options) *DB {
 		admission: engine.NewAdmission(opts.MaxConcurrentQueries),
 		traces:    obs.NewTraceRing(opts.TraceRingSize),
 		slow:      obs.NewTraceRing(opts.TraceRingSize),
+	}
+	if opts.StatsMaxTemplates >= 0 {
+		db.stats = stats.New(stats.Options{
+			MaxTemplates:   opts.StatsMaxTemplates,
+			ZoneSketchSize: opts.StatsZoneSketch,
+			Registry:       db.reg,
+		})
 	}
 	// A durable DB starts in recovering state: mutations are not durable
 	// (and servers should refuse them) until Recover has replayed the log
@@ -363,6 +403,7 @@ func (db *DB) engineOptions() engine.Options {
 		SlowTraces:         db.slow,
 		SlowQueryThreshold: db.opts.SlowQueryThreshold,
 		Logger:             db.opts.Logger,
+		Stats:              db.stats,
 	}
 }
 
@@ -373,6 +414,14 @@ func (db *DB) Traces() []*QueryTrace { return db.traces.Snapshot() }
 // SlowTraces returns the retained slow-query traces, oldest-first. Empty
 // unless Options.SlowQueryThreshold is set.
 func (db *DB) SlowTraces() []*QueryTrace { return db.slow.Snapshot() }
+
+// Workload returns the per-template workload statistics: the top-k query
+// templates under the given sort order (adskip.SortTime, SortCalls, or
+// SortBytes; "" sorts by total time, k <= 0 returns every template).
+// Empty when Options.StatsMaxTemplates is negative.
+func (db *DB) Workload(sortBy string, k int) WorkloadSnapshot {
+	return db.stats.Snapshot(sortBy, k)
+}
 
 // Skipmap returns a skipping-effectiveness snapshot for every table,
 // sorted by table name. maxZones caps the per-zone detail per column
@@ -425,6 +474,7 @@ func (db *DB) StartTelemetry(addr string) (string, error) {
 		src.Health = func() (health.Snapshot, bool) { return db.monitor.Snapshot(), true }
 		src.Alerts = db.monitor.Alerts
 	}
+	src.Workload = db.stats
 	db.mu.Lock()
 	if db.telem != nil {
 		db.mu.Unlock()
@@ -600,7 +650,11 @@ func (db *DB) ExplainAnalyze(query string) ([]string, *Result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return e.ExplainAnalyze(q)
+	ctx := context.Background()
+	if db.stats != nil {
+		ctx = obs.WithTemplate(ctx, sql.Fingerprint(stmt))
+	}
+	return e.ExplainAnalyzeContext(ctx, q)
 }
 
 // lookup resolves a table name to its engine under the catalog lock.

@@ -9,7 +9,7 @@
 //	\save <file>         save table "data"
 //	\skipping [col]      describe zone metadata for a column (default v)
 //	\stats               adaptive lifetime counters per column
-//	\top                 live per-column skipping effectiveness
+//	\top                 hottest query templates + per-column skipping
 //	\timeout <dur|off>   cancel statements that run longer than dur
 //	\quarantine          list columns whose metadata failed and was benched
 //	\rebuild [cols]      rebuild quarantined skipping metadata
@@ -43,6 +43,7 @@ import (
 	"adskip/internal/health"
 	"adskip/internal/obs"
 	"adskip/internal/sql"
+	"adskip/internal/stats"
 	"adskip/internal/storage"
 	"adskip/internal/table"
 	"adskip/internal/telemetry"
@@ -132,6 +133,9 @@ func main() {
 		SlowTraces:         obs.NewTraceRing(0),
 		SlowQueryThreshold: *slow,
 	}
+	// Workload analytics share the session registry and, like it, survive
+	// table reloads: \top and /workload aggregate across \gen/\load swaps.
+	opts.Stats = stats.New(stats.Options{Registry: opts.Metrics})
 	switch *policy {
 	case "none":
 		opts.Policy = engine.PolicyNone
@@ -197,6 +201,7 @@ func main() {
 			Events:     opts.Events.Events,
 			Skipmap:    r.skipmap,
 			History:    sampler,
+			Workload:   opts.Stats,
 		}
 		if mon := r.mon; mon != nil {
 			src.Health = func() (health.Snapshot, bool) { return mon.Snapshot(), true }
@@ -249,7 +254,7 @@ func (r *repl) meta(line string) bool {
 \loadcsv <file>     load a CSV file (schema inferred)
 \skipping [col]     describe zone metadata \stats        adaptive counters
 \metrics [json]     dump engine metrics (Prometheus text, or JSON)
-\top                live per-column skipping effectiveness (zones, skip ratio)
+\top                hottest query templates (calls, p95, cpu%) + skipmap
 \events [n]         show the last n adaptation events (default 20)
 \trace              toggle per-query trace printing (same as --metrics)
 \timeout <dur|off>  cancel statements running longer than dur (e.g. 500ms)
@@ -516,12 +521,35 @@ func (r *repl) events(n int) {
 	}
 }
 
-// top renders the live skipmap: one line per skipper-bearing column with
-// cumulative pruning effectiveness — the same data /skipmap serves.
+// top renders the workload's hottest query templates — the same
+// aggregation /workload serves — followed by the live per-column
+// skipmap. Parameterized variants of a template collapse into one row;
+// cpu%% is the template's share of total recorded execution time.
 func (r *repl) top() {
 	if r.eng == nil {
 		fmt.Fprintln(r.out, "no table loaded")
 		return
+	}
+	snap := r.opts.Stats.Snapshot(stats.SortTime, 10)
+	if len(snap.Templates) == 0 {
+		fmt.Fprintln(r.out, "no query templates recorded yet (run some SQL first)")
+	} else {
+		fmt.Fprintf(r.out, "top templates by time (%d tracked, %d calls recorded):\n",
+			snap.TotalTemplates, snap.Recorded)
+		fmt.Fprintf(r.out, "%7s %6s %9s %9s %7s %7s  %s\n",
+			"calls", "errs", "mean(µs)", "p95(µs)", "skip%", "cpu%", "template")
+		var total float64
+		for _, t := range snap.Templates {
+			total += t.TotalSeconds
+		}
+		for _, t := range snap.Templates {
+			var cpu float64
+			if total > 0 {
+				cpu = 100 * t.TotalSeconds / total
+			}
+			fmt.Fprintf(r.out, "%7d %6d %9.0f %9.0f %6.1f%% %6.1f%%  %s\n",
+				t.Calls, t.Errors, t.MeanUS, t.P95US, 100*t.SkipRatio, cpu, t.Fingerprint)
+		}
 	}
 	sm := r.eng.Skipmap(0)
 	if len(sm.Columns) == 0 {

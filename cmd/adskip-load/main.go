@@ -54,6 +54,7 @@ func main() {
 		insBatch = flag.Int("insert-batch", 16, "rows per insert request")
 		retries  = flag.Int("retries", 0, "client retries for retryable refusals (recovering / load shedding); retried-then-succeeded requests are not errors")
 		health   = flag.String("assert-health", "", "after the run, GET this telemetry /health URL and exit non-zero unless it answers 200 with status ok")
+		wlURL    = flag.String("workload", "", "after the run, GET this telemetry /workload URL and print the top templates; exit non-zero if it answers but reports no templates")
 	)
 	flag.Parse()
 
@@ -103,6 +104,63 @@ func main() {
 		}
 		fmt.Println("health: ok")
 	}
+	if *wlURL != "" {
+		if err := printWorkload(*wlURL); err != nil {
+			fmt.Fprintf(os.Stderr, "adskip-load: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printWorkload fetches a telemetry /workload endpoint and renders the
+// top templates the run just produced — a quick answer to "who was
+// asking?". An answering endpoint with an empty template table is an
+// error: the load generator definitely sent queries, so empty means
+// attribution is broken somewhere between the server and the stats
+// table.
+func printWorkload(url string) error {
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(url + "?sort=time&k=10")
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("workload: %s answered %d", url, resp.StatusCode)
+	}
+	var snap struct {
+		Templates []struct {
+			Fingerprint string  `json:"fingerprint"`
+			Calls       int64   `json:"calls"`
+			P95US       float64 `json:"p95_us"`
+			SkipRatio   float64 `json:"skip_ratio"`
+			TotalSec    float64 `json:"total_seconds"`
+		} `json:"templates"`
+		TotalTemplates int   `json:"total_templates"`
+		Recorded       int64 `json:"recorded_calls"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("workload: decode %s: %w", url, err)
+	}
+	if len(snap.Templates) == 0 {
+		return fmt.Errorf("workload: %s reports no templates — queries were sent but none were attributed", url)
+	}
+	var total float64
+	for _, t := range snap.Templates {
+		total += t.TotalSec
+	}
+	fmt.Printf("workload: top %d of %d templates (%d calls recorded)\n",
+		len(snap.Templates), snap.TotalTemplates, snap.Recorded)
+	fmt.Printf("%7s %10s %7s %7s  %s\n", "calls", "p95(µs)", "skip%", "cpu%", "template")
+	for _, t := range snap.Templates {
+		var cpu float64
+		if total > 0 {
+			cpu = 100 * t.TotalSec / total
+		}
+		fmt.Printf("%7d %10.0f %6.1f%% %6.1f%%  %s\n",
+			t.Calls, t.P95US, 100*t.SkipRatio, cpu, t.Fingerprint)
+	}
+	return nil
 }
 
 // assertHealth probes a telemetry /health endpoint and fails unless the

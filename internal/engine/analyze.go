@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"adskip/internal/obs"
@@ -16,11 +17,38 @@ import (
 // The returned result is the executed query's result (rows, aggregates,
 // stats, trace), so callers pay for one execution, not two.
 func (e *Engine) ExplainAnalyze(q Query) ([]string, *Result, error) {
-	res, err := e.Query(q)
+	return e.ExplainAnalyzeContext(context.Background(), q)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze under a caller context. When
+// the context carries a template fingerprint and workload stats are on,
+// the execution is attributed like any other query and the rendering
+// gains a workload footer: the template's cumulative call count and
+// latency, so an analyzed query shows where it sits in the workload.
+func (e *Engine) ExplainAnalyzeContext(ctx context.Context, q Query) ([]string, *Result, error) {
+	res, err := e.QueryContext(ctx, q)
 	if err != nil {
 		return nil, nil, err
 	}
-	return AnalyzeLines(res, true), res, nil
+	lines := AnalyzeLines(res, true)
+	if wl := e.workloadLine(res.Trace); wl != "" {
+		lines = append(lines, wl)
+	}
+	return lines, res, nil
+}
+
+// workloadLine renders the per-template footer, or "" when the query was
+// not attributed (no stats table, or no fingerprint on the context).
+func (e *Engine) workloadLine(tr *obs.QueryTrace) string {
+	if e.stats == nil || tr == nil || tr.Fingerprint == "" {
+		return ""
+	}
+	ts, ok := e.stats.Template(tr.Fingerprint)
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("workload: template %q — %d calls (%d errors, %d cache hits), mean %.0fµs, p95 %.0fµs, %.1f%% rows skipped",
+		ts.Fingerprint, ts.Calls, ts.Errors, ts.CacheHits, ts.MeanUS, ts.P95US, 100*ts.SkipRatio)
 }
 
 // AnalyzeLines renders an executed query's trace in EXPLAIN ANALYZE form.

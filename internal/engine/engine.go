@@ -18,6 +18,7 @@ import (
 	"adskip/internal/faultinject"
 	"adskip/internal/imprint"
 	"adskip/internal/obs"
+	"adskip/internal/stats"
 	"adskip/internal/storage"
 	"adskip/internal/table"
 	"adskip/internal/wal"
@@ -102,6 +103,13 @@ type Options struct {
 	// splits/merges at debug. Nil disables logging entirely (the hot
 	// path pays one nil check).
 	Logger *slog.Logger
+	// Stats, when non-nil, receives one workload sample per query that
+	// arrived with a template fingerprint on its context (see
+	// obs.WithTemplate). Share one table across engines (the DB facade
+	// does) for a catalog-wide workload view. Queries without a
+	// fingerprint — direct engine API callers, benchmarks — skip the
+	// attribution path entirely.
+	Stats *stats.Table
 }
 
 func (o Options) withDefaults() Options {
@@ -146,6 +154,7 @@ type Engine struct {
 	traces *obs.TraceRing
 	slow   *obs.TraceRing
 	log    *slog.Logger
+	stats  *stats.Table
 
 	// wal, when armed via SetWAL, makes appends and updates durable:
 	// mutations are logged (group-committed) before they touch the
@@ -188,6 +197,7 @@ func New(tbl *table.Table, opts Options) *Engine {
 	e.m = newEngMetrics(e.reg, tbl.Name())
 	e.colM = make(map[string]*colMetrics)
 	e.log = opts.Logger
+	e.stats = opts.Stats
 	return e
 }
 
@@ -206,6 +216,10 @@ func (e *Engine) Traces() *obs.TraceRing { return e.traces }
 // SlowTraces returns the slow-query log: traces that exceeded
 // Options.SlowQueryThreshold.
 func (e *Engine) SlowTraces() *obs.TraceRing { return e.slow }
+
+// WorkloadStats returns the per-template workload table this engine
+// records into, or nil when workload analytics is off.
+func (e *Engine) WorkloadStats() *stats.Table { return e.stats }
 
 // EnableSkipping builds skipping metadata for the named columns (all
 // columns when none are named) according to the engine's policy. String

@@ -232,13 +232,20 @@ func (e *Engine) finishTrace(res *Result, tr *obs.QueryTrace, plans []colPlan, n
 		e.m.slowQueries.Inc()
 		e.slow.Append(tr)
 		if e.log != nil {
+			// The fingerprint, not the raw text, is the grouping key:
+			// parameterized repeats of one template aggregate in the log
+			// instead of flooding it with near-duplicates.
 			e.log.Warn("slow query",
 				"table", tr.Table, "total", tr.Total,
 				"rows_scanned", tr.RowsScanned, "rows_skipped", tr.RowsSkipped,
-				"session", tr.Session, "trace_id", tr.TraceID)
+				"session", tr.Session, "trace_id", tr.TraceID,
+				"fingerprint", tr.Fingerprint)
 		}
 	}
 	e.traces.Append(tr)
+	if e.stats != nil && tr.Fingerprint != "" {
+		e.recordWorkload(res, tr, plans)
+	}
 
 	e.m.queries.Inc()
 	e.m.rowsScanned.Add(int64(res.Stats.RowsScanned))

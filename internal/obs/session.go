@@ -44,3 +44,42 @@ func TraceFromContext(ctx context.Context) string {
 	id, _ := ctx.Value(traceKey{}).(string)
 	return id
 }
+
+// templateKey is the private context key for the query template
+// (fingerprint).
+type templateKey struct{}
+
+// WithTemplate returns a context carrying the query's literal-stripped
+// fingerprint. SQL frontends stamp it after parsing (or from their
+// prepared-statement cache); the engine copies it onto the QueryTrace
+// and uses it as the workload-stats and pprof-label identity. Queries
+// without a template (direct engine API calls, benchmarks) skip the
+// attribution path entirely.
+func WithTemplate(ctx context.Context, fingerprint string) context.Context {
+	if fingerprint == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, templateKey{}, fingerprint)
+}
+
+// TemplateFromContext returns the query fingerprint carried by ctx, or "".
+func TemplateFromContext(ctx context.Context) string {
+	fp, _ := ctx.Value(templateKey{}).(string)
+	return fp
+}
+
+// planCachedKey is the private context key for the plan-cache marker.
+type planCachedKey struct{}
+
+// WithPlanCached marks ctx as executing a statement served from a
+// prepared-statement/plan cache, so workload stats can report cache
+// hit rates per template.
+func WithPlanCached(ctx context.Context) context.Context {
+	return context.WithValue(ctx, planCachedKey{}, true)
+}
+
+// PlanCachedFromContext reports whether ctx carries the plan-cache marker.
+func PlanCachedFromContext(ctx context.Context) bool {
+	hit, _ := ctx.Value(planCachedKey{}).(bool)
+	return hit
+}

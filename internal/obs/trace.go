@@ -24,6 +24,15 @@ type QueryTrace struct {
 	// caller find this query's span tree in /traces.
 	TraceID string `json:"trace_id,omitempty"`
 
+	// Fingerprint is the literal-stripped query template (see
+	// WithTemplate); "" for queries that bypassed a SQL frontend. The
+	// slow-query log groups by it, and workload stats aggregate under it.
+	Fingerprint string `json:"fingerprint,omitempty"`
+
+	// PlanCached marks queries served from a prepared-statement/plan
+	// cache (see WithPlanCached).
+	PlanCached bool `json:"plan_cached,omitempty"`
+
 	// Phase timings. Scan excludes the feedback time spent inside
 	// skipper.Observe calls, which is accounted to Feedback.
 	Plan     time.Duration `json:"plan_ns"`     // validation + aggregate/projection binding

@@ -425,7 +425,7 @@ func (ss *session) dispatch(ctx context.Context, req *proto.Request, tm *proto.T
 				fmt.Sprintf("unknown prepared statement %d (never prepared, or evicted — prepare again)", req.Stmt))
 		}
 		s.m.cacheHits.Inc()
-		return ss.exec(ctx, ent, tm)
+		return ss.exec(obs.WithPlanCached(ctx), ent, tm)
 	default:
 		s.m.failure(proto.ErrKindBadOp)
 		return errResp(proto.ErrKindBadOp, "unknown op "+strconv.Quote(req.Op))
@@ -548,7 +548,7 @@ func (ss *session) query(ctx context.Context, sqlText string, tm *proto.Timing) 
 	s := ss.srv
 	if ent, ok := s.cache.get(sqlText); ok {
 		s.m.cacheHits.Inc()
-		return ss.exec(ctx, ent, tm)
+		return ss.exec(obs.WithPlanCached(ctx), ent, tm)
 	}
 	s.m.cacheMisses.Inc()
 	tParse := time.Now()
@@ -584,7 +584,7 @@ func (ss *session) query(ctx context.Context, sqlText string, tm *proto.Timing) 
 		s.m.failure(proto.ErrKindSyntax)
 		return errResp(proto.ErrKindSyntax, err.Error())
 	}
-	ent, evicted := s.cache.put(&stmtEntry{sqlText: sqlText, id: s.nextStmt.Add(1), eng: eng, q: q})
+	ent, evicted := s.cache.put(&stmtEntry{sqlText: sqlText, fp: sqlpkg.Fingerprint(stmt), id: s.nextStmt.Add(1), eng: eng, q: q})
 	s.cacheAccount(evicted)
 	return ss.exec(ctx, ent, tm)
 }
@@ -616,15 +616,20 @@ func (ss *session) prepare(sqlText string) proto.Response {
 		s.m.failure(proto.ErrKindSyntax)
 		return errResp(proto.ErrKindSyntax, err.Error())
 	}
-	ent, evicted := s.cache.put(&stmtEntry{sqlText: sqlText, id: s.nextStmt.Add(1), eng: tbl.Engine(), q: q})
+	ent, evicted := s.cache.put(&stmtEntry{sqlText: sqlText, fp: sqlpkg.Fingerprint(stmt), id: s.nextStmt.Add(1), eng: tbl.Engine(), q: q})
 	s.cacheAccount(evicted)
 	return proto.Response{OK: true, Stmt: ent.id}
 }
 
 // exec runs a cached plan under the request context (derived from the
 // session context, so disconnects cancel it) and wire-encodes the
-// result.
+// result. The entry's fingerprint is stamped on the context so workload
+// analytics attribute the execution to its template — the statement
+// cache and the workload table thereby share keys.
 func (ss *session) exec(ctx context.Context, ent *stmtEntry, tm *proto.Timing) proto.Response {
+	if ent.fp != "" {
+		ctx = obs.WithTemplate(ctx, ent.fp)
+	}
 	res, err := ent.eng.QueryContext(ctx, ent.q)
 	if err != nil {
 		return ss.execFailure(err)

@@ -13,6 +13,7 @@ import (
 // is immutable per table, so it cannot go stale.
 type stmtEntry struct {
 	sqlText string
+	fp      string // query fingerprint; workload attribution key
 	id      uint64
 	eng     *engine.Engine
 	q       engine.Query

@@ -116,18 +116,25 @@ func ExecParsed(e *engine.Engine, stmt Statement) (*engine.Result, error) {
 	return ExecParsedContext(context.Background(), e, stmt)
 }
 
-// ExecParsedContext is ExecParsed under a context.
+// ExecParsedContext is ExecParsed under a context. When the engine has a
+// workload stats table, the statement's fingerprint is stamped onto the
+// context here (unless the caller — e.g. the network server's statement
+// cache — already did), so every SQL-routed query is attributed to its
+// template.
 func ExecParsedContext(ctx context.Context, e *engine.Engine, stmt Statement) (*engine.Result, error) {
 	q, err := Plan(stmt, e.Table())
 	if err != nil {
 		return nil, err
+	}
+	if e.WorkloadStats() != nil && obs.TemplateFromContext(ctx) == "" {
+		ctx = obs.WithTemplate(ctx, Fingerprint(stmt))
 	}
 	if stmt.Explain {
 		var lines []string
 		if stmt.Analyze {
 			// EXPLAIN ANALYZE executes the query and reports actuals;
 			// the rendered plan replaces the data result.
-			lines, _, err = e.ExplainAnalyze(q)
+			lines, _, err = e.ExplainAnalyzeContext(ctx, q)
 		} else {
 			lines, err = e.Explain(q)
 		}

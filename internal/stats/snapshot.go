@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"adskip/internal/obs"
+)
+
+// Sort keys accepted by Snapshot and WriteCSV.
+const (
+	SortTime  = "time"  // total execution time, descending (default)
+	SortCalls = "calls" // call count, descending
+	SortBytes = "bytes" // bytes scanned, descending
+)
+
+// ValidSort reports whether key names a supported sort order ("" means
+// the default, SortTime).
+func ValidSort(key string) bool {
+	switch key {
+	case "", SortTime, SortCalls, SortBytes:
+		return true
+	}
+	return false
+}
+
+// TemplateSnapshot is the exported aggregate for one query template.
+// The JSON field set is the /workload wire schema — golden-locked by
+// telemetry tests; additions are fine, renames and removals are not.
+type TemplateSnapshot struct {
+	Fingerprint string `json:"fingerprint"`
+	Table       string `json:"table"`
+	Calls       int64  `json:"calls"`
+	Errors      int64  `json:"errors"`
+	CacheHits   int64  `json:"cache_hits"`
+
+	TotalSeconds float64 `json:"total_seconds"`
+	MeanUS       float64 `json:"mean_us"`
+	P50US        float64 `json:"p50_us"`
+	P95US        float64 `json:"p95_us"`
+
+	RowsRead     int64   `json:"rows_read"`
+	RowsReturned int64   `json:"rows_returned"`
+	RowsSkipped  int64   `json:"rows_skipped"`
+	SkipRatio    float64 `json:"skip_ratio"`
+	ZonesRead    int64   `json:"zones_read"`
+	ZonesPruned  int64   `json:"zones_pruned"`
+	BytesScanned int64   `json:"bytes_scanned"`
+
+	// ZoneTouch is the bounded zone-touch sketch: per column, the sorted
+	// IDs of zones this template has read. ZoneTouchDropped counts IDs
+	// that did not fit the sketch bound.
+	ZoneTouch        map[string][]int `json:"zone_touch,omitempty"`
+	ZoneTouchDropped int64            `json:"zone_touch_dropped,omitempty"`
+
+	FirstSeen time.Time `json:"first_seen"`
+	LastSeen  time.Time `json:"last_seen"`
+}
+
+// WorkloadSnapshot is a point-in-time view of the whole table, sorted
+// and truncated for exposition.
+type WorkloadSnapshot struct {
+	Templates      []TemplateSnapshot `json:"templates"`
+	TotalTemplates int                `json:"total_templates"` // tracked, before top-K truncation
+	Evicted        int64              `json:"evicted_templates"`
+	Recorded       int64              `json:"recorded_calls"`
+	SortedBy       string             `json:"sorted_by"`
+}
+
+// Snapshot copies the top-k templates under the given sort order
+// ("" = SortTime; k <= 0 = all). Unknown sort keys fall back to SortTime
+// — callers that must reject them use ValidSort first.
+func (t *Table) Snapshot(sortBy string, k int) WorkloadSnapshot {
+	if t == nil {
+		return WorkloadSnapshot{Templates: []TemplateSnapshot{}, SortedBy: SortTime}
+	}
+	if sortBy == "" || !ValidSort(sortBy) {
+		sortBy = SortTime
+	}
+
+	t.mu.Lock()
+	snap := WorkloadSnapshot{
+		Templates:      make([]TemplateSnapshot, 0, len(t.byFP)),
+		TotalTemplates: len(t.byFP),
+		Evicted:        t.evicted,
+		Recorded:       t.recorded,
+		SortedBy:       sortBy,
+	}
+	for _, e := range t.byFP {
+		snap.Templates = append(snap.Templates, t.snapshotEntryLocked(e))
+	}
+	t.mu.Unlock()
+
+	less := func(a, b TemplateSnapshot) bool { return a.TotalSeconds > b.TotalSeconds }
+	switch sortBy {
+	case SortCalls:
+		less = func(a, b TemplateSnapshot) bool { return a.Calls > b.Calls }
+	case SortBytes:
+		less = func(a, b TemplateSnapshot) bool { return a.BytesScanned > b.BytesScanned }
+	}
+	// Fingerprint is the deterministic tiebreak so equal-weight templates
+	// (common in tests and fresh tables) snapshot in a stable order.
+	sort.Slice(snap.Templates, func(i, j int) bool {
+		a, b := snap.Templates[i], snap.Templates[j]
+		if less(a, b) != less(b, a) {
+			return less(a, b)
+		}
+		return a.Fingerprint < b.Fingerprint
+	})
+	if k > 0 && len(snap.Templates) > k {
+		snap.Templates = snap.Templates[:k]
+	}
+	return snap
+}
+
+// snapshotEntryLocked copies one live entry into its exported form.
+// Caller holds t.mu.
+func (t *Table) snapshotEntryLocked(e *entry) TemplateSnapshot {
+	ts := TemplateSnapshot{
+		Fingerprint:      e.fp,
+		Table:            e.table,
+		Calls:            e.calls,
+		Errors:           e.errors,
+		CacheHits:        e.cacheHits,
+		TotalSeconds:     e.totalSeconds,
+		P50US:            1e6 * obs.QuantileFromBuckets(t.bounds, e.latBuckets, 0.50),
+		P95US:            1e6 * obs.QuantileFromBuckets(t.bounds, e.latBuckets, 0.95),
+		RowsRead:         e.rowsRead,
+		RowsReturned:     e.rowsReturned,
+		RowsSkipped:      e.rowsSkipped,
+		ZonesRead:        e.zonesRead,
+		ZonesPruned:      e.zonesPruned,
+		BytesScanned:     e.bytesScanned,
+		ZoneTouchDropped: e.zoneDropped,
+		FirstSeen:        e.firstSeen,
+		LastSeen:         e.lastSeen,
+	}
+	if ts.Calls > 0 {
+		ts.MeanUS = 1e6 * ts.TotalSeconds / float64(ts.Calls)
+	}
+	if denom := e.rowsSkipped + e.rowsRead; denom > 0 {
+		ts.SkipRatio = float64(e.rowsSkipped) / float64(denom)
+	}
+	if len(e.zones) > 0 {
+		ts.ZoneTouch = make(map[string][]int, len(e.zones))
+		for col, ids := range e.zones {
+			out := make([]int, 0, len(ids))
+			for id := range ids {
+				out = append(out, id)
+			}
+			sort.Ints(out)
+			ts.ZoneTouch[col] = out
+		}
+	}
+	return ts
+}
+
+// Template returns the snapshot of one template by fingerprint (without
+// refreshing its LRU position).
+func (t *Table) Template(fingerprint string) (TemplateSnapshot, bool) {
+	if t == nil {
+		return TemplateSnapshot{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.byFP[fingerprint]
+	if !ok {
+		return TemplateSnapshot{}, false
+	}
+	return t.snapshotEntryLocked(e), true
+}
+
+// WriteCSV writes the snapshot as CSV: one header row, one row per
+// template, zone-touch sketch flattened to "col:id col:id ...".
+func (t *Table) WriteCSV(w io.Writer, sortBy string, k int) error {
+	snap := t.Snapshot(sortBy, k)
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"fingerprint", "table", "calls", "errors", "cache_hits",
+		"total_seconds", "mean_us", "p50_us", "p95_us",
+		"rows_read", "rows_returned", "rows_skipped", "skip_ratio",
+		"zones_read", "zones_pruned", "bytes_scanned",
+		"zone_touch", "zone_touch_dropped",
+	}); err != nil {
+		return err
+	}
+	for _, ts := range snap.Templates {
+		var zt []string
+		cols := make([]string, 0, len(ts.ZoneTouch))
+		for col := range ts.ZoneTouch {
+			cols = append(cols, col)
+		}
+		sort.Strings(cols)
+		for _, col := range cols {
+			for _, id := range ts.ZoneTouch[col] {
+				zt = append(zt, fmt.Sprintf("%s:%d", col, id))
+			}
+		}
+		rec := []string{
+			ts.Fingerprint, ts.Table,
+			strconv.FormatInt(ts.Calls, 10),
+			strconv.FormatInt(ts.Errors, 10),
+			strconv.FormatInt(ts.CacheHits, 10),
+			strconv.FormatFloat(ts.TotalSeconds, 'f', 6, 64),
+			strconv.FormatFloat(ts.MeanUS, 'f', 1, 64),
+			strconv.FormatFloat(ts.P50US, 'f', 1, 64),
+			strconv.FormatFloat(ts.P95US, 'f', 1, 64),
+			strconv.FormatInt(ts.RowsRead, 10),
+			strconv.FormatInt(ts.RowsReturned, 10),
+			strconv.FormatInt(ts.RowsSkipped, 10),
+			strconv.FormatFloat(ts.SkipRatio, 'f', 4, 64),
+			strconv.FormatInt(ts.ZonesRead, 10),
+			strconv.FormatInt(ts.ZonesPruned, 10),
+			strconv.FormatInt(ts.BytesScanned, 10),
+			strings.Join(zt, " "),
+			strconv.FormatInt(ts.ZoneTouchDropped, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,247 @@
+// Package stats is the workload-analytics layer: a bounded, concurrency-
+// safe table of per-query-template statistics, in the spirit of
+// pg_stat_statements. The engine records one Sample per query under the
+// query's fingerprint (the literal-stripped template rendered by
+// internal/sql); this package aggregates calls, errors, latency
+// histograms, row/zone/byte counts, and a bounded zone-touch sketch —
+// the set of zone IDs each template actually reads, the seed of a
+// provenance-based skipping profile.
+//
+// The table is LRU-bounded: when a workload carries more distinct
+// templates than MaxTemplates, the least-recently-called template is
+// evicted (its history is lost and counted in EvictedTemplates). The
+// zone-touch sketch is bounded separately per template; IDs beyond the
+// cap are dropped and counted, never sampled-in, so the sketch is an
+// exact subset of the touched zones.
+package stats
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"time"
+
+	"adskip/internal/obs"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxTemplates   = 256
+	DefaultZoneSketchSize = 512
+)
+
+// Options configures a stats table.
+type Options struct {
+	// MaxTemplates bounds the number of distinct templates tracked;
+	// the least-recently-called template is evicted beyond it.
+	// 0 means DefaultMaxTemplates.
+	MaxTemplates int
+	// ZoneSketchSize bounds the zone-touch sketch per template (distinct
+	// zone IDs across all columns). 0 means DefaultZoneSketchSize;
+	// negative disables the sketch entirely.
+	ZoneSketchSize int
+	// Registry, when non-nil, receives adskip_stats_* metrics.
+	Registry *obs.Registry
+}
+
+// Sample is one executed (or failed) query, already attributed to a
+// template by the caller.
+type Sample struct {
+	Fingerprint string
+	Table       string
+	Err         bool // the query failed; only Latency is aggregated
+	CacheHit    bool // served from a prepared-statement / plan cache
+	Latency     time.Duration
+	RowsRead     int64 // rows actually examined after pruning
+	RowsReturned int64 // rows (or groups) in the result
+	RowsSkipped  int64 // rows pruned by skipping metadata
+	ZonesRead    int64 // candidate zones scanned
+	ZonesPruned  int64 // zones eliminated by metadata probes
+	BytesScanned int64
+	// ZoneIDs lists the candidate zone IDs read, per column. Synthetic
+	// IDs (< 0) are ignored.
+	ZoneIDs map[string][]int
+}
+
+// entry is the live aggregate for one template. Guarded by Table.mu.
+type entry struct {
+	fp    string
+	table string
+	elem  *list.Element
+
+	calls, errors, cacheHits int64
+	totalSeconds             float64
+	latBuckets               []int64 // on the shared obs latency bounds
+
+	rowsRead, rowsReturned, rowsSkipped int64
+	zonesRead, zonesPruned              int64
+	bytesScanned                        int64
+
+	zones       map[string]map[int]struct{} // column -> touched zone IDs
+	zoneCount   int                         // total IDs across columns
+	zoneDropped int64                       // IDs dropped at the sketch cap
+
+	firstSeen, lastSeen time.Time
+}
+
+// Table is the bounded per-template statistics table. All methods are
+// safe for concurrent use.
+type Table struct {
+	mu     sync.Mutex
+	opts   Options
+	byFP   map[string]*entry
+	order  *list.List // front = most recently called
+	bounds []float64  // shared latency bucket bounds
+
+	recorded int64 // samples accepted (lifetime)
+	evicted  int64 // templates evicted (lifetime)
+
+	mTemplates   *obs.Gauge
+	mRecorded    *obs.Counter
+	mErrors      *obs.Counter
+	mEvicted     *obs.Counter
+	mZoneDropped *obs.Counter
+}
+
+// New builds a stats table. Options zero values take the defaults above.
+func New(opts Options) *Table {
+	if opts.MaxTemplates <= 0 {
+		opts.MaxTemplates = DefaultMaxTemplates
+	}
+	if opts.ZoneSketchSize == 0 {
+		opts.ZoneSketchSize = DefaultZoneSketchSize
+	}
+	t := &Table{
+		opts:   opts,
+		byFP:   make(map[string]*entry),
+		order:  list.New(),
+		bounds: obs.LatencyBuckets(),
+	}
+	if reg := opts.Registry; reg != nil {
+		t.mTemplates = reg.Gauge("adskip_stats_templates",
+			"Distinct query templates currently tracked by the workload stats table.")
+		t.mRecorded = reg.Counter("adskip_stats_recorded_total",
+			"Query samples recorded into the workload stats table.")
+		t.mErrors = reg.Counter("adskip_stats_errors_total",
+			"Failed queries recorded into the workload stats table.")
+		t.mEvicted = reg.Counter("adskip_stats_evicted_total",
+			"Templates evicted from the workload stats table (LRU bound).")
+		t.mZoneDropped = reg.Counter("adskip_stats_zone_ids_dropped_total",
+			"Zone IDs dropped from zone-touch sketches at the per-template cap.")
+	}
+	return t
+}
+
+// Record folds one sample into its template's aggregate, creating the
+// template (and evicting the LRU one past the bound) as needed. Samples
+// without a fingerprint are ignored.
+func (t *Table) Record(s Sample) {
+	if t == nil || s.Fingerprint == "" {
+		return
+	}
+	t.mu.Lock()
+	var evictedNow int64
+	e, ok := t.byFP[s.Fingerprint]
+	if !ok {
+		e = &entry{
+			fp:         s.Fingerprint,
+			table:      s.Table,
+			latBuckets: make([]int64, len(t.bounds)+1),
+			firstSeen:  time.Now(),
+		}
+		e.elem = t.order.PushFront(e)
+		t.byFP[s.Fingerprint] = e
+		for t.order.Len() > t.opts.MaxTemplates {
+			lru := t.order.Back()
+			t.order.Remove(lru)
+			delete(t.byFP, lru.Value.(*entry).fp)
+			t.evicted++
+			evictedNow++
+		}
+	} else {
+		t.order.MoveToFront(e.elem)
+	}
+	if e.table == "" {
+		e.table = s.Table
+	}
+	e.lastSeen = time.Now()
+	e.calls++
+	sec := s.Latency.Seconds()
+	e.totalSeconds += sec
+	e.latBuckets[sort.SearchFloat64s(t.bounds, sec)]++
+	if s.Err {
+		e.errors++
+	} else {
+		if s.CacheHit {
+			e.cacheHits++
+		}
+		e.rowsRead += s.RowsRead
+		e.rowsReturned += s.RowsReturned
+		e.rowsSkipped += s.RowsSkipped
+		e.zonesRead += s.ZonesRead
+		e.zonesPruned += s.ZonesPruned
+		e.bytesScanned += s.BytesScanned
+		t.sketchLocked(e, s.ZoneIDs)
+	}
+	t.recorded++
+	templates := t.order.Len()
+	t.mu.Unlock()
+
+	if t.mRecorded != nil {
+		t.mRecorded.Inc()
+		if s.Err {
+			t.mErrors.Inc()
+		}
+		t.mTemplates.Set(int64(templates))
+		if evictedNow > 0 {
+			t.mEvicted.Add(evictedNow)
+		}
+	}
+}
+
+// sketchLocked folds this query's touched zone IDs into the template's
+// bounded sketch. Negative IDs (synthetic zones) never enter the sketch.
+func (t *Table) sketchLocked(e *entry, zoneIDs map[string][]int) {
+	if t.opts.ZoneSketchSize < 0 || len(zoneIDs) == 0 {
+		return
+	}
+	for col, ids := range zoneIDs {
+		m := e.zones[col]
+		for _, id := range ids {
+			if id < 0 {
+				continue
+			}
+			if m != nil {
+				if _, dup := m[id]; dup {
+					continue
+				}
+			}
+			if e.zoneCount >= t.opts.ZoneSketchSize {
+				e.zoneDropped++
+				if t.mZoneDropped != nil {
+					t.mZoneDropped.Inc()
+				}
+				continue
+			}
+			if m == nil {
+				m = make(map[int]struct{})
+				if e.zones == nil {
+					e.zones = make(map[string]map[int]struct{})
+				}
+				e.zones[col] = m
+			}
+			m[id] = struct{}{}
+			e.zoneCount++
+		}
+	}
+}
+
+// Len reports how many templates are currently tracked.
+func (t *Table) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.order.Len()
+}

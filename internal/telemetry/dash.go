@@ -152,6 +152,11 @@ td:first-child, th:first-child { text-align: left; }
   </div>
 </div>
 
+<div class="card">
+  <h2>Hottest query templates</h2>
+  <div id="workload"><div class="err">waiting for workload&hellip;</div></div>
+</div>
+
 <div class="card" id="health-card" style="display:none">
   <h2>Service objectives</h2>
   <div id="objectives"></div>
@@ -317,6 +322,31 @@ function renderHealth(h) {
   document.getElementById("objectives").innerHTML = html + "</table>";
 }
 
+// renderWorkload paints the per-template table from /workload: the
+// top-10 templates by total execution time, with each template's share
+// of the recorded CPU time.
+function renderWorkload(w) {
+  const el = document.getElementById("workload");
+  const ts = (w && w.templates) || [];
+  if (!ts.length) {
+    el.innerHTML = '<div class="err">no query templates recorded yet</div>';
+    return;
+  }
+  let total = 0;
+  for (const t of ts) total += t.total_seconds;
+  let html = "<table><tr><th>template</th><th>calls</th><th>errors</th><th>mean</th><th>p95</th><th>skip</th><th>cpu</th></tr>";
+  for (const t of ts) {
+    const cpu = total > 0 ? 100 * t.total_seconds / total : 0;
+    html += "<tr><td>" + t.fingerprint.replace(/&/g, "&amp;").replace(/</g, "&lt;") +
+      "</td><td>" + fmtCount(t.calls) + "</td><td>" + fmtCount(t.errors) +
+      "</td><td>" + fmtDur(t.mean_us / 1e6) + "</td><td>" + fmtDur(t.p95_us / 1e6) +
+      "</td><td>" + (100 * t.skip_ratio).toFixed(1) + "%</td><td>" + cpu.toFixed(1) + "%</td></tr>";
+  }
+  el.innerHTML = html + "</table>" +
+    '<div class="err">' + w.total_templates + " templates tracked · " +
+    fmtCount(w.recorded_calls) + " calls recorded · sorted by " + w.sorted_by + "</div>";
+}
+
 function renderLatest(s) {
   if (!s) return;
   const rows = [
@@ -340,12 +370,13 @@ function renderLatest(s) {
 
 async function refresh() {
   try {
-    const [histR, skipR, healthR] = await Promise.all(
-      [fetch("/history"), fetch("/skipmap?zones=256"), fetch("/health")]);
+    const [histR, skipR, healthR, wlR] = await Promise.all(
+      [fetch("/history"), fetch("/skipmap?zones=256"), fetch("/health"), fetch("/workload?k=10")]);
     const hist = await histR.json();
     const skip = await skipR.json();
     // /health answers 503 while critical — that is still a JSON body.
     const health = await healthR.json();
+    const wl = await wlR.json();
     const samples = hist.samples || [];
     const latest = samples[samples.length - 1];
     if (latest) {
@@ -364,6 +395,7 @@ async function refresh() {
       fmtDur);
     renderHeatmap(skip);
     renderHealth(health);
+    renderWorkload(wl);
     renderLatest(latest);
     document.getElementById("status").textContent =
       "sampling every " + (hist.interval_ns / 1e9).toFixed(1) + "s · " +

@@ -22,6 +22,7 @@ import (
 
 	"adskip/internal/health"
 	"adskip/internal/obs"
+	"adskip/internal/stats"
 )
 
 // Source supplies the server's data. Registry and Traces must be set;
@@ -50,6 +51,9 @@ type Source struct {
 	// Alerts returns the firing objectives and alert-transition history
 	// behind /alerts. Optional.
 	Alerts func() health.AlertsSnapshot
+	// Workload is the per-template workload stats table behind /workload.
+	// Optional: when nil, /workload serves an empty snapshot.
+	Workload *stats.Table
 }
 
 // Options tunes the server.
@@ -133,6 +137,7 @@ func (s *Server) mux() *http.ServeMux {
 	m.HandleFunc("/history", s.handleHistory)
 	m.HandleFunc("/health", s.handleHealth)
 	m.HandleFunc("/alerts", s.handleAlerts)
+	m.HandleFunc("/workload", s.handleWorkload)
 	m.HandleFunc("/dash", s.handleDash)
 	m.HandleFunc("/debug/pprof/", pprof.Index)
 	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -161,6 +166,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/history">/history</a> — adaptation timeline (sampled skip ratio, latency quantiles, per-column series)</li>
 <li><a href="/health">/health</a> — SLO snapshot / readiness probe (503 while any objective is critical)</li>
 <li><a href="/alerts">/alerts</a> — firing objectives + alert-transition history</li>
+<li><a href="/workload">/workload</a> — per-template workload stats (add <code>?sort=time|calls|bytes</code>, <code>?k=N</code>, <code>?format=csv</code>)</li>
 <li><a href="/dash">/dash</a> — live dashboard (convergence curve + zone heatmap)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — pprof profiles</li>
 </ul></body></html>`)
@@ -319,6 +325,35 @@ func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
 		out = s.src.Alerts()
 	}
 	writeJSON(w, out)
+}
+
+// handleWorkload serves the per-template workload stats, top-K by the
+// requested sort order. ?sort=time|calls|bytes (default time),
+// ?k=N caps the template list (default 50; k=0 returns every template),
+// ?format=csv switches to a downloadable CSV.
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sortBy := q.Get("sort")
+	if !stats.ValidSort(sortBy) {
+		http.Error(w, "bad sort parameter (want time, calls, or bytes)", http.StatusBadRequest)
+		return
+	}
+	k := 50
+	if v := q.Get("k"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &k); err != nil || k < 0 {
+			http.Error(w, "bad k parameter", http.StatusBadRequest)
+			return
+		}
+	}
+	if q.Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="adskip-workload.csv"`)
+		// A nil table writes the header row only (every method on
+		// stats.Table is nil-safe).
+		_ = s.src.Workload.WriteCSV(w, sortBy, k)
+		return
+	}
+	writeJSON(w, s.src.Workload.Snapshot(sortBy, k))
 }
 
 // writeJSON writes v as indented JSON.

@@ -90,11 +90,41 @@ check_json /events
 check_json /runtime
 check_json /history
 check_json /alerts
+check_json '/workload?sort=calls&k=5'
+
+# /workload must attribute the two COUNT queries above to one template
+# with ? in place of the literals.
+WL=$(check_status /workload)
+python3 - "$WL" <<'PY'
+import json, sys
+w = json.load(open(sys.argv[1]))
+assert len(w["templates"]) >= 1, "no templates recorded"
+t = w["templates"][0]
+assert t["calls"] >= 2, f"calls {t['calls']} < 2"
+assert "BETWEEN ? AND ?" in t["fingerprint"], f"unstripped fingerprint {t['fingerprint']!r}"
+assert w["recorded_calls"] >= 2, "recorded_calls never moved"
+PY
+rm -f "$WL"
+echo "GET /workload -> 200, >=1 template with calls"
+
+WLCSV=$(check_status '/workload?format=csv')
+head -1 "$WLCSV" | grep -q '^fingerprint,' || {
+  echo "/workload?format=csv missing header" >&2
+  cat "$WLCSV" >&2
+  exit 1
+}
+rm -f "$WLCSV"
+code=$(curl -sS -o /dev/null -w '%{http_code}' "$URL/workload?sort=junk")
+if [ "$code" != "400" ]; then
+  echo "GET /workload?sort=junk -> $code, want 400" >&2
+  exit 1
+fi
+echo "GET /workload -> CSV export + 400 on bad sort"
 
 # The dashboard is a self-contained HTML page (the demo serves it even
 # without an adaptation sampler; the charts just stay empty).
 DASH=$(check_status /dash 1000)
-for needle in '<!DOCTYPE html>' '/history' '/skipmap' '/health' 'prefers-color-scheme'; do
+for needle in '<!DOCTYPE html>' '/history' '/skipmap' '/health' '/workload' 'prefers-color-scheme'; do
   grep -qF "$needle" "$DASH" || {
     echo "/dash page missing $needle" >&2
     rm -f "$DASH"
@@ -200,10 +230,31 @@ grep -q '^adskip_health_status 0' "$MET" || {
 rm -f "$MET" "$HB"
 echo "GET /health -> 200, status ok again (hysteresis released the alert)"
 
-# A one-second CPU profile must come back whole (pprof protobuf, gzipped).
-PROFILE=$(check_status '/debug/pprof/profile?seconds=1' 64)
-rm -f "$PROFILE"
-echo "GET /debug/pprof/profile?seconds=1 -> 200"
+# A labeled CPU profile: collect for 2s while SUM queries burn CPU inside
+# the engine. Execution runs under pprof.Do with a query_template label,
+# so any sample taken mid-query lands the label key in the profile's
+# string table — visible as a literal even without decoding the proto.
+PROFILE=$(mktemp)
+curl -sS -o "$PROFILE" -w '%{http_code}' "$URL/debug/pprof/profile?seconds=2" > "$PROFILE.code" &
+CURL_PID=$!
+sleep 0.2
+for _ in $(seq 1 800); do
+  printf 'SELECT SUM(v) FROM data WHERE v BETWEEN 0 AND 99999;\n' >&9
+done
+wait $CURL_PID
+code=$(cat "$PROFILE.code")
+if [ "$code" != "200" ] || [ "$(wc -c < "$PROFILE")" -lt 64 ]; then
+  echo "GET /debug/pprof/profile?seconds=2 -> $code or truncated body" >&2
+  rm -f "$PROFILE" "$PROFILE.code"
+  exit 1
+fi
+python3 - "$PROFILE" <<'PY'
+import gzip, sys
+data = gzip.open(sys.argv[1], "rb").read()
+assert b"query_template" in data, "CPU profile carries no query_template label"
+PY
+rm -f "$PROFILE" "$PROFILE.code"
+echo "GET /debug/pprof/profile?seconds=2 -> 200, query_template label present"
 
 printf '\\quit\n' >&9
 exec 9>&-
