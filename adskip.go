@@ -37,6 +37,7 @@ import (
 	"adskip/internal/engine"
 	"adskip/internal/health"
 	"adskip/internal/obs"
+	"adskip/internal/shard"
 	"adskip/internal/sql"
 	"adskip/internal/stats"
 	"adskip/internal/storage"
@@ -273,6 +274,20 @@ type Options struct {
 	// zone IDs recorded across all columns; 0 = default 512, negative
 	// disables the sketch). See DESIGN §12.
 	StatsZoneSketch int
+	// Shards partitions every table created on this DB into per-core
+	// shards behind a scatter-gather executor: queries shard-prune by
+	// observed key bounds before any zone metadata is consulted, fan out
+	// to the survivors in parallel, and merge. 0 or 1 means unsharded
+	// (single engine). See DESIGN §13.
+	Shards int
+	// ShardKey names the shard key column (BIGINT or DOUBLE). Empty picks
+	// each table's first numeric column. Ignored unless Shards > 1.
+	ShardKey string
+	// ShardBy selects the routing mode: "range" (default — learned
+	// equi-depth bounds, range predicates on the key prune shards) or
+	// "hash" (uniform placement, little shard pruning). Ignored unless
+	// Shards > 1.
+	ShardBy string
 }
 
 // Durability configures the write-ahead log (see Options.Durability).
@@ -302,6 +317,29 @@ type ColumnDef struct {
 // Col is a convenience constructor for ColumnDef.
 func Col(name string, typ Type) ColumnDef { return ColumnDef{Name: name, Type: typ} }
 
+// executor is the per-table query backend: a plain *engine.Engine, or a
+// *shard.Manager fanning out to per-shard engines. Everything the facade
+// drives goes through this surface so sharded and unsharded tables are
+// interchangeable past CreateTable.
+type executor interface {
+	sql.Executor
+	NumRows() int
+	AppendRow(vals ...storage.Value) error
+	AppendRows(rows [][]storage.Value) error
+	Update(col string, row int, v storage.Value) error
+	EnableSkipping(cols ...string) error
+	SkipperMetadata() map[string]core.Metadata
+	Quarantined() map[string]error
+	RebuildSkipping(cols ...string) error
+	VerifySkipping(cols ...string) error
+	SaveSkipper(col string, w io.Writer) error
+	LoadSkipper(col string, r io.Reader) error
+	SetWAL(l *wal.Log)
+	ReplayRecord(rec *wal.Record) error
+	FillHistory(s *obs.HistorySample)
+	AccumulateLatency(dst []int64)
+}
+
 // DB is a catalog of tables sharing one skipping configuration and one
 // observability plane (metrics registry, adaptation-event log, trace
 // rings, and an optional embedded telemetry server).
@@ -317,7 +355,7 @@ type DB struct {
 	// server's Skipmap/trace closures read engines concurrently with
 	// CreateTable/LoadTable/LoadCSV.
 	mu      sync.RWMutex
-	engines map[string]*engine.Engine
+	engines map[string]executor
 	telem   *telemetry.Server
 	sampler *obs.Sampler
 
@@ -352,7 +390,7 @@ var (
 func Open(opts Options) *DB {
 	db := &DB{
 		opts:      opts,
-		engines:   make(map[string]*engine.Engine),
+		engines:   make(map[string]executor),
 		reg:       obs.NewRegistry(),
 		events:    obs.NewEventLog(0),
 		admission: engine.NewAdmission(opts.MaxConcurrentQueries),
@@ -429,14 +467,19 @@ func (db *DB) Workload(sortBy string, k int) WorkloadSnapshot {
 // was built.
 func (db *DB) Skipmap(maxZones int) []SkipmapTable {
 	db.mu.RLock()
-	engines := make([]*engine.Engine, 0, len(db.engines))
+	engines := make([]executor, 0, len(db.engines))
 	for _, e := range db.engines {
 		engines = append(engines, e)
 	}
 	db.mu.RUnlock()
 	out := make([]SkipmapTable, 0, len(engines))
 	for _, e := range engines {
-		out = append(out, e.Skipmap(maxZones))
+		switch x := e.(type) {
+		case *shard.Manager:
+			out = append(out, x.Skipmaps(maxZones)...)
+		case *engine.Engine:
+			out = append(out, x.Skipmap(maxZones))
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
 	return out
@@ -548,7 +591,7 @@ func (db *DB) History() []HistorySample {
 // growth, the sample's column slice.
 func (db *DB) fillHistory(s *HistorySample) {
 	db.mu.RLock()
-	engines := make([]*engine.Engine, 0, len(db.engines))
+	engines := make([]executor, 0, len(db.engines))
 	for _, e := range db.engines {
 		engines = append(engines, e)
 	}
@@ -657,8 +700,8 @@ func (db *DB) ExplainAnalyze(query string) ([]string, *Result, error) {
 	return e.ExplainAnalyzeContext(ctx, q)
 }
 
-// lookup resolves a table name to its engine under the catalog lock.
-func (db *DB) lookup(name string) (*engine.Engine, bool) {
+// lookup resolves a table name to its executor under the catalog lock.
+func (db *DB) lookup(name string) (executor, bool) {
 	db.mu.RLock()
 	e, ok := db.engines[name]
 	db.mu.RUnlock()
@@ -667,7 +710,7 @@ func (db *DB) lookup(name string) (*engine.Engine, bool) {
 
 // register adds an engine to the catalog; it fails if the name is taken.
 // Tables created after Recover are armed with the WAL immediately.
-func (db *DB) register(name string, e *engine.Engine) error {
+func (db *DB) register(name string, e executor) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, dup := db.engines[name]; dup {
@@ -730,7 +773,7 @@ func (db *DB) Recover() (RecoveryStats, error) {
 	// The replayed state must satisfy every skipping invariant before the
 	// store accepts new writes on top of it.
 	db.mu.RLock()
-	engines := make([]*engine.Engine, 0, len(db.engines))
+	engines := make([]executor, 0, len(db.engines))
 	for _, e := range db.engines {
 		engines = append(engines, e)
 	}
@@ -807,11 +850,47 @@ func (db *DB) CreateTable(name string, cols ...ColumnDef) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(tbl, db.engineOptions())
+	e, err := db.newExecutor(tbl)
+	if err != nil {
+		return nil, err
+	}
 	if err := db.register(name, e); err != nil {
 		return nil, err
 	}
 	return &Table{eng: e}, nil
+}
+
+// newExecutor builds the execution stack for a table: a single engine,
+// or — when Options.Shards > 1 — a shard manager that partitions the
+// table's rows across per-core engines and scatter-gathers queries.
+func (db *DB) newExecutor(tbl *table.Table) (executor, error) {
+	if db.opts.Shards <= 1 {
+		return engine.New(tbl, db.engineOptions()), nil
+	}
+	mode, err := shard.ParseMode(db.opts.ShardBy)
+	if err != nil {
+		return nil, fmt.Errorf("adskip: %w", err)
+	}
+	m, err := shard.NewFromTable(tbl, shard.Options{
+		Shards: db.opts.Shards,
+		Key:    db.opts.ShardKey,
+		Mode:   mode,
+		Engine: db.engineOptions(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adskip: %w", err)
+	}
+	return m, nil
+}
+
+// dataTable resolves an executor to a queryable-as-data table: the
+// engine's own table, or — for a sharded table — a merged snapshot in
+// ascending key order (range mode) for export.
+func dataTable(e executor) (*table.Table, error) {
+	if m, ok := e.(*shard.Manager); ok {
+		return m.Merged()
+	}
+	return e.Table(), nil
 }
 
 // Table returns a handle to an existing table.
@@ -869,7 +948,11 @@ func (db *DB) SaveTable(name string, w io.Writer) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
-	_, err := e.Table().WriteTo(w)
+	tbl, err := dataTable(e)
+	if err != nil {
+		return err
+	}
+	_, err = tbl.WriteTo(w)
 	return err
 }
 
@@ -880,7 +963,10 @@ func (db *DB) LoadTable(r io.Reader) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(tbl, db.engineOptions())
+	e, err := db.newExecutor(tbl)
+	if err != nil {
+		return nil, err
+	}
 	if err := db.register(tbl.Name(), e); err != nil {
 		return nil, err
 	}
@@ -900,22 +986,30 @@ func (db *DB) LoadCSV(name string, r io.Reader, opts CSVOptions) (*Table, error)
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(tbl, db.engineOptions())
+	e, err := db.newExecutor(tbl)
+	if err != nil {
+		return nil, err
+	}
 	if err := db.register(name, e); err != nil {
 		return nil, err
 	}
 	return &Table{eng: e}, nil
 }
 
-// Table is a handle to one table and its query engine.
+// Table is a handle to one table and its execution stack (a single query
+// engine, or a shard manager when the DB is sharded).
 type Table struct {
-	eng *engine.Engine
+	eng executor
 }
 
 // WriteCSV writes the table's rows as CSV with a header. NULLs render as
-// nullLit.
+// nullLit. On a sharded table the export is a merged snapshot.
 func (t *Table) WriteCSV(w io.Writer, nullLit string) error {
-	return t.eng.Table().WriteCSV(w, nullLit)
+	tbl, err := dataTable(t.eng)
+	if err != nil {
+		return err
+	}
+	return tbl.WriteCSV(w, nullLit)
 }
 
 // SaveSkipping serializes a column's learned adaptive zonemap so the
@@ -934,7 +1028,15 @@ func (t *Table) LoadSkipping(col string, r io.Reader) error {
 func (t *Table) Name() string { return t.eng.Table().Name() }
 
 // NumRows returns the current row count.
-func (t *Table) NumRows() int { return t.eng.Table().NumRows() }
+func (t *Table) NumRows() int { return t.eng.NumRows() }
+
+// Shards returns the table's shard count: 1 for an unsharded table.
+func (t *Table) Shards() int {
+	if m, ok := t.eng.(*shard.Manager); ok {
+		return m.Shards()
+	}
+	return 1
+}
 
 // Append ingests one row using native Go values: int/int64 for BIGINT,
 // float64 for DOUBLE, string for VARCHAR, nil for NULL.
@@ -986,7 +1088,9 @@ func (t *Table) SkipperInfo() map[string]SkipperInfo { return t.eng.SkipperMetad
 
 // Query executes an engine-level query directly (advanced API; most
 // callers use DB.Exec with SQL).
-func (t *Table) Query(q engine.Query) (*Result, error) { return t.eng.Query(q) }
+func (t *Table) Query(q engine.Query) (*Result, error) {
+	return t.eng.QueryContext(context.Background(), q)
+}
 
 // QueryContext is Query under a context: cancellation and deadlines take
 // effect at cooperative scan checkpoints.
@@ -1011,8 +1115,16 @@ func (t *Table) RebuildSkipping(cols ...string) error { return t.eng.RebuildSkip
 func (t *Table) VerifySkipping(cols ...string) error { return t.eng.VerifySkipping(cols...) }
 
 // Engine exposes the underlying engine for advanced integration (the
-// experiment harness uses it).
-func (t *Table) Engine() *engine.Engine { return t.eng }
+// experiment harness uses it). Returns nil on a sharded table, whose
+// rows are spread across per-shard engines — use Executor instead.
+func (t *Table) Engine() *engine.Engine {
+	e, _ := t.eng.(*engine.Engine)
+	return e
+}
+
+// Executor exposes the table's execution stack — an *engine.Engine or a
+// sharded scatter-gather manager — behind the sql.Executor surface.
+func (t *Table) Executor() sql.Executor { return t.eng }
 
 // toValue converts a native Go value to a typed Value for the target
 // column type.

@@ -59,6 +59,9 @@ func main() {
 		skipCols  = flag.String("skip-cols", "v,seq", "comma-separated columns to enable skipping on")
 		logMode   = flag.String("log", "off", "structured logging to stderr: off|text|json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+		shards    = flag.Int("shards", 1, "partition each table into N shards with scatter-gather execution (1 = unsharded)")
+		shardKey  = flag.String("shard-key", "v", "column sharding partitions on (requires -shards > 1)")
+		shardBy   = flag.String("shard-by", "range", "partitioning scheme: range|hash (requires -shards > 1)")
 
 		walDir    = flag.String("wal-dir", "", "write-ahead log directory: arms durable ingest and crash recovery (empty = volatile)")
 		walWindow = flag.Duration("wal-window", 0, "group-commit linger window (0 = default 2ms; requires -wal-dir)")
@@ -84,6 +87,9 @@ func main() {
 		MaxConcurrentQueries: *maxConc,
 		HistoryInterval:      *histInt,
 		Logger:               logger,
+		Shards:               *shards,
+		ShardKey:             *shardKey,
+		ShardBy:              *shardBy,
 	}
 	if *sloP95 > 0 {
 		opts.Objectives = append(opts.Objectives,
@@ -149,6 +155,9 @@ func main() {
 	} else {
 		tbl = generate(db, *rows, *dist, *seed)
 		fmt.Printf("generated table %q: %d rows (%s)\n", tbl.Name(), tbl.NumRows(), *dist)
+	}
+	if n := tbl.Shards(); n > 1 {
+		fmt.Printf("sharded: %d shards on %q (%s)\n", n, *shardKey, *shardBy)
 	}
 	for _, col := range strings.Split(*skipCols, ",") {
 		col = strings.TrimSpace(col)
@@ -303,9 +312,18 @@ func generate(db *adskip.DB, rows int, dist string, seed int64) *adskip.Table {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	// Batched ingest: one row at a time serializes on the append lock and
+	// (sharded) routes each row separately; 64k-row batches amortize both.
+	const batchSize = 1 << 16
+	batch := make([][]adskip.Value, 0, batchSize)
 	for i, v := range vals {
-		if err := tbl.Append(v, int64(i), rng.Float64()*1000); err != nil {
-			fatalf("%v", err)
+		batch = append(batch, []adskip.Value{
+			adskip.IntValue(v), adskip.IntValue(int64(i)), adskip.FloatValue(rng.Float64() * 1000)})
+		if len(batch) == batchSize || i == len(vals)-1 {
+			if err := tbl.AppendBatch(batch); err != nil {
+				fatalf("%v", err)
+			}
+			batch = batch[:0]
 		}
 	}
 	return tbl

@@ -110,6 +110,13 @@ type Options struct {
 	// fingerprint — direct engine API callers, benchmarks — skip the
 	// attribution path entirely.
 	Stats *stats.Table
+	// Shard is this engine's 1-based shard number when it is one shard of
+	// a sharded table (see internal/shard). 0 (the default) means the
+	// engine owns the whole table. A sharded engine labels every metric
+	// series with shard="N" — per-shard series stay distinct in a shared
+	// registry — and stamps N into the WAL records it writes so recovery
+	// can route each record back to the shard that logged it.
+	Shard int
 }
 
 func (o Options) withDefaults() Options {
@@ -194,7 +201,7 @@ func New(tbl *table.Table, opts Options) *Engine {
 	if e.slow == nil {
 		e.slow = obs.NewTraceRing(0)
 	}
-	e.m = newEngMetrics(e.reg, tbl.Name())
+	e.m = newEngMetrics(e.reg, tbl.Name(), opts.Shard)
 	e.colM = make(map[string]*colMetrics)
 	e.log = opts.Logger
 	e.stats = opts.Stats
@@ -295,6 +302,14 @@ func (e *Engine) SkipperMetadata() map[string]core.Metadata {
 	return out
 }
 
+// NumRows returns the table's current row count under the engine mutex —
+// safe against concurrent appends (Table().NumRows() is not).
+func (e *Engine) NumRows() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tbl.NumRows()
+}
+
 // AppendRow appends one row, validating types first so a rejected row
 // cannot skew column lengths. Skipper metadata is synchronized lazily at
 // the next query, so bulk ingest pays no per-row metadata cost.
@@ -340,6 +355,7 @@ func (e *Engine) AppendRowsAsync(rows [][]storage.Value) (wal.Commit, error) {
 		rec := &wal.Record{
 			Kind:    wal.KindRows,
 			Table:   e.tbl.Name(),
+			Shard:   uint32(e.opts.Shard),
 			BaseRow: uint64(e.tbl.NumRows()),
 			Types:   e.schemaTypes(),
 			Rows:    rows,
@@ -446,7 +462,7 @@ func (e *Engine) Update(colName string, row int, v storage.Value) error {
 	var commit wal.Commit
 	if e.wal != nil && updatableType(col.Type()) {
 		c, err := e.wal.Append(&wal.Record{
-			Kind: wal.KindUpdate, Table: e.tbl.Name(),
+			Kind: wal.KindUpdate, Table: e.tbl.Name(), Shard: uint32(e.opts.Shard),
 			Col: colName, Row: uint64(row), Value: v,
 		})
 		if err != nil {

@@ -41,6 +41,12 @@ type ExecStats struct {
 	RowsCovered  int `json:"rows_covered"` // rows short-circuited by covered windows
 	ZonesProbed  int `json:"zones_probed"`
 	SkippersUsed int `json:"skippers_used"` // predicate columns where skipping participated
+	// Shard pruning (sharded tables only; see internal/shard). Shards
+	// whose key bounds cannot intersect the predicate are eliminated
+	// before any zone metadata is consulted. Zero (omitted on the wire)
+	// for unsharded engines.
+	ShardsScanned int `json:"shards_scanned,omitempty"`
+	ShardsPruned  int `json:"shards_pruned,omitempty"`
 }
 
 // Result is a query result.

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"log/slog"
+	"strconv"
 	"time"
 
 	"adskip/internal/core"
@@ -41,27 +42,39 @@ type engMetrics struct {
 	inflight    *obs.Gauge   // queries currently executing
 }
 
+// metricLabels builds the identity label set for a table's series: the
+// table label always, plus shard="N" when the engine is one shard of a
+// sharded table (shard > 0). Keeping unsharded engines label-identical to
+// earlier releases preserves every existing dashboard and smoke assertion.
+func metricLabels(table string, shard int, more ...obs.Label) []obs.Label {
+	labels := []obs.Label{obs.L("table", table)}
+	if shard > 0 {
+		labels = append(labels, obs.L("shard", strconv.Itoa(shard)))
+	}
+	return append(labels, more...)
+}
+
 // newEngMetrics resolves the per-table metric handles in reg.
-func newEngMetrics(reg *obs.Registry, table string) engMetrics {
-	t := obs.L("table", table)
+func newEngMetrics(reg *obs.Registry, table string, shard int) engMetrics {
+	ls := metricLabels(table, shard)
 	return engMetrics{
-		queries:          reg.Counter("adskip_queries_total", "Queries executed.", t),
-		rowsScanned:      reg.Counter("adskip_rows_scanned_total", "Rows read by scan kernels.", t),
-		rowsSkipped:      reg.Counter("adskip_rows_skipped_total", "Rows pruned by metadata probes.", t),
-		rowsCovered:      reg.Counter("adskip_rows_covered_total", "Rows short-circuited by covered windows.", t),
-		zonesProbed:      reg.Counter("adskip_zones_probed_total", "Zone metadata probes performed.", t),
-		skippersUsed:     reg.Counter("adskip_skippers_used_total", "Predicate columns where skipping participated.", t),
-		skippersDeclined: reg.Counter("adskip_skippers_declined_total", "Predicate columns where the skipper declined.", t),
-		latency:          reg.Histogram("adskip_query_seconds", "Query wall-clock latency.", obs.LatencyBuckets(), t),
-		selectivity:      reg.Histogram("adskip_query_selectivity", "Fraction of table rows matching per query.", obs.RatioBuckets(), t),
-		scannedPerQuery:  reg.Histogram("adskip_query_rows_scanned", "Rows read by scan kernels per query.", obs.RowCountBuckets(), t),
-		slowQueries:      reg.Counter("adskip_slow_queries_total", "Queries exceeding the slow-query threshold.", t),
-		canceled:         reg.Counter("adskip_queries_canceled_total", "Queries stopped by context cancellation.", t),
-		overBudget:       reg.Counter("adskip_queries_over_budget_total", "Queries stopped by a resource limit.", t),
-		panics:           reg.Counter("adskip_panics_recovered_total", "Execution panics recovered into errors.", t),
-		retries:          reg.Counter("adskip_query_retries_total", "Queries retried after skipper quarantine.", t),
-		quarantines:      reg.Counter("adskip_skipper_quarantines_total", "Skippers pulled from service after a failure.", t),
-		inflight:         reg.Gauge("adskip_inflight_queries", "Queries currently executing.", t),
+		queries:          reg.Counter("adskip_queries_total", "Queries executed.", ls...),
+		rowsScanned:      reg.Counter("adskip_rows_scanned_total", "Rows read by scan kernels.", ls...),
+		rowsSkipped:      reg.Counter("adskip_rows_skipped_total", "Rows pruned by metadata probes.", ls...),
+		rowsCovered:      reg.Counter("adskip_rows_covered_total", "Rows short-circuited by covered windows.", ls...),
+		zonesProbed:      reg.Counter("adskip_zones_probed_total", "Zone metadata probes performed.", ls...),
+		skippersUsed:     reg.Counter("adskip_skippers_used_total", "Predicate columns where skipping participated.", ls...),
+		skippersDeclined: reg.Counter("adskip_skippers_declined_total", "Predicate columns where the skipper declined.", ls...),
+		latency:          reg.Histogram("adskip_query_seconds", "Query wall-clock latency.", obs.LatencyBuckets(), ls...),
+		selectivity:      reg.Histogram("adskip_query_selectivity", "Fraction of table rows matching per query.", obs.RatioBuckets(), ls...),
+		scannedPerQuery:  reg.Histogram("adskip_query_rows_scanned", "Rows read by scan kernels per query.", obs.RowCountBuckets(), ls...),
+		slowQueries:      reg.Counter("adskip_slow_queries_total", "Queries exceeding the slow-query threshold.", ls...),
+		canceled:         reg.Counter("adskip_queries_canceled_total", "Queries stopped by context cancellation.", ls...),
+		overBudget:       reg.Counter("adskip_queries_over_budget_total", "Queries stopped by a resource limit.", ls...),
+		panics:           reg.Counter("adskip_panics_recovered_total", "Execution panics recovered into errors.", ls...),
+		retries:          reg.Counter("adskip_query_retries_total", "Queries retried after skipper quarantine.", ls...),
+		quarantines:      reg.Counter("adskip_skipper_quarantines_total", "Skippers pulled from service after a failure.", ls...),
+		inflight:         reg.Gauge("adskip_inflight_queries", "Queries currently executing.", ls...),
 	}
 }
 
@@ -88,17 +101,17 @@ func (e *Engine) colMetrics(name string) *colMetrics {
 	if cm, ok := e.colM[name]; ok {
 		return cm
 	}
-	t, c := obs.L("table", e.tbl.Name()), obs.L("column", name)
+	ls := metricLabels(e.tbl.Name(), e.opts.Shard, obs.L("column", name))
 	cm := &colMetrics{
-		probeQueries:  e.reg.Counter("adskip_column_probe_queries_total", "Probes in which the column's skipper participated.", t, c),
-		declined:      e.reg.Counter("adskip_column_probe_declined_total", "Probes in which the column's skipper declined.", t, c),
-		zonesProbed:   e.reg.Counter("adskip_column_zones_probed_total", "Zone probes on the column.", t, c),
-		rowsSkipped:   e.reg.Counter("adskip_column_rows_skipped_total", "Rows the column's metadata pruned.", t, c),
-		candidateRows: e.reg.Counter("adskip_column_candidate_rows_total", "Rows left in candidate windows after pruning.", t, c),
-		coveredRows:   e.reg.Counter("adskip_column_covered_rows_total", "Candidate rows proven fully matching by metadata.", t, c),
-		zones:         e.reg.Gauge("adskip_skipper_zones", "Current zone count of the column's metadata.", t, c),
-		bytes:         e.reg.Gauge("adskip_skipper_bytes", "Current metadata footprint of the column.", t, c),
-		enabled:       e.reg.Gauge("adskip_skipper_enabled", "1 while arbitration allows skipping on the column.", t, c),
+		probeQueries:  e.reg.Counter("adskip_column_probe_queries_total", "Probes in which the column's skipper participated.", ls...),
+		declined:      e.reg.Counter("adskip_column_probe_declined_total", "Probes in which the column's skipper declined.", ls...),
+		zonesProbed:   e.reg.Counter("adskip_column_zones_probed_total", "Zone probes on the column.", ls...),
+		rowsSkipped:   e.reg.Counter("adskip_column_rows_skipped_total", "Rows the column's metadata pruned.", ls...),
+		candidateRows: e.reg.Counter("adskip_column_candidate_rows_total", "Rows left in candidate windows after pruning.", ls...),
+		coveredRows:   e.reg.Counter("adskip_column_covered_rows_total", "Candidate rows proven fully matching by metadata.", ls...),
+		zones:         e.reg.Gauge("adskip_skipper_zones", "Current zone count of the column's metadata.", ls...),
+		bytes:         e.reg.Gauge("adskip_skipper_bytes", "Current metadata footprint of the column.", ls...),
+		enabled:       e.reg.Gauge("adskip_skipper_enabled", "1 while arbitration allows skipping on the column.", ls...),
 	}
 	e.colM[name] = cm
 	return cm
@@ -143,11 +156,11 @@ func (cm *colMetrics) refreshGauges(s core.Skipper) {
 // configured) emits a structured log line — milestones at info, chatty
 // per-zone structural churn at debug.
 func (e *Engine) eventSink(col string) func(obs.Event) {
-	table := e.tbl.Name()
+	table, shard := e.tbl.Name(), e.opts.Shard
 	return func(ev obs.Event) {
 		ev.Table, ev.Column = table, col
 		e.reg.Counter("adskip_adapt_events_total", "Adaptation events by kind.",
-			obs.L("table", table), obs.L("column", col), obs.L("kind", ev.Kind.String())).Inc()
+			metricLabels(table, shard, obs.L("column", col), obs.L("kind", ev.Kind.String()))...).Inc()
 		e.events.Append(ev)
 		if e.log != nil {
 			lvl := slog.LevelDebug

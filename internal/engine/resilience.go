@@ -244,6 +244,14 @@ func (a *Admission) acquire(ctx context.Context) error {
 	}
 }
 
+// Acquire takes an execution slot, waiting until one frees or ctx is
+// done. Exported for composite executors (the shard manager) that admit
+// one logical query before fanning it out to per-shard engines.
+func (a *Admission) Acquire(ctx context.Context) error { return a.acquire(ctx) }
+
+// Release returns an execution slot taken with Acquire.
+func (a *Admission) Release() { a.release() }
+
 // Waiting reports how many queries are currently blocked waiting for an
 // execution slot. Zero for a nil (unbounded) controller.
 func (a *Admission) Waiting() int64 {

@@ -166,6 +166,7 @@ func Experiments() []Experiment {
 		{"abl2", "Ablation: split fanout", Abl2SplitFanout},
 		{"ext1", "Extension: parallel scan scaling", Ext1Parallel},
 		{"ext2", "Extension: column imprints vs zonemaps on bimodal data", Ext2Imprints},
+		{"ext3", "Extension: sharded scatter-gather with shard pruning", Ext3Sharded},
 	}
 }
 

@@ -50,9 +50,14 @@ type SkipmapColumn struct {
 }
 
 // SkipmapTable is one table's skipmap: row count plus per-column state,
-// columns sorted by name.
+// columns sorted by name. A sharded table reports one SkipmapTable per
+// shard (Shard 1..Shards); unsharded tables leave both fields zero.
 type SkipmapTable struct {
-	Table   string          `json:"table"`
+	Table string `json:"table"`
+	// Shard is this entry's 1-based shard number on a sharded table
+	// (0 = unsharded); Shards is the table's total shard count.
+	Shard   int             `json:"shard,omitempty"`
+	Shards  int             `json:"shards,omitempty"`
 	Rows    int             `json:"rows"`
 	Columns []SkipmapColumn `json:"columns"`
 }

@@ -34,12 +34,16 @@ type QueryTrace struct {
 	PlanCached bool `json:"plan_cached,omitempty"`
 
 	// Phase timings. Scan excludes the feedback time spent inside
-	// skipper.Observe calls, which is accounted to Feedback.
-	Plan     time.Duration `json:"plan_ns"`     // validation + aggregate/projection binding
-	Probe    time.Duration `json:"probe_ns"`    // predicate lowering + skipper metadata probes
-	Scan     time.Duration `json:"scan_ns"`     // kernel execution over candidate windows
-	Feedback time.Duration `json:"feedback_ns"` // observations handed back to skippers
-	Total    time.Duration `json:"total_ns"`
+	// skipper.Observe calls, which is accounted to Feedback. ShardPrune is
+	// nonzero only on sharded tables: the time spent eliminating shards by
+	// key bounds before any zone metadata was consulted (the shardprune
+	// phase runs between plan and probe).
+	Plan       time.Duration `json:"plan_ns"`                 // validation + aggregate/projection binding
+	ShardPrune time.Duration `json:"shardprune_ns,omitempty"` // shard elimination by key bounds (sharded tables)
+	Probe      time.Duration `json:"probe_ns"`                // predicate lowering + skipper metadata probes
+	Scan       time.Duration `json:"scan_ns"`                 // kernel execution over candidate windows
+	Feedback   time.Duration `json:"feedback_ns"`             // observations handed back to skippers
+	Total      time.Duration `json:"total_ns"`
 
 	// Execution totals (mirrors the result's ExecStats).
 	RowsScanned int `json:"rows_scanned"`
@@ -48,6 +52,11 @@ type QueryTrace struct {
 	ZonesProbed int `json:"zones_probed"`
 	RowsTotal   int `json:"rows_total"`
 	Matched     int `json:"matched"` // qualifying rows (projection: rows returned)
+
+	// Shard scatter-gather totals (sharded tables only; both zero and
+	// omitted for unsharded engines).
+	ShardsScanned int `json:"shards_scanned,omitempty"`
+	ShardsPruned  int `json:"shards_pruned,omitempty"`
 
 	Predicates []PredicateTrace `json:"predicates,omitempty"`
 
@@ -89,9 +98,14 @@ type PredicateTrace struct {
 func (t *QueryTrace) Lines(withTimings bool) []string {
 	var out []string
 	out = append(out, fmt.Sprintf("trace: table %q, %d rows", t.Table, t.RowsTotal))
+	sharded := t.ShardsScanned+t.ShardsPruned > 0
 	if withTimings {
+		out = append(out, fmt.Sprintf("phase plan     %s", t.Plan))
+		if sharded {
+			out = append(out, fmt.Sprintf("phase shardprune %s (%d of %d shards pruned)",
+				t.ShardPrune, t.ShardsPruned, t.ShardsScanned+t.ShardsPruned))
+		}
 		out = append(out,
-			fmt.Sprintf("phase plan     %s", t.Plan),
 			fmt.Sprintf("phase probe    %s (%d zone probes)", t.Probe, t.ZonesProbed),
 			fmt.Sprintf("phase scan     %s (scanned %d, covered %d, skipped %d rows)",
 				t.Scan, t.RowsScanned, t.RowsCovered, t.RowsSkipped),
@@ -99,6 +113,10 @@ func (t *QueryTrace) Lines(withTimings bool) []string {
 			fmt.Sprintf("total          %s", t.Total),
 		)
 	} else {
+		if sharded {
+			out = append(out, fmt.Sprintf("shardprune: %d of %d shards pruned",
+				t.ShardsPruned, t.ShardsScanned+t.ShardsPruned))
+		}
 		out = append(out,
 			fmt.Sprintf("probe: %d zone probes", t.ZonesProbed),
 			fmt.Sprintf("scan: scanned %d, covered %d, skipped %d rows",

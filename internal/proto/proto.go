@@ -156,6 +156,10 @@ type Timing struct {
 	// statement-cache hit — that is the cache paying off, visibly.
 	ParseUS int64 `json:"parse_us"`
 	PlanUS  int64 `json:"plan_us"`
+	// ShardPruneUS is shard-elimination time on sharded tables (shards
+	// whose key bounds cannot match are dropped before zone probes);
+	// always zero for unsharded tables and old servers.
+	ShardPruneUS int64 `json:"shardprune_us,omitempty"`
 	// PruneUS is metadata probe time (the skipping decision), ScanUS
 	// kernel execution plus adaptive feedback.
 	PruneUS int64 `json:"prune_us"`
@@ -171,7 +175,7 @@ type Timing struct {
 // PhaseSumUS returns the sum of the attributed phases (everything but
 // TotalUS); always <= TotalUS up to clock granularity.
 func (t *Timing) PhaseSumUS() int64 {
-	return t.QueueUS + t.ParseUS + t.PlanUS + t.PruneUS + t.ScanUS + t.SerializeUS
+	return t.QueueUS + t.ParseUS + t.PlanUS + t.ShardPruneUS + t.PruneUS + t.ScanUS + t.SerializeUS
 }
 
 // Column is one result column on the decode side: name plus SQL-ish type
@@ -188,6 +192,9 @@ type Stats struct {
 	RowsCovered  int `json:"rows_covered"`
 	ZonesProbed  int `json:"zones_probed"`
 	SkippersUsed int `json:"skippers_used"`
+	// Shard scatter-gather totals (zero on unsharded tables/old servers).
+	ShardsScanned int `json:"shards_scanned,omitempty"`
+	ShardsPruned  int `json:"shards_pruned,omitempty"`
 }
 
 // Result is the client-side decoding of a wire-encoded engine.Result.

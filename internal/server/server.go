@@ -475,7 +475,7 @@ func (ss *session) insert(req *proto.Request) proto.Response {
 	if len(req.Rows) == 0 {
 		return proto.Response{OK: true}
 	}
-	schema := tbl.Engine().Table().Schema()
+	schema := tbl.Executor().Table().Schema()
 	rows := make([][]storage.Value, len(req.Rows))
 	for i, raw := range req.Rows {
 		if len(raw) != len(schema) {
@@ -565,7 +565,7 @@ func (ss *session) query(ctx context.Context, sqlText string, tm *proto.Timing) 
 		s.m.failure(proto.ErrKindNoTable)
 		return errResp(proto.ErrKindNoTable, err.Error())
 	}
-	eng := tbl.Engine()
+	eng := tbl.Executor()
 	if stmt.Explain {
 		// EXPLAIN goes through the sql layer (it renders plan text) and
 		// is not worth caching.
@@ -611,12 +611,12 @@ func (ss *session) prepare(sqlText string) proto.Response {
 		s.m.failure(proto.ErrKindNoTable)
 		return errResp(proto.ErrKindNoTable, err.Error())
 	}
-	q, err := sqlpkg.Plan(stmt, tbl.Engine().Table())
+	q, err := sqlpkg.Plan(stmt, tbl.Executor().Table())
 	if err != nil {
 		s.m.failure(proto.ErrKindSyntax)
 		return errResp(proto.ErrKindSyntax, err.Error())
 	}
-	ent, evicted := s.cache.put(&stmtEntry{sqlText: sqlText, fp: sqlpkg.Fingerprint(stmt), id: s.nextStmt.Add(1), eng: tbl.Engine(), q: q})
+	ent, evicted := s.cache.put(&stmtEntry{sqlText: sqlText, fp: sqlpkg.Fingerprint(stmt), id: s.nextStmt.Add(1), eng: tbl.Executor(), q: q})
 	s.cacheAccount(evicted)
 	return proto.Response{OK: true, Stmt: ent.id}
 }
@@ -673,6 +673,7 @@ func okResult(m *srvMetrics, res *engine.Result, tm *proto.Timing) proto.Respons
 		tm.SerializeUS = time.Since(tSer).Microseconds()
 		if tr := res.Trace; tr != nil {
 			tm.PlanUS += tr.Plan.Microseconds()
+			tm.ShardPruneUS = tr.ShardPrune.Microseconds()
 			tm.PruneUS = tr.Probe.Microseconds()
 			tm.ScanUS = (tr.Scan + tr.Feedback).Microseconds()
 			tm.RowsSkipped = int64(tr.RowsSkipped)

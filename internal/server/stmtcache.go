@@ -5,17 +5,19 @@ import (
 	"sync"
 
 	"adskip/internal/engine"
+	"adskip/internal/sql"
 )
 
 // stmtEntry is one cached prepared statement: the SQL text it was built
-// from, the engine it binds to, and the planned query. Planning resolves
+// from, the executor it binds to (an engine, or a shard manager on a
+// sharded DB), and the planned query. Planning resolves
 // columns by name, so a cached plan stays valid across appends; schema
 // is immutable per table, so it cannot go stale.
 type stmtEntry struct {
 	sqlText string
 	fp      string // query fingerprint; workload attribution key
 	id      uint64
-	eng     *engine.Engine
+	eng     sql.Executor
 	q       engine.Query
 }
 

@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"adskip/internal/core"
+	"adskip/internal/obs"
+)
+
+// Administrative surface: the facade drives skipping lifecycle,
+// introspection, and history sampling through the same methods a plain
+// engine exposes; the Manager fans each out across its shards.
+
+// EnableSkipping builds skipping metadata on every shard for the named
+// columns (all when none given).
+func (m *Manager) EnableSkipping(cols ...string) error {
+	var errs error
+	for _, s := range m.shards {
+		if err := s.eng.EnableSkipping(cols...); err != nil {
+			errs = errors.Join(errs, fmt.Errorf("shard %d: %w", s.id, err))
+		}
+	}
+	return errs
+}
+
+// RebuildSkipping reconstructs skipping metadata on every shard.
+func (m *Manager) RebuildSkipping(cols ...string) error {
+	var errs error
+	for _, s := range m.shards {
+		if err := s.eng.RebuildSkipping(cols...); err != nil {
+			errs = errors.Join(errs, fmt.Errorf("shard %d: %w", s.id, err))
+		}
+	}
+	return errs
+}
+
+// VerifySkipping revalidates every shard's skipping metadata.
+func (m *Manager) VerifySkipping(cols ...string) error {
+	var errs error
+	for _, s := range m.shards {
+		if err := s.eng.VerifySkipping(cols...); err != nil {
+			errs = errors.Join(errs, fmt.Errorf("shard %d: %w", s.id, err))
+		}
+	}
+	return errs
+}
+
+// SkipperMetadata merges per-shard metadata per column: zone and byte
+// totals sum; a column counts as enabled while any shard's arbitration
+// keeps it enabled.
+func (m *Manager) SkipperMetadata() map[string]core.Metadata {
+	out := make(map[string]core.Metadata)
+	for _, s := range m.shards {
+		for col, md := range s.eng.SkipperMetadata() {
+			agg, ok := out[col]
+			if !ok {
+				out[col] = md
+				continue
+			}
+			agg.Zones += md.Zones
+			agg.Bytes += md.Bytes
+			agg.Enabled = agg.Enabled || md.Enabled
+			out[col] = agg
+		}
+	}
+	return out
+}
+
+// Quarantined reports columns benched on any shard, the per-shard causes
+// joined per column.
+func (m *Manager) Quarantined() map[string]error {
+	out := make(map[string]error)
+	for _, s := range m.shards {
+		for col, err := range s.eng.Quarantined() {
+			out[col] = errors.Join(out[col], fmt.Errorf("shard %d: %w", s.id, err))
+		}
+	}
+	return out
+}
+
+// SaveSkipper is unsupported on sharded tables: each shard refines its
+// own zonemap against its own slice of the data, so a single snapshot
+// has no meaning across a reshard.
+func (m *Manager) SaveSkipper(col string, w io.Writer) error {
+	return fmt.Errorf("shard: skipping metadata snapshots are per-shard; not supported on sharded tables (column %q)", col)
+}
+
+// LoadSkipper is unsupported on sharded tables (see SaveSkipper).
+func (m *Manager) LoadSkipper(col string, r io.Reader) error {
+	return fmt.Errorf("shard: skipping metadata snapshots are per-shard; not supported on sharded tables (column %q)", col)
+}
+
+// Skipmaps returns one skipping-effectiveness snapshot per shard, each
+// stamped with its 1-based shard number and the total shard count — the
+// per-shard dimension behind /skipmap?shard=N.
+func (m *Manager) Skipmaps(maxZones int) []obs.SkipmapTable {
+	out := make([]obs.SkipmapTable, 0, len(m.shards))
+	for _, s := range m.shards {
+		t := s.eng.Skipmap(maxZones)
+		t.Shard = s.id
+		t.Shards = len(m.shards)
+		out = append(out, t)
+	}
+	return out
+}
+
+// FillHistory folds the sharded table into one adaptation-timeline
+// sample. Row totals sum across shards; query, slow-query, and error
+// counts come from the Manager's logical counters (each logical query
+// runs up to Shards shard scans — counting those would inflate the
+// timeline); per-column state merges by column name.
+func (m *Manager) FillHistory(s *obs.HistorySample) {
+	var scratch obs.HistorySample
+	for _, sh := range m.shards {
+		sh.eng.FillHistory(&scratch)
+	}
+	s.RowsScanned += scratch.RowsScanned
+	s.RowsSkipped += scratch.RowsSkipped
+	s.RowsCovered += scratch.RowsCovered
+	s.Queries += m.mQueries.Load()
+	s.SlowQueries += m.mSlow.Load()
+	s.Errors += m.errQueries.Load()
+
+	type colAgg struct {
+		zones    int64
+		enabled  bool
+		ratioSum float64
+		n        int
+	}
+	byCol := make(map[string]*colAgg)
+	for _, hc := range scratch.Columns {
+		a, ok := byCol[hc.Column]
+		if !ok {
+			a = &colAgg{}
+			byCol[hc.Column] = a
+		}
+		a.zones += hc.Zones
+		a.enabled = a.enabled || hc.Enabled
+		a.ratioSum += hc.SkipRatio
+		a.n++
+	}
+	cols := make([]string, 0, len(byCol))
+	for col := range byCol {
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
+	for _, col := range cols {
+		a := byCol[col]
+		s.Columns = append(s.Columns, obs.HistoryColumn{
+			Table:     m.name,
+			Column:    col,
+			SkipRatio: a.ratioSum / float64(a.n), // mean over shards
+			Zones:     a.zones,
+			Enabled:   a.enabled,
+		})
+	}
+}
+
+// LatencyBounds returns the logical latency histogram's bucket bounds.
+func (m *Manager) LatencyBounds() []float64 { return m.mLatency.Bounds() }
+
+// AccumulateLatency adds the LOGICAL query latency buckets into dst.
+// Per-shard scan latencies stay out: they would count one query up to
+// Shards times at per-shard durations and drag the quantiles down.
+func (m *Manager) AccumulateLatency(dst []int64) { m.mLatency.AccumulateBuckets(dst) }

@@ -1,0 +1,236 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"adskip/internal/engine"
+	"adskip/internal/expr"
+	"adskip/internal/storage"
+	"adskip/internal/table"
+)
+
+// bigManager builds a Manager whose shards are large enough that a scan
+// crosses several cooperative checkpoints (the engine checks its context
+// at least once per 65536 rows).
+func bigManager(t *testing.T, shards, rowsPerShard int) *Manager {
+	t.Helper()
+	m, err := New("big", table.Schema{
+		{Name: "id", Type: storage.Int64},
+		{Name: "v", Type: storage.Float64},
+	}, Options{Shards: shards, Key: "id",
+		Engine: engine.Options{Policy: engine.PolicyNone}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := shards * rowsPerShard
+	batch := make([][]storage.Value, 0, 65536)
+	for i := 0; i < n; i++ {
+		batch = append(batch, []storage.Value{
+			storage.IntValue(int64(i)),
+			storage.FloatValue(float64(i % 997)),
+		})
+		if len(batch) == cap(batch) || i == n-1 {
+			if err := m.AppendRows(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	return m
+}
+
+// fullScanQuery forces every surviving shard into a full scan (predicate
+// on the non-key column, no skipping metadata under PolicyNone).
+func fullScanQuery() engine.Query {
+	return engine.Query{Where: expr.And(
+		expr.MustPred("v", expr.LT, storage.FloatValue(500)))}
+}
+
+// TestScatterCancellation covers satellite behavior: a context cancelled
+// mid-gather stops all shard workers, leaks no goroutines, and the
+// partial-scan counters report exactly the work that completed.
+func TestScatterCancellation(t *testing.T) {
+	m := bigManager(t, 4, 200_000)
+	before := runtime.NumGoroutine()
+
+	// Pre-cancelled context: rejected before any shard work, zero scans.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.QueryContext(pre, fullScanQuery()); !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("pre-cancelled: err = %v, want ErrCanceled", err)
+	}
+	if n := m.mScanned.Load(); n != 0 {
+		t.Errorf("pre-cancelled: %d shard scans recorded, want 0", n)
+	}
+
+	// Cancel mid-gather, repeatedly: the workers must stop at their next
+	// checkpoint and the counter must only ever count completed scans.
+	for i := 0; i < 8; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(time.Duration(50+100*i) * time.Microsecond)
+			cancel()
+		}()
+		_, err := m.QueryContext(ctx, fullScanQuery())
+		cancel()
+		if err != nil && !errors.Is(err, engine.ErrCanceled) {
+			t.Fatalf("run %d: err = %v, want nil or ErrCanceled", i, err)
+		}
+	}
+
+	// Counter invariant: completed-scan count never exceeds what the
+	// queries could have run (queries × shards), and a successful control
+	// query afterwards adds exactly Shards.
+	base := m.mScanned.Load()
+	if max := int64(8 * m.Shards()); base > max {
+		t.Errorf("scanned counter %d exceeds %d possible shard scans", base, max)
+	}
+	if _, err := m.Query(fullScanQuery()); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.mScanned.Load() - base; got != int64(m.Shards()) {
+		t.Errorf("control query recorded %d shard scans, want %d", got, m.Shards())
+	}
+
+	// No leaked workers: goroutines return to (near) baseline.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines: %d after, %d before — scatter workers leaked", after, before)
+	}
+}
+
+// TestScatterErrorCancelsSiblings checks the other cancellation
+// direction: one shard failing (over budget) stops the rest, and the
+// reported error is the real failure, not the cancellations it caused.
+func TestScatterErrorCancelsSiblings(t *testing.T) {
+	m, err := New("lim", table.Schema{
+		{Name: "id", Type: storage.Int64},
+		{Name: "v", Type: storage.Float64},
+	}, Options{Shards: 4, Key: "id",
+		Engine: engine.Options{
+			Policy: engine.PolicyNone,
+			// Low row budget: every full-scanning shard blows it.
+			Limits: engine.Limits{MaxRowsScanned: 1000},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget enforcement happens at cooperative checkpoints (one per
+	// 65536 rows scanned), so each shard must hold more than a checkpoint
+	// interval for the limit to trip mid-scan.
+	const total = 4 * 100_000
+	rows := make([][]storage.Value, 0, 65536)
+	for i := 0; i < total; i++ {
+		rows = append(rows, []storage.Value{
+			storage.IntValue(int64(i)), storage.FloatValue(float64(i))})
+		if len(rows) == cap(rows) || i == total-1 {
+			if err := m.AppendRows(rows); err != nil {
+				t.Fatal(err)
+			}
+			rows = rows[:0]
+		}
+	}
+	_, qerr := m.Query(fullScanQuery())
+	if !errors.Is(qerr, engine.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", qerr)
+	}
+}
+
+// TestConcurrentAppendQuery races appends against queries across shards
+// (run with -race). Row counts must be exact and every query result
+// internally consistent.
+func TestConcurrentAppendQuery(t *testing.T) {
+	m, err := New("conc", table.Schema{
+		{Name: "id", Type: storage.Int64},
+		{Name: "v", Type: storage.Float64},
+	}, Options{Shards: 4, Key: "id",
+		Engine: engine.Options{Policy: engine.PolicyAdaptive}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := make([][]storage.Value, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		seed = append(seed, []storage.Value{
+			storage.IntValue(int64(i)), storage.FloatValue(float64(i))})
+	}
+	if err := m.AppendRows(seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableSkipping("id"); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers       = 4
+		batchesEach   = 25
+		rowsPerBatch  = 40
+		readers       = 4
+		queriesEach   = 50
+		expectedTotal = 1000 + writers*batchesEach*rowsPerBatch
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batchesEach; b++ {
+				batch := make([][]storage.Value, 0, rowsPerBatch)
+				for r := 0; r < rowsPerBatch; r++ {
+					id := int64(1000 + w*batchesEach*rowsPerBatch + b*rowsPerBatch + r)
+					batch = append(batch, []storage.Value{
+						storage.IntValue(id), storage.FloatValue(float64(id))})
+				}
+				if err := m.AppendRows(batch); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queriesEach; i++ {
+				res, err := m.Query(engine.Query{Where: expr.And(
+					expr.MustPred("id", expr.Between, storage.IntValue(0), storage.IntValue(1<<40)))})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if res.Count < 1000 || res.Count > expectedTotal {
+					errCh <- errors.New("count outside [seed, total] window")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if m.NumRows() != expectedTotal {
+		t.Fatalf("NumRows = %d, want %d", m.NumRows(), expectedTotal)
+	}
+	res, err := m.Query(engine.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != expectedTotal {
+		t.Fatalf("final count = %d, want %d", res.Count, expectedTotal)
+	}
+}

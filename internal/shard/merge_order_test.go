@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"testing"
+
+	"adskip/internal/engine"
+	"adskip/internal/storage"
+	"adskip/internal/table"
+)
+
+// TestMergeOrderGolden locks the cross-shard ORDER BY merge order for
+// equal keys: ties come out by ascending shard number, then per-shard
+// row order (ascending row index — per-shard sorts are stable). This is
+// the wire-visible contract; a change here is a breaking change.
+func TestMergeOrderGolden(t *testing.T) {
+	schema := table.Schema{
+		{Name: "id", Type: storage.Int64},
+		{Name: "price", Type: storage.Float64},
+	}
+	src, err := table.New("g", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nine rows, ids 0..8. NewFromTable learns equi-depth bounds over the
+	// full id column: cuts at sorted[3]=3 and sorted[6]=6, so shard 1
+	// holds ids 0-3, shard 2 ids 4-6, shard 3 ids 7-8. Prices tie across
+	// shards on 1.0 and 2.0.
+	type r struct {
+		id    int64
+		price float64
+	}
+	rows := []r{
+		{0, 2.0}, {1, 1.0}, {2, 2.0}, {3, 1.0}, // shard 1
+		{4, 1.0}, {5, 2.0}, {6, 1.0}, // shard 2
+		{7, 1.0}, {8, 2.0}, // shard 3
+	}
+	for _, row := range rows {
+		if err := src.AppendRow(storage.IntValue(row.id), storage.FloatValue(row.price)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewFromTable(src, Options{Shards: 3, Key: "id",
+		Engine: engine.Options{Policy: engine.PolicyStatic}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, q engine.Query, golden []int64) {
+		t.Helper()
+		res, err := m.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Rows) != len(golden) {
+			t.Fatalf("%s: %d rows, want %d", name, len(res.Rows), len(golden))
+		}
+		for i, row := range res.Rows {
+			if row[0].Int() != golden[i] {
+				got := make([]int64, len(res.Rows))
+				for j, rr := range res.Rows {
+					got[j] = rr[0].Int()
+				}
+				t.Fatalf("%s: merged id order = %v, want %v", name, got, golden)
+			}
+		}
+	}
+
+	// Ascending by price: the 1.0 tie group in shard order (shard 1 rows
+	// 1,3 → shard 2 rows 4,6 → shard 3 row 7), then the 2.0 group.
+	check("asc", engine.Query{Select: []string{"id"}, OrderBy: "price"},
+		[]int64{1, 3, 4, 6, 7, 0, 2, 5, 8})
+
+	// Descending: tie groups swap as groups, but WITHIN a tie group the
+	// order is still shard 1 first — descending reverses the key
+	// comparison only, never the tie-break.
+	check("desc", engine.Query{Select: []string{"id"}, OrderBy: "price", OrderDesc: true},
+		[]int64{0, 2, 5, 8, 1, 3, 4, 6, 7})
+
+	// A limit cuts inside the first tie group deterministically.
+	check("asc_limit", engine.Query{Select: []string{"id"}, OrderBy: "price", Limit: 3},
+		[]int64{1, 3, 4})
+
+	// Repeatability: ten runs, identical order every time.
+	for i := 0; i < 10; i++ {
+		check("repeat", engine.Query{Select: []string{"id"}, OrderBy: "price"},
+			[]int64{1, 3, 4, 6, 7, 0, 2, 5, 8})
+	}
+}

@@ -1,0 +1,386 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"adskip/internal/engine"
+	"adskip/internal/expr"
+	"adskip/internal/obs"
+	"adskip/internal/stats"
+)
+
+// Query executes q with a background context.
+func (m *Manager) Query(q engine.Query) (*engine.Result, error) {
+	return m.QueryContext(context.Background(), q)
+}
+
+// QueryContext executes q across the shards: shard-prune by key bounds,
+// scatter to the survivors, merge. Per-phase accounting mirrors a plain
+// engine — plan covers validation and the per-shard query rewrite,
+// shardprune is the new phase, and scan is the scatter+merge wall clock
+// (per-shard probe/scan/feedback detail lives in each shard's own
+// trace, summarized as child spans here).
+func (m *Manager) QueryContext(ctx context.Context, q engine.Query) (*engine.Result, error) {
+	if q.Limit < 0 {
+		return nil, engine.ErrBadLimit
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if m.stats != nil {
+		if fp := obs.TemplateFromContext(ctx); fp != "" {
+			start := time.Now()
+			var (
+				res *engine.Result
+				err error
+			)
+			pprof.Do(ctx, pprof.Labels(
+				"query_template", fp,
+				"session", obs.SessionFromContext(ctx),
+			), func(ctx context.Context) {
+				res, err = m.queryAdmitted(ctx, q)
+			})
+			if err != nil {
+				m.stats.Record(stats.Sample{
+					Fingerprint: fp,
+					Table:       m.name,
+					Err:         true,
+					CacheHit:    obs.PlanCachedFromContext(ctx),
+					Latency:     time.Since(start),
+				})
+			}
+			return res, err
+		}
+	}
+	return m.queryAdmitted(ctx, q)
+}
+
+// queryAdmitted takes one catalog-wide admission slot for the whole
+// logical query — the per-shard engines run admission-free — then
+// executes the scatter-gather.
+func (m *Manager) queryAdmitted(ctx context.Context, q engine.Query) (*engine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		m.errQueries.Add(1)
+		return nil, fmt.Errorf("%w: %v", engine.ErrCanceled, context.Cause(ctx))
+	}
+	if err := m.admission.Acquire(ctx); err != nil {
+		m.errQueries.Add(1)
+		return nil, err
+	}
+	defer m.admission.Release()
+	res, err := m.queryOnce(ctx, q)
+	if err != nil {
+		m.errQueries.Add(1)
+	}
+	return res, err
+}
+
+func (m *Manager) queryOnce(ctx context.Context, q engine.Query) (*engine.Result, error) {
+	root := obs.NewSpan("query")
+	tr := &obs.QueryTrace{Table: m.name, Start: root.Start, Root: root,
+		Session:     obs.SessionFromContext(ctx),
+		TraceID:     obs.TraceFromContext(ctx),
+		Fingerprint: obs.TemplateFromContext(ctx),
+		PlanCached:  obs.PlanCachedFromContext(ctx)}
+
+	total := m.NumRows()
+	spPlan := root.StartChild("plan")
+	if err := q.Where.Validate(); err != nil {
+		return nil, err
+	}
+	rw := rewriteQuery(q)
+	tr.Plan = time.Since(tr.Start)
+	spPlan.FinishRows(total, 0, 0)
+
+	tPrune := time.Now()
+	spPrune := root.StartChild("shardprune")
+	targets, pruned := m.pruneShards(q.Where)
+	tr.ShardPrune = time.Since(tPrune)
+	tr.ShardsScanned, tr.ShardsPruned = len(targets), pruned
+	spPrune.FinishRows(len(m.shards), len(targets), pruned)
+	m.mPruned.Add(int64(pruned))
+	m.mQueries.Inc()
+
+	tScan := time.Now()
+	spScan := root.StartChild("scatter")
+	partials, err := m.scatter(ctx, targets, rw.q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.mergeResults(q, rw, targets, partials)
+	if err != nil {
+		return nil, err
+	}
+	tr.Scan = time.Since(tScan)
+	res.Stats.ShardsScanned, res.Stats.ShardsPruned = len(targets), pruned
+	for i, p := range partials {
+		if p.Trace == nil {
+			continue
+		}
+		spScan.Attach(&obs.Span{
+			Name:     fmt.Sprintf("shard %d", m.shards[targets[i]].id),
+			Start:    p.Trace.Start,
+			Duration: p.Trace.Total,
+		})
+	}
+	spScan.FinishDuration(tr.Scan)
+	spScan.FinishRows(res.Stats.RowsScanned+res.Stats.RowsCovered, res.Count, res.Stats.RowsSkipped)
+
+	m.finishTrace(ctx, res, tr, partials, targets, total)
+	return res, nil
+}
+
+// finishTrace closes the merged trace, publishes it, and records the
+// workload sample — the Manager-level mirror of the engine's bookkeeping
+// (shard engines run with Stats nil so the logical query is sampled
+// exactly once).
+func (m *Manager) finishTrace(ctx context.Context, res *engine.Result, tr *obs.QueryTrace, partials []*engine.Result, targets []int, total int) {
+	tr.Total = time.Since(tr.Start)
+	tr.Root.FinishDuration(tr.Total)
+	tr.Root.FinishRows(total, res.Count, res.Stats.RowsSkipped)
+	tr.RowsScanned = res.Stats.RowsScanned
+	tr.RowsSkipped = res.Stats.RowsSkipped
+	tr.RowsCovered = res.Stats.RowsCovered
+	tr.ZonesProbed = res.Stats.ZonesProbed
+	tr.RowsTotal = total
+	tr.Matched = res.Count
+	tr.Predicates = mergePredicates(partials)
+	res.Trace = tr
+
+	m.mLatency.Observe(tr.Total.Seconds())
+	if m.slowThr > 0 && tr.Total >= m.slowThr {
+		tr.Slow = true
+		m.mSlow.Inc()
+		m.slow.Append(tr)
+		if m.log != nil {
+			m.log.Warn("slow query",
+				"table", tr.Table, "total", tr.Total,
+				"rows_scanned", tr.RowsScanned, "rows_skipped", tr.RowsSkipped,
+				"shards_scanned", tr.ShardsScanned, "shards_pruned", tr.ShardsPruned,
+				"session", tr.Session, "trace_id", tr.TraceID,
+				"fingerprint", tr.Fingerprint)
+		}
+	}
+	m.traces.Append(tr)
+
+	if m.stats != nil && tr.Fingerprint != "" {
+		zonesRead := int64(0)
+		for i := range tr.Predicates {
+			if tr.Predicates[i].Active {
+				zonesRead += int64(tr.Predicates[i].Windows)
+			}
+		}
+		zonesPruned := int64(tr.ZonesProbed) - zonesRead
+		if zonesPruned < 0 {
+			zonesPruned = 0
+		}
+		shardIDs := make([]int, 0, len(targets))
+		for _, si := range targets {
+			shardIDs = append(shardIDs, m.shards[si].id)
+		}
+		m.stats.Record(stats.Sample{
+			Fingerprint:   tr.Fingerprint,
+			Table:         m.name,
+			CacheHit:      obs.PlanCachedFromContext(ctx),
+			Latency:       tr.Total,
+			RowsRead:      int64(res.Stats.RowsScanned),
+			RowsReturned:  int64(res.Count),
+			RowsSkipped:   int64(res.Stats.RowsSkipped),
+			ZonesRead:     zonesRead,
+			ZonesPruned:   zonesPruned,
+			BytesScanned:  int64(res.Stats.RowsScanned) * 8,
+			ShardsScanned: int64(tr.ShardsScanned),
+			ShardsPruned:  int64(tr.ShardsPruned),
+			Shards:        shardIDs,
+		})
+	}
+}
+
+// pruneShards eliminates shards whose observed key bounds cannot
+// intersect the predicate's key-column intervals: the same lowering the
+// engine uses for zone pruning, applied to one giant zone per shard.
+// When every shard is prunable, one shard is kept (the engines'
+// unsatisfiable-predicate shortcut produces the correct empty result
+// shape, including aggregate NULL/zero semantics, at negligible cost).
+// Returned targets are ascending shard indices (0-based).
+func (m *Manager) pruneShards(where expr.Conj) (targets []int, pruned int) {
+	keyCol, err := m.proto.Column(m.key)
+	var cp expr.ColPred
+	prune := false
+	if err == nil {
+		if cp, err = expr.LowerColumn(where, keyCol); err == nil {
+			prune = true
+		}
+	}
+	for si, s := range m.shards {
+		if !prune {
+			targets = append(targets, si)
+			continue
+		}
+		s.mu.Lock()
+		seen, lo, hi, nulls := s.seen, s.lo, s.hi, s.nulls
+		s.mu.Unlock()
+		keep := false
+		if cp.NullOnly {
+			keep = nulls > 0
+		} else {
+			keep = seen && cp.R.Overlaps(lo, hi)
+		}
+		if keep {
+			targets = append(targets, si)
+		} else {
+			pruned++
+		}
+	}
+	if len(targets) == 0 && len(m.shards) > 0 {
+		targets = append(targets, 0)
+		pruned--
+	}
+	return targets, pruned
+}
+
+// scatter fans the per-shard query out to the target shards on parallel
+// workers. Cancellation is cooperative and bidirectional: the caller's
+// context cancels every worker (each shard engine checks at its scan
+// checkpoints), and the first worker error cancels the rest. The
+// shard-scanned counter is incremented per COMPLETED shard scan, so a
+// cancelled gather reports exactly the partial work that ran.
+func (m *Manager) scatter(ctx context.Context, targets []int, q engine.Query) ([]*engine.Result, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*engine.Result, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, si := range targets {
+		wg.Add(1)
+		go func(i, si int) {
+			defer wg.Done()
+			res, err := m.shards[si].eng.QueryContext(cctx, q)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			results[i] = res
+			m.mScanned.Inc()
+		}(i, si)
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		// Prefer the real failure over the cancellations it caused in the
+		// other workers.
+		if !errors.Is(err, engine.ErrCanceled) {
+			return nil, err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	return results, nil
+}
+
+// mergePredicates folds the per-shard predicate traces into one section
+// per predicate column: summed probe/window counters, with the lowered
+// interval string taken from the first shard (identical across shards —
+// all lower the same conjunction).
+func mergePredicates(partials []*engine.Result) []obs.PredicateTrace {
+	var order []string
+	byCol := make(map[string]*obs.PredicateTrace)
+	for _, p := range partials {
+		if p.Trace == nil {
+			continue
+		}
+		for i := range p.Trace.Predicates {
+			pt := &p.Trace.Predicates[i]
+			mt, ok := byCol[pt.Column]
+			if !ok {
+				cp := *pt
+				cp.Matched = -1
+				byCol[pt.Column] = &cp
+				order = append(order, pt.Column)
+				continue
+			}
+			mt.ZonesProbed += pt.ZonesProbed
+			mt.Windows += pt.Windows
+			mt.CoveredWindows += pt.CoveredWindows
+			mt.CandidateRows += pt.CandidateRows
+			mt.EstRowsSkipped += pt.EstRowsSkipped
+			mt.Active = mt.Active || pt.Active
+			if mt.Skipper == "" {
+				mt.Skipper = pt.Skipper
+			}
+		}
+	}
+	out := make([]obs.PredicateTrace, 0, len(order))
+	for _, col := range order {
+		out = append(out, *byCol[col])
+	}
+	return out
+}
+
+// Explain renders the sharded plan: the shard-prune outcome followed by
+// each surviving shard's own plan (real metadata probes, like a plain
+// engine's EXPLAIN).
+func (m *Manager) Explain(q engine.Query) ([]string, error) {
+	if q.Limit < 0 {
+		return nil, engine.ErrBadLimit
+	}
+	if err := q.Where.Validate(); err != nil {
+		return nil, err
+	}
+	targets, pruned := m.pruneShards(q.Where)
+	out := []string{
+		fmt.Sprintf("sharded table %q: %d shards (key %q, %s partitioning), %d rows",
+			m.name, len(m.shards), m.key, m.mode, m.NumRows()),
+		fmt.Sprintf("shard prune: %d of %d shards eliminated by key bounds, %d to scan",
+			pruned, len(m.shards), len(targets)),
+	}
+	for _, si := range targets {
+		s := m.shards[si]
+		lines, err := s.eng.Explain(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fmt.Sprintf("shard %d (%d rows):", s.id, s.eng.NumRows()))
+		for _, l := range lines {
+			out = append(out, "  "+l)
+		}
+	}
+	return out, nil
+}
+
+// ExplainAnalyze is ExplainAnalyzeContext with a background context.
+func (m *Manager) ExplainAnalyze(q engine.Query) ([]string, *engine.Result, error) {
+	return m.ExplainAnalyzeContext(context.Background(), q)
+}
+
+// ExplainAnalyzeContext executes q through the scatter-gather and
+// renders the observed plan; the merged trace's shardprune phase shows
+// shard elimination alongside the familiar plan/probe/scan phases.
+func (m *Manager) ExplainAnalyzeContext(ctx context.Context, q engine.Query) ([]string, *engine.Result, error) {
+	res, err := m.QueryContext(ctx, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	lines := engine.AnalyzeLines(res, true)
+	if m.stats != nil && res.Trace != nil && res.Trace.Fingerprint != "" {
+		if ts, ok := m.stats.Template(res.Trace.Fingerprint); ok {
+			lines = append(lines, fmt.Sprintf(
+				"workload: template %q — %d calls (%d errors, %d cache hits), mean %.0fµs, p95 %.0fµs, %.1f%% rows skipped",
+				ts.Fingerprint, ts.Calls, ts.Errors, ts.CacheHits, ts.MeanUS, ts.P95US, 100*ts.SkipRatio))
+		}
+	}
+	return lines, res, nil
+}

@@ -9,6 +9,7 @@ import (
 	"adskip/internal/engine"
 	"adskip/internal/expr"
 	"adskip/internal/obs"
+	"adskip/internal/stats"
 	"adskip/internal/storage"
 	"adskip/internal/table"
 )
@@ -17,6 +18,19 @@ import (
 var (
 	ErrNoSuchTable = errors.New("sql: no such table")
 )
+
+// Executor is what the SQL layer needs from a query backend: a schema to
+// plan against and the query/explain entry points. *engine.Engine is the
+// single-engine implementation; *shard.Manager implements the same
+// surface over a scatter-gather of per-shard engines, so everything
+// SQL-routed (server, facade, CLIs) works unchanged on sharded tables.
+type Executor interface {
+	Table() *table.Table
+	QueryContext(ctx context.Context, q engine.Query) (*engine.Result, error)
+	Explain(q engine.Query) ([]string, error)
+	ExplainAnalyzeContext(ctx context.Context, q engine.Query) ([]string, *engine.Result, error)
+	WorkloadStats() *stats.Table
+}
 
 // Plan binds a parsed statement against a table's schema and lowers it to
 // an engine query: SELECT * expands to the full column list, and integer
@@ -88,13 +102,13 @@ func coerce(v storage.Value, want storage.Type) (storage.Value, error) {
 // Exec parses, plans, and executes a SQL string against an engine. This is
 // the one-call convenience path used by the demo REPL and examples.
 // EXPLAIN statements return the plan as rows of a single "plan" column.
-func Exec(e *engine.Engine, query string) (*engine.Result, error) {
+func Exec(e Executor, query string) (*engine.Result, error) {
 	return ExecContext(context.Background(), e, query)
 }
 
 // ExecContext is Exec under a context: execution honors ctx's cancellation
 // and deadline at the engine's cooperative checkpoints.
-func ExecContext(ctx context.Context, e *engine.Engine, query string) (*engine.Result, error) {
+func ExecContext(ctx context.Context, e Executor, query string) (*engine.Result, error) {
 	t0 := time.Now()
 	stmt, err := Parse(query)
 	if err != nil {
@@ -112,7 +126,7 @@ func ExecContext(ctx context.Context, e *engine.Engine, query string) (*engine.R
 
 // ExecParsed plans and executes an already-parsed statement (used by
 // multi-table catalogs that route by stmt.Table before executing).
-func ExecParsed(e *engine.Engine, stmt Statement) (*engine.Result, error) {
+func ExecParsed(e Executor, stmt Statement) (*engine.Result, error) {
 	return ExecParsedContext(context.Background(), e, stmt)
 }
 
@@ -121,7 +135,7 @@ func ExecParsed(e *engine.Engine, stmt Statement) (*engine.Result, error) {
 // context here (unless the caller — e.g. the network server's statement
 // cache — already did), so every SQL-routed query is attributed to its
 // template.
-func ExecParsedContext(ctx context.Context, e *engine.Engine, stmt Statement) (*engine.Result, error) {
+func ExecParsedContext(ctx context.Context, e Executor, stmt Statement) (*engine.Result, error) {
 	q, err := Plan(stmt, e.Table())
 	if err != nil {
 		return nil, err

@@ -58,6 +58,13 @@ type TemplateSnapshot struct {
 	ZoneTouch        map[string][]int `json:"zone_touch,omitempty"`
 	ZoneTouchDropped int64            `json:"zone_touch_dropped,omitempty"`
 
+	// Shard scatter-gather attribution (sharded tables only, all omitted
+	// otherwise): cumulative shards scanned vs pruned, and the sorted
+	// 1-based shard numbers this template has ever scanned.
+	ShardsScanned int64 `json:"shards_scanned,omitempty"`
+	ShardsPruned  int64 `json:"shards_pruned,omitempty"`
+	Shards        []int `json:"shards,omitempty"`
+
 	FirstSeen time.Time `json:"first_seen"`
 	LastSeen  time.Time `json:"last_seen"`
 }
@@ -70,6 +77,10 @@ type WorkloadSnapshot struct {
 	Evicted        int64              `json:"evicted_templates"`
 	Recorded       int64              `json:"recorded_calls"`
 	SortedBy       string             `json:"sorted_by"`
+	// MaxShard is the highest 1-based shard number seen across all tracked
+	// templates (0 when the workload is unsharded). The telemetry server
+	// uses it to validate ?shard=N filters.
+	MaxShard int `json:"max_shard,omitempty"`
 }
 
 // Snapshot copies the top-k templates under the given sort order
@@ -92,7 +103,11 @@ func (t *Table) Snapshot(sortBy string, k int) WorkloadSnapshot {
 		SortedBy:       sortBy,
 	}
 	for _, e := range t.byFP {
-		snap.Templates = append(snap.Templates, t.snapshotEntryLocked(e))
+		ts := t.snapshotEntryLocked(e)
+		if n := len(ts.Shards); n > 0 && ts.Shards[n-1] > snap.MaxShard {
+			snap.MaxShard = ts.Shards[n-1]
+		}
+		snap.Templates = append(snap.Templates, ts)
 	}
 	t.mu.Unlock()
 
@@ -137,8 +152,17 @@ func (t *Table) snapshotEntryLocked(e *entry) TemplateSnapshot {
 		ZonesPruned:      e.zonesPruned,
 		BytesScanned:     e.bytesScanned,
 		ZoneTouchDropped: e.zoneDropped,
+		ShardsScanned:    e.shardsScanned,
+		ShardsPruned:     e.shardsPruned,
 		FirstSeen:        e.firstSeen,
 		LastSeen:         e.lastSeen,
+	}
+	if len(e.shards) > 0 {
+		ts.Shards = make([]int, 0, len(e.shards))
+		for sh := range e.shards {
+			ts.Shards = append(ts.Shards, sh)
+		}
+		sort.Ints(ts.Shards)
 	}
 	if ts.Calls > 0 {
 		ts.MeanUS = 1e6 * ts.TotalSeconds / float64(ts.Calls)
@@ -178,7 +202,12 @@ func (t *Table) Template(fingerprint string) (TemplateSnapshot, bool) {
 // WriteCSV writes the snapshot as CSV: one header row, one row per
 // template, zone-touch sketch flattened to "col:id col:id ...".
 func (t *Table) WriteCSV(w io.Writer, sortBy string, k int) error {
-	snap := t.Snapshot(sortBy, k)
+	return WriteSnapshotCSV(w, t.Snapshot(sortBy, k))
+}
+
+// WriteSnapshotCSV writes an already-taken snapshot as CSV — the
+// filter-then-export path (e.g. the telemetry server's ?shard=N view).
+func WriteSnapshotCSV(w io.Writer, snap WorkloadSnapshot) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"fingerprint", "table", "calls", "errors", "cache_hits",
@@ -186,6 +215,7 @@ func (t *Table) WriteCSV(w io.Writer, sortBy string, k int) error {
 		"rows_read", "rows_returned", "rows_skipped", "skip_ratio",
 		"zones_read", "zones_pruned", "bytes_scanned",
 		"zone_touch", "zone_touch_dropped",
+		"shards_scanned", "shards_pruned", "shards",
 	}); err != nil {
 		return err
 	}
@@ -219,6 +249,9 @@ func (t *Table) WriteCSV(w io.Writer, sortBy string, k int) error {
 			strconv.FormatInt(ts.BytesScanned, 10),
 			strings.Join(zt, " "),
 			strconv.FormatInt(ts.ZoneTouchDropped, 10),
+			strconv.FormatInt(ts.ShardsScanned, 10),
+			strconv.FormatInt(ts.ShardsPruned, 10),
+			strings.Join(shardList(ts.Shards), " "),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -226,4 +259,12 @@ func (t *Table) WriteCSV(w io.Writer, sortBy string, k int) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+func shardList(shards []int) []string {
+	out := make([]string, len(shards))
+	for i, sh := range shards {
+		out[i] = strconv.Itoa(sh)
+	}
+	return out
 }

@@ -61,6 +61,12 @@ type Sample struct {
 	// ZoneIDs lists the candidate zone IDs read, per column. Synthetic
 	// IDs (< 0) are ignored.
 	ZoneIDs map[string][]int
+	// Shard scatter-gather attribution (sharded tables only; all zero on
+	// unsharded engines). Shards lists the 1-based shard numbers this
+	// query actually scanned, for the /workload?shard=N filter.
+	ShardsScanned int64
+	ShardsPruned  int64
+	Shards        []int
 }
 
 // entry is the live aggregate for one template. Guarded by Table.mu.
@@ -76,6 +82,8 @@ type entry struct {
 	rowsRead, rowsReturned, rowsSkipped int64
 	zonesRead, zonesPruned              int64
 	bytesScanned                        int64
+	shardsScanned, shardsPruned         int64
+	shards                              map[int]struct{} // 1-based shard numbers ever scanned
 
 	zones       map[string]map[int]struct{} // column -> touched zone IDs
 	zoneCount   int                         // total IDs across columns
@@ -181,6 +189,17 @@ func (t *Table) Record(s Sample) {
 		e.zonesRead += s.ZonesRead
 		e.zonesPruned += s.ZonesPruned
 		e.bytesScanned += s.BytesScanned
+		e.shardsScanned += s.ShardsScanned
+		e.shardsPruned += s.ShardsPruned
+		for _, sh := range s.Shards {
+			if sh <= 0 {
+				continue
+			}
+			if e.shards == nil {
+				e.shards = make(map[int]struct{})
+			}
+			e.shards[sh] = struct{}{}
+		}
 		t.sketchLocked(e, s.ZoneIDs)
 	}
 	t.recorded++

@@ -144,6 +144,9 @@ td:first-child, th:first-child { text-align: left; }
 
 <div class="card">
   <h2>Zone heatmap — prune hit ratio per zone</h2>
+  <div class="legend" id="shard-picker" style="display:none">shard:
+    <select id="shard-sel"><option value="">all</option></select>
+  </div>
   <div id="heatmap"><div class="err">waiting for skipmap&hellip;</div></div>
   <div class="hm-scale">
     <span>0%</span>
@@ -263,10 +266,31 @@ function lineChart(el, tipEl, samples, series, fmtY) {
   svg.onmouseleave = () => { tipEl.style.display = "none"; xh.setAttribute("x1", -9); xh.setAttribute("x2", -9); };
 }
 
+// The shard picker narrows the heatmap to one shard of a sharded
+// catalog; it stays hidden on unsharded databases.
+let shardFilter = "";
+function syncShardPicker(tables) {
+  let max = 0;
+  for (const t of tables || []) if ((t.shards || 0) > max) max = t.shards;
+  const picker = document.getElementById("shard-picker");
+  const sel = document.getElementById("shard-sel");
+  if (!max) { picker.style.display = "none"; return; }
+  picker.style.display = "";
+  if (sel.options.length !== max + 1) {
+    let opts = '<option value="">all</option>';
+    for (let i = 1; i <= max; i++) opts += '<option value="' + i + '">' + i + "</option>";
+    sel.innerHTML = opts;
+    sel.value = shardFilter;
+    sel.onchange = () => { shardFilter = sel.value; };
+  }
+}
 function renderHeatmap(tables) {
   const el = document.getElementById("heatmap");
+  syncShardPicker(tables);
   let html = "";
   for (const t of tables || []) {
+    if (shardFilter && String(t.shard || "") !== shardFilter) continue;
+    const label = t.table + (t.shard ? " [shard " + t.shard + "/" + t.shards + "]" : "");
     for (const c of t.columns || []) {
       const zones = c.zone_detail || [];
       if (!zones.length) continue;
@@ -277,11 +301,11 @@ function renderHeatmap(tables) {
         const ratio = probes ? z.hits / probes : 0;
         const w = Math.max(0.2, 100 * (z.hi - z.lo) / total);
         cells += '<div style="flex:' + w.toFixed(3) + ' 1 0;background:' + rampColor(ratio) +
-          '" title="' + t.table + "." + c.column + " rows [" + z.lo + "," + z.hi + ") min " + z.min +
+          '" title="' + label + "." + c.column + " rows [" + z.lo + "," + z.hi + ") min " + z.min +
           " max " + z.max + " — " + (100 * ratio).toFixed(0) + "% of " + probes + ' probes pruned"></div>';
       }
-      html += '<div class="hm-row"><div class="hm-label" title="' + t.table + "." + c.column + '">' +
-        t.table + "." + c.column + " · " + zones.length + (c.zones_truncated ? "+" + c.zones_truncated : "") +
+      html += '<div class="hm-row"><div class="hm-label" title="' + label + "." + c.column + '">' +
+        label + "." + c.column + " · " + zones.length + (c.zones_truncated ? "+" + c.zones_truncated : "") +
         ' zones</div><div class="hm-strip">' + cells + "</div></div>";
     }
   }
@@ -332,15 +356,19 @@ function renderWorkload(w) {
     el.innerHTML = '<div class="err">no query templates recorded yet</div>';
     return;
   }
-  let total = 0;
-  for (const t of ts) total += t.total_seconds;
-  let html = "<table><tr><th>template</th><th>calls</th><th>errors</th><th>mean</th><th>p95</th><th>skip</th><th>cpu</th></tr>";
+  let total = 0, sharded = false;
+  for (const t of ts) { total += t.total_seconds; if (t.shards_scanned || t.shards_pruned) sharded = true; }
+  let html = "<table><tr><th>template</th><th>calls</th><th>errors</th><th>mean</th><th>p95</th><th>skip</th>" +
+    (sharded ? "<th>shards</th>" : "") + "<th>cpu</th></tr>";
   for (const t of ts) {
     const cpu = total > 0 ? 100 * t.total_seconds / total : 0;
+    const sc = (t.shards_scanned || 0) + (t.shards_pruned || 0);
     html += "<tr><td>" + t.fingerprint.replace(/&/g, "&amp;").replace(/</g, "&lt;") +
       "</td><td>" + fmtCount(t.calls) + "</td><td>" + fmtCount(t.errors) +
       "</td><td>" + fmtDur(t.mean_us / 1e6) + "</td><td>" + fmtDur(t.p95_us / 1e6) +
-      "</td><td>" + (100 * t.skip_ratio).toFixed(1) + "%</td><td>" + cpu.toFixed(1) + "%</td></tr>";
+      "</td><td>" + (100 * t.skip_ratio).toFixed(1) + "%</td>" +
+      (sharded ? "<td>" + (sc ? fmtCount(t.shards_pruned || 0) + "/" + fmtCount(sc) + " pruned" : "–") + "</td>" : "") +
+      "<td>" + cpu.toFixed(1) + "%</td></tr>";
   }
   el.innerHTML = html + "</table>" +
     '<div class="err">' + w.total_templates + " templates tracked · " +

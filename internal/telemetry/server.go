@@ -18,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"adskip/internal/health"
@@ -219,9 +220,26 @@ func serveTraceRing(w http.ResponseWriter, r *http.Request, ring *obs.TraceRing,
 	writeJSON(w, traceListing{Total: ring.Total(), Dropped: ring.Dropped(), Traces: traces})
 }
 
+// parseShard reads an optional ?shard=N filter: a 1-based shard number.
+// Returns (0, false, nil) when the parameter is absent. Non-numeric
+// values are a client error — callers answer 400, never 500 or a
+// silently empty set.
+func parseShard(r *http.Request) (int, bool, error) {
+	v := r.URL.Query().Get("shard")
+	if v == "" {
+		return 0, false, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad shard parameter %q (want a 1-based shard number)", v)
+	}
+	return n, true, nil
+}
+
 // handleSkipmap serves the per-table skipping heatmap. ?zones=N caps the
 // per-column zone detail (default 1024; zones=0 omits detail entirely,
-// zones=-1 returns every zone).
+// zones=-1 returns every zone). ?shard=N narrows a sharded catalog to
+// one shard's snapshots; out-of-range shards are a 400.
 func (s *Server) handleSkipmap(w http.ResponseWriter, r *http.Request) {
 	if s.src.Skipmap == nil {
 		writeJSON(w, []obs.SkipmapTable{})
@@ -234,9 +252,34 @@ func (s *Server) handleSkipmap(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	shard, hasShard, err := parseShard(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	tables := s.src.Skipmap(maxZones)
 	if tables == nil {
 		tables = []obs.SkipmapTable{}
+	}
+	if hasShard {
+		maxShard := 0
+		for _, t := range tables {
+			if t.Shards > maxShard {
+				maxShard = t.Shards
+			}
+		}
+		if shard < 1 || shard > maxShard {
+			http.Error(w, fmt.Sprintf("shard %d out of range (catalog has shards 1..%d)", shard, maxShard),
+				http.StatusBadRequest)
+			return
+		}
+		kept := tables[:0]
+		for _, t := range tables {
+			if t.Shard == shard {
+				kept = append(kept, t)
+			}
+		}
+		tables = kept
 	}
 	if maxZones == 0 {
 		for ti := range tables {
@@ -330,7 +373,8 @@ func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
 // handleWorkload serves the per-template workload stats, top-K by the
 // requested sort order. ?sort=time|calls|bytes (default time),
 // ?k=N caps the template list (default 50; k=0 returns every template),
-// ?format=csv switches to a downloadable CSV.
+// ?format=csv switches to a downloadable CSV, ?shard=N keeps only
+// templates that have scanned that shard (400 when out of range).
 func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	sortBy := q.Get("sort")
@@ -345,15 +389,38 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	shard, hasShard, err := parseShard(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	snap := s.src.Workload.Snapshot(sortBy, k)
+	if hasShard {
+		// MaxShard is computed over every tracked template before top-K
+		// truncation, so the range check is stable across k values.
+		if shard < 1 || shard > snap.MaxShard {
+			http.Error(w, fmt.Sprintf("shard %d out of range (workload has shards 1..%d)", shard, snap.MaxShard),
+				http.StatusBadRequest)
+			return
+		}
+		kept := snap.Templates[:0]
+		for _, ts := range snap.Templates {
+			for _, sh := range ts.Shards {
+				if sh == shard {
+					kept = append(kept, ts)
+					break
+				}
+			}
+		}
+		snap.Templates = kept
+	}
 	if q.Get("format") == "csv" {
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
 		w.Header().Set("Content-Disposition", `attachment; filename="adskip-workload.csv"`)
-		// A nil table writes the header row only (every method on
-		// stats.Table is nil-safe).
-		_ = s.src.Workload.WriteCSV(w, sortBy, k)
+		_ = stats.WriteSnapshotCSV(w, snap)
 		return
 	}
-	writeJSON(w, s.src.Workload.Snapshot(sortBy, k))
+	writeJSON(w, snap)
 }
 
 // writeJSON writes v as indented JSON.

@@ -28,6 +28,15 @@ const (
 	KindRows Kind = 1
 	// KindUpdate is one in-place cell overwrite.
 	KindUpdate Kind = 2
+	// KindShardRows and KindShardUpdate are the sharded wire forms of
+	// KindRows/KindUpdate: a u32 shard number (1-based, never 0) precedes
+	// the legacy body. They exist only on disk — DecodePayload normalizes
+	// them back to KindRows/KindUpdate with Record.Shard set, and the
+	// encoder picks the wire kind from Record.Shard — so replay logic is
+	// shard-agnostic and unsharded logs stay byte-identical to earlier
+	// releases.
+	KindShardRows   Kind = 3
+	KindShardUpdate Kind = 4
 )
 
 // String names the kind.
@@ -37,6 +46,10 @@ func (k Kind) String() string {
 		return "rows"
 	case KindUpdate:
 		return "update"
+	case KindShardRows:
+		return "shard-rows"
+	case KindShardUpdate:
+		return "shard-update"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -50,6 +63,12 @@ func (k Kind) String() string {
 type Record struct {
 	Kind  Kind
 	Table string
+
+	// Shard is the 1-based shard number of the engine that logged the
+	// record, or 0 for an unsharded table. Shard > 0 selects the sharded
+	// wire kinds; recovery routes the record to the same shard. BaseRow
+	// and Row are shard-local on a sharded record.
+	Shard uint32
 
 	// KindRows fields.
 	BaseRow uint64
@@ -103,13 +122,23 @@ func appendFrame(dst, payload []byte) []byte {
 // EncodePayload renders rec as a payload (no frame header).
 func EncodePayload(rec *Record) ([]byte, error) {
 	switch rec.Kind {
-	case KindRows:
+	case KindRows, KindShardRows:
 		return encodeRows(rec)
-	case KindUpdate:
+	case KindUpdate, KindShardUpdate:
 		return encodeUpdate(rec)
 	default:
 		return nil, fmt.Errorf("wal: cannot encode record kind %d", rec.Kind)
 	}
+}
+
+// appendKind writes the record's wire kind — the shard variant with its
+// u32 shard prefix when Shard > 0, the legacy kind otherwise.
+func appendKind(dst []byte, rec *Record, legacy, sharded Kind) []byte {
+	if rec.Shard > 0 {
+		dst = append(dst, byte(sharded))
+		return binary.LittleEndian.AppendUint32(dst, rec.Shard)
+	}
+	return append(dst, byte(legacy))
 }
 
 func appendString16(dst []byte, s string) []byte {
@@ -129,7 +158,7 @@ func encodeRows(rec *Record) ([]byte, error) {
 		return nil, fmt.Errorf("wal: table name too long (%d bytes)", len(rec.Table))
 	}
 	b := make([]byte, 0, 32+nrows*ncols*9)
-	b = append(b, byte(KindRows))
+	b = appendKind(b, rec, KindRows, KindShardRows)
 	b = appendString16(b, rec.Table)
 	b = binary.LittleEndian.AppendUint64(b, rec.BaseRow)
 	b = binary.LittleEndian.AppendUint16(b, uint16(ncols))
@@ -191,7 +220,7 @@ func encodeUpdate(rec *Record) ([]byte, error) {
 		return nil, fmt.Errorf("wal: update record with NULL value")
 	}
 	b := make([]byte, 0, 64)
-	b = append(b, byte(KindUpdate))
+	b = appendKind(b, rec, KindUpdate, KindShardUpdate)
 	b = appendString16(b, rec.Table)
 	b = appendString16(b, rec.Col)
 	b = binary.LittleEndian.AppendUint64(b, rec.Row)
@@ -288,6 +317,27 @@ func DecodePayload(payload []byte) (*Record, error) {
 		return decodeRows(r)
 	case KindUpdate:
 		return decodeUpdate(r)
+	case KindShardRows, KindShardUpdate:
+		shard, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if shard == 0 {
+			// Shard 0 must use the legacy kinds; rejecting it keeps the
+			// encoding canonical (one byte form per logical record).
+			return nil, fmt.Errorf("wal: sharded record with shard 0")
+		}
+		var rec *Record
+		if Kind(kind) == KindShardRows {
+			rec, err = decodeRows(r)
+		} else {
+			rec, err = decodeUpdate(r)
+		}
+		if err != nil {
+			return nil, err
+		}
+		rec.Shard = shard
+		return rec, nil
 	default:
 		return nil, fmt.Errorf("wal: unknown record kind %d", kind)
 	}

@@ -260,4 +260,72 @@ grep -q '^drained$' "$OUT" || {
   exit 1
 }
 echo "shutdown: drained cleanly"
+
+# ---------------------------------------------------------------------------
+# Sharded server: the same binaries with -shards 4 partitioning "data"
+# on the query column. The Zipf template mix concentrates range
+# predicates, so the scatter-gather layer must prune whole shards —
+# asserted via adskip_shard_pruned_total on /metrics.
+
+: > "$OUT"
+"$BIN/adskip-server" -addr 127.0.0.1:0 -telemetry 127.0.0.1:0 \
+  -rows "$ROWS" -dist uniform -shards 4 -shard-key v > "$OUT" 2>&1 &
+SRV_PID=$!
+
+ADDR="" URL=""
+for _ in $(seq 1 100); do
+  URL=$(grep -o 'http://[0-9.:]*' "$OUT" | head -1 || true)
+  ADDR=$(sed -n 's/^listening on //p' "$OUT" | head -1 || true)
+  [ -n "$URL" ] && [ -n "$ADDR" ] && break
+  sleep 0.2
+done
+if [ -z "$URL" ] || [ -z "$ADDR" ]; then
+  echo "sharded server never announced its addresses; output:" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+grep -q '^sharded: 4 shards' "$OUT" || {
+  echo "sharded server did not announce its shard layout; output:" >&2
+  cat "$OUT" >&2
+  exit 1
+}
+echo "sharded server at $ADDR (4 shards), telemetry at $URL"
+
+"$BIN/adskip-load" -addr "$ADDR" -conns 32 -duration 3s -domain "$ROWS" -seed 5
+echo "sharded load: 32 connections, zero errors"
+
+MET=$(mktemp)
+curl -sS -o "$MET" "$URL/metrics"
+pruned=$(awk '$1 ~ /^adskip_shard_pruned_total/ {sum += int($2)} END {print sum+0}' "$MET")
+scanned=$(awk '$1 ~ /^adskip_shard_scanned_total/ {sum += int($2)} END {print sum+0}' "$MET")
+if [ "$pruned" -le 0 ]; then
+  echo "adskip_shard_pruned_total is $pruned after a Zipf range load — shard pruning never fired" >&2
+  grep '^adskip_shard' "$MET" >&2 || true
+  exit 1
+fi
+echo "shard pruning active: $pruned shards pruned, $scanned scanned"
+
+# The per-shard dimension is on /skipmap, and bad shard filters are 400s.
+code=$(curl -sS -o /dev/null -w '%{http_code}' "$URL/skipmap?shard=2")
+[ "$code" = "200" ] || { echo "GET /skipmap?shard=2 -> $code" >&2; exit 1; }
+code=$(curl -sS -o /dev/null -w '%{http_code}' "$URL/skipmap?shard=99")
+[ "$code" = "400" ] || { echo "GET /skipmap?shard=99 -> $code, want 400" >&2; exit 1; }
+code=$(curl -sS -o /dev/null -w '%{http_code}' "$URL/workload?shard=abc")
+[ "$code" = "400" ] || { echo "GET /workload?shard=abc -> $code, want 400" >&2; exit 1; }
+rm -f "$MET"
+echo "per-shard telemetry filters: 200 on valid shard, 400 on bad"
+
+kill -TERM $SRV_PID
+if ! wait $SRV_PID; then
+  echo "sharded server exited non-zero on SIGTERM; output:" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+SRV_PID=
+grep -q '^drained$' "$OUT" || {
+  echo "sharded server did not report a drained shutdown; output:" >&2
+  cat "$OUT" >&2
+  exit 1
+}
+echo "sharded shutdown: drained cleanly"
 echo "server smoke: OK"
