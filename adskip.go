@@ -118,6 +118,23 @@ type SkipmapTable = obs.SkipmapTable
 // fold, metadata built/loaded, quarantine/rebuild).
 type AdaptationEvent = obs.Event
 
+// AdaptationRecord is one adaptation-ledger entry: a zone-lifecycle
+// event with full provenance — cause, the query template whose feedback
+// triggered it, the affected row window, and the before/after zone
+// counts and value-bound hulls. Retained in a bounded ring; see
+// DB.Adaptation and the telemetry /adaptation endpoint.
+type AdaptationRecord = obs.LedgerRecord
+
+// AdaptationROI is one column's adaptation return-on-investment row:
+// rows/bytes skipped (credit) against zone probes and structural
+// maintenance (debit), plus dead-zone accounting.
+type AdaptationROI = obs.ColumnROI
+
+// AdaptationSnapshot is the full adaptation-ledger view returned by
+// DB.Adaptation and served by /adaptation: retained records plus
+// per-column ROI rows.
+type AdaptationSnapshot = obs.AdaptationSnapshot
+
 // HistorySample is one point on the adaptation timeline sampled while
 // telemetry runs: cumulative query/row totals, the engine-wide skip
 // ratio, estimated latency quantiles, and per-column skipping state.
@@ -144,6 +161,11 @@ const (
 	SignalSkipRate   = health.SignalSkipRate
 	SignalQueueDepth = health.SignalQueueDepth
 	SignalWALLag     = health.SignalWALLag
+	// SignalSkipRegression alerts when any query template's skip rate
+	// decays against its own learned baseline. Shed-exempt: it reports
+	// degraded pruning quality, never overload, so DB.ShedStatus ignores
+	// it. Requires workload stats (Options.StatsMaxTemplates >= 0).
+	SignalSkipRegression = health.SignalSkipRegression
 )
 
 // RecoveryStats summarizes one WAL replay pass, as returned by DB.Recover.
@@ -347,6 +369,7 @@ type DB struct {
 	opts      Options
 	reg       *obs.Registry
 	events    *obs.EventLog
+	ledger    *obs.Ledger
 	admission *engine.Admission
 	traces    *obs.TraceRing
 	slow      *obs.TraceRing
@@ -393,6 +416,7 @@ func Open(opts Options) *DB {
 		engines:   make(map[string]executor),
 		reg:       obs.NewRegistry(),
 		events:    obs.NewEventLog(0),
+		ledger:    obs.NewLedger(0),
 		admission: engine.NewAdmission(opts.MaxConcurrentQueries),
 		traces:    obs.NewTraceRing(opts.TraceRingSize),
 		slow:      obs.NewTraceRing(opts.TraceRingSize),
@@ -435,6 +459,7 @@ func (db *DB) engineOptions() engine.Options {
 		Parallelism:        db.opts.Parallelism,
 		Metrics:            db.reg,
 		Events:             db.events,
+		Ledger:             db.ledger,
 		Limits:             db.opts.Limits,
 		Admission:          db.admission,
 		Traces:             db.traces,
@@ -485,6 +510,45 @@ func (db *DB) Skipmap(maxZones int) []SkipmapTable {
 	return out
 }
 
+// Adaptation returns the adaptation-ledger snapshot: the retained
+// zone-lifecycle records (oldest-first, with drop accounting) and one
+// ROI row per column per shard across the whole catalog. maxDead caps
+// each column's dead-zone detail (<= 0 omits the detail, keeping the
+// counts).
+func (db *DB) Adaptation(maxDead int) AdaptationSnapshot {
+	db.mu.RLock()
+	engines := make([]executor, 0, len(db.engines))
+	for _, e := range db.engines {
+		engines = append(engines, e)
+	}
+	db.mu.RUnlock()
+	snap := AdaptationSnapshot{
+		Total:   db.ledger.Seq(),
+		Dropped: db.ledger.Dropped(),
+		Events:  db.ledger.Records(),
+		ROI:     []AdaptationROI{},
+	}
+	for _, e := range engines {
+		switch x := e.(type) {
+		case *shard.Manager:
+			snap.ROI = append(snap.ROI, x.AdaptationROI(maxDead)...)
+		case *engine.Engine:
+			snap.ROI = append(snap.ROI, x.AdaptationROI(maxDead)...)
+		}
+	}
+	sort.Slice(snap.ROI, func(i, j int) bool {
+		a, b := snap.ROI[i], snap.ROI[j]
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Shard < b.Shard
+	})
+	return snap
+}
+
 // StartTelemetry starts the embedded telemetry HTTP server on addr
 // ("127.0.0.1:0" when empty — an ephemeral localhost port) and returns
 // the server's base URL. The server exposes /metrics (Prometheus),
@@ -518,6 +582,7 @@ func (db *DB) StartTelemetry(addr string) (string, error) {
 		src.Alerts = db.monitor.Alerts
 	}
 	src.Workload = db.stats
+	src.Adaptation = db.Adaptation
 	db.mu.Lock()
 	if db.telem != nil {
 		db.mu.Unlock()
@@ -559,6 +624,18 @@ func (db *DB) HealthStatus() HealthSeverity {
 		return HealthOK
 	}
 	return db.monitor.Status()
+}
+
+// ShedStatus returns the load-shedding severity: the overall alert
+// state restricted to shed-eligible signals. Shed-exempt signals (skip
+// regression — a pruning-quality report, not overload) can turn
+// HealthStatus critical without ever raising ShedStatus, so a
+// refuse-on-critical server gate should read this one. Lock-free.
+func (db *DB) ShedStatus() HealthSeverity {
+	if db.monitor == nil {
+		return HealthOK
+	}
+	return db.monitor.ShedStatus()
 }
 
 // Alerts returns the firing objectives and retained alert transitions
@@ -617,6 +694,9 @@ func (db *DB) fillHistory(s *HistorySample) {
 	s.LatencyP50 = obs.QuantileFromBuckets(bounds, buckets, 0.50)
 	s.LatencyP95 = obs.QuantileFromBuckets(bounds, buckets, 0.95)
 	s.AdaptEvents = int64(db.events.Seq())
+	// Worst per-template skip-rate decay vs its learned baseline — the
+	// skip_regression health signal (0 without workload stats).
+	s.SkipRegression = db.stats.RegressionGap()
 	db.mu.RLock()
 	l := db.wal
 	db.mu.RUnlock()

@@ -79,6 +79,22 @@ func (r *repl) skipmap(maxZones int) []obs.SkipmapTable {
 	return []obs.SkipmapTable{e.Skipmap(maxZones)}
 }
 
+// adaptation is the telemetry server's /adaptation source: the
+// session-level ledger (it survives \gen/\load engine swaps, like the
+// event log) joined with the current engine's ROI rows.
+func (r *repl) adaptation(maxDead int) obs.AdaptationSnapshot {
+	snap := obs.AdaptationSnapshot{
+		Total:   r.opts.Ledger.Seq(),
+		Dropped: r.opts.Ledger.Dropped(),
+		Events:  r.opts.Ledger.Records(),
+		ROI:     []obs.ColumnROI{},
+	}
+	if e := r.engine(); e != nil {
+		snap.ROI = append(snap.ROI, e.AdaptationROI(maxDead)...)
+	}
+	return snap
+}
+
 // fillHistory is the sampler's fill callback: the current engine's
 // cumulative totals plus the merged latency histogram, same shape the DB
 // facade produces, so the health monitor and /history see one timeline
@@ -129,6 +145,7 @@ func main() {
 		// reloads (attach rebuilds the engine).
 		Metrics:            obs.NewRegistry(),
 		Events:             obs.NewEventLog(0),
+		Ledger:             obs.NewLedger(0),
 		Traces:             obs.NewTraceRing(0),
 		SlowTraces:         obs.NewTraceRing(0),
 		SlowQueryThreshold: *slow,
@@ -202,6 +219,7 @@ func main() {
 			Skipmap:    r.skipmap,
 			History:    sampler,
 			Workload:   opts.Stats,
+			Adaptation: r.adaptation,
 		}
 		if mon := r.mon; mon != nil {
 			src.Health = func() (health.Snapshot, bool) { return mon.Snapshot(), true }

@@ -55,6 +55,7 @@ func main() {
 		retries  = flag.Int("retries", 0, "client retries for retryable refusals (recovering / load shedding); retried-then-succeeded requests are not errors")
 		health   = flag.String("assert-health", "", "after the run, GET this telemetry /health URL and exit non-zero unless it answers 200 with status ok")
 		wlURL    = flag.String("workload", "", "after the run, GET this telemetry /workload URL and print the top templates; exit non-zero if it answers but reports no templates")
+		skipMin  = flag.Float64("assert-skip-rate", 0, "after the run, exit non-zero unless the aggregate skip rate across all templates (fetched from the -workload URL) is at least this floor in (0,1]; 0 = off")
 	)
 	flag.Parse()
 
@@ -110,6 +111,59 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *skipMin != 0 {
+		if err := assertSkipRate(*wlURL, *skipMin); err != nil {
+			fmt.Fprintf(os.Stderr, "adskip-load: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// assertSkipRate fetches every template from a telemetry /workload
+// endpoint, folds rows skipped and rows read into one end-of-run
+// aggregate skip rate, and fails unless that rate clears the floor — a
+// load run can then double as a pruning-quality acceptance check: the
+// traffic it just generated must actually have been skipped, not merely
+// answered.
+func assertSkipRate(url string, min float64) error {
+	if min <= 0 || min > 1 {
+		return fmt.Errorf("assert-skip-rate: floor %v outside (0,1]", min)
+	}
+	if url == "" {
+		return fmt.Errorf("assert-skip-rate: needs the telemetry /workload URL (set -workload)")
+	}
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(url + "?sort=time&k=0") // k=0: every template, not the top-K view
+	if err != nil {
+		return fmt.Errorf("assert-skip-rate: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("assert-skip-rate: %s answered %d", url, resp.StatusCode)
+	}
+	var snap struct {
+		Templates []struct {
+			RowsRead    int64 `json:"rows_read"`
+			RowsSkipped int64 `json:"rows_skipped"`
+		} `json:"templates"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("assert-skip-rate: decode %s: %w", url, err)
+	}
+	var read, skipped int64
+	for _, t := range snap.Templates {
+		read += t.RowsRead
+		skipped += t.RowsSkipped
+	}
+	if read+skipped == 0 {
+		return fmt.Errorf("assert-skip-rate: %s reports no scanned rows — nothing to rate", url)
+	}
+	rate := float64(skipped) / float64(read+skipped)
+	fmt.Printf("skip rate: %.3f (%d skipped / %d candidate rows)\n", rate, skipped, read+skipped)
+	if rate < min {
+		return fmt.Errorf("assert-skip-rate: aggregate skip rate %.3f below floor %.3f", rate, min)
+	}
+	return nil
 }
 
 // printWorkload fetches a telemetry /workload endpoint and renders the

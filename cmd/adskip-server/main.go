@@ -73,6 +73,7 @@ func main() {
 		sloErr     = flag.Float64("slo-err", 0, "error-rate SLO threshold in (0,1) (0 = objective off)")
 		sloSkip    = flag.Float64("slo-skip", 0, "minimum skip-rate SLO threshold in (0,1] (0 = objective off)")
 		sloWALLag  = flag.Duration("slo-wal-lag", 0, "max WAL fsync lag SLO threshold (0 = objective off; requires -wal-dir)")
+		sloSkipReg = flag.Float64("slo-skip-regression", 0, "max per-template skip-rate regression vs learned baseline, in (0,1) (0 = objective off; shed-exempt: alerts but never refuses queries)")
 		sloWindows = flag.String("slo-windows", "", "burn-rate windows as short,mid,long (default 10s,1m,5m)")
 		histInt    = flag.Duration("history-interval", 0, "health/timeline sampling interval (0 = default 1s)")
 		faultDelay = flag.Duration("fault-scan-delay", 0,
@@ -109,6 +110,10 @@ func main() {
 		}
 		opts.Objectives = append(opts.Objectives,
 			adskip.Objective{Name: "wal-lag", Signal: adskip.SignalWALLag, Threshold: sloWALLag.Seconds()})
+	}
+	if *sloSkipReg > 0 {
+		opts.Objectives = append(opts.Objectives,
+			adskip.Objective{Name: "skip-regression", Signal: adskip.SignalSkipRegression, Threshold: *sloSkipReg})
 	}
 	if *walDir != "" {
 		opts.Durability = adskip.Durability{

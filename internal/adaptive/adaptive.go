@@ -147,6 +147,11 @@ type zone struct {
 	// stays O(blocks + overlapping zones). Split children start at zero;
 	// merges sum both sides.
 	hits, misses uint64
+	// widened marks a zone whose value hull was loosened by an in-place
+	// update since it was last (re)built, so a prune miss on it may be
+	// stale metadata rather than data distribution. Cleared when a split
+	// or fold recomputes exact bounds; merges inherit either side's flag.
+	widened bool
 }
 
 const zoneBytes = 8 + 8 + 8 + 8 + 8 + 8 + 16 // struct footprint estimate
@@ -199,11 +204,28 @@ type Zonemap struct {
 	lastRanges expr.Ranges // predicate of the in-flight query (Prune→Observe)
 	scratch    []zone      // reusable buffer for structural rebuilds
 
+	// Why-not-skipped classification of the most recent Prune (see
+	// core.PruneReasoner): zones left as candidates because of genuine
+	// bounds overlap, loosened (widened) bounds, or a NULL-blocked
+	// coverage proof.
+	lastOverlap, lastWidened, lastNullStraddle int
+
+	// Cumulative probe accounting for ROI reporting: lifetime rows
+	// skipped and zone probes across all Prune/PruneNulls calls. Two adds
+	// per query, far below the probe work itself.
+	cumRowsSkipped int64
+	cumZoneProbes  int64
+	// maintEvents counts structural/arbitration events (the ledger
+	// debits); maintZones counts the zones those events touched.
+	maintEvents int64
+	maintZones  int64
+
 	// health is non-nil once corruption has been detected; the zonemap
 	// then declines every probe and ignores maintenance calls.
 	health error
 
-	events func(obs.Event) // adaptation-event sink; nil = no reporting
+	events func(obs.Event)        // adaptation-event sink; nil = no reporting
+	ledger func(obs.LedgerRecord) // adaptation-ledger sink; nil = no journal
 }
 
 // Health implements core.HealthChecker: non-nil once the zonemap has
@@ -223,11 +245,31 @@ func (z *Zonemap) setHealth(err error) {
 // the sink is far off the scan path.
 func (z *Zonemap) SetEventSink(sink func(obs.Event)) { z.events = sink }
 
-// emit reports one adaptation event if a sink is installed.
+// emit reports one adaptation event if a sink is installed, and counts
+// it as a maintenance debit for ROI accounting.
 func (z *Zonemap) emit(kind obs.EventKind, delta int) {
+	z.maintEvents++
 	if z.events != nil {
 		z.events(obs.Event{Kind: kind, Zones: len(z.zones), Delta: delta})
 	}
+}
+
+// SetLedgerSink implements core.LedgerEmitter: zone-lifecycle records
+// with cause and before/after bounds are journaled through sink. Like
+// the event sink, it fires only on structural change, never per probe.
+func (z *Zonemap) SetLedgerSink(sink func(obs.LedgerRecord)) { z.ledger = sink }
+
+// ledgerEmit journals one lifecycle record if a sink is installed.
+func (z *Zonemap) ledgerEmit(rec obs.LedgerRecord) {
+	if z.ledger != nil {
+		z.ledger(rec)
+	}
+}
+
+// LastPruneReasons implements core.PruneReasoner: the miss
+// classification of the most recent Prune call.
+func (z *Zonemap) LastPruneReasons() (overlap, widened, nullStraddle int) {
+	return z.lastOverlap, z.lastWidened, z.lastNullStraddle
 }
 
 // New builds an adaptive zonemap over the column's current physical state.
@@ -320,6 +362,49 @@ func (z *Zonemap) SnapshotZones(max int) []obs.SkipmapZone {
 	return out
 }
 
+// maintCostRows is the assumed cost of one zone's worth of maintenance
+// work (split bound computation, merge bookkeeping, fold recompute) in
+// row-equivalents. Splits piggyback on scans the query already paid for,
+// so the residual cost is small but not free: copying zone structs,
+// rebuilding the coarse level, and the cache pollution of touching the
+// metadata all land near the cost of scanning ~64 rows. ROI accounting
+// debits this per maintenance-touched zone.
+const maintCostRows = 64
+
+// SnapshotROI implements core.ROIReporter: the column's lifetime
+// adaptation return-on-investment. Credit is rows the metadata pruned;
+// debit is probe work plus maintenance work in row-equivalents under the
+// configured cost model. Dead zones — probed but never once useful — are
+// counted and detailed up to maxDead, so operators can see which row
+// ranges carry metadata that earns nothing.
+func (z *Zonemap) SnapshotROI(maxDead int) obs.ColumnROI {
+	z.flushBlockHits()
+	md := z.Metadata()
+	roi := obs.ColumnROI{
+		Kind: md.Kind, Zones: md.Zones, Bytes: md.Bytes,
+		RowsSkipped: z.cumRowsSkipped,
+		ZoneProbes:  z.cumZoneProbes,
+		MaintEvents: z.maintEvents,
+		MaintZones:  z.maintZones,
+		NetRows: z.cfg.RowCost*float64(z.cumRowsSkipped) -
+			z.cfg.ProbeCost*float64(z.cumZoneProbes) -
+			maintCostRows*float64(z.maintZones),
+	}
+	for i := range z.zones {
+		zn := &z.zones[i]
+		if zn.hits == 0 && zn.misses > 0 {
+			roi.DeadZones++
+			if maxDead > 0 && len(roi.DeadZoneDetail) < maxDead {
+				roi.DeadZoneDetail = append(roi.DeadZoneDetail, obs.ROIZone{
+					Lo: zn.lo, Hi: zn.hi, Min: zn.min, Max: zn.max,
+					Hits: zn.hits, Misses: zn.misses,
+				})
+			}
+		}
+	}
+	return roi
+}
+
 // widenBlock loosens the block containing zone index i to admit code.
 func (z *Zonemap) widenBlock(i int, code int64) {
 	b := &z.blocks[i/blockZones]
@@ -394,6 +479,7 @@ func (z *Zonemap) Prune(r expr.Ranges) core.PruneResult {
 		return core.PruneResult{Enabled: false}
 	}
 	z.lastRanges = r
+	z.lastOverlap, z.lastWidened, z.lastNullStraddle = 0, 0, 0
 	if !z.enabled {
 		z.disabledQueries++
 		if z.disabledQueries%z.cfg.ReprobeEvery == 0 {
@@ -467,6 +553,24 @@ func (z *Zonemap) Prune(r expr.Ranges) core.PruneResult {
 				// runs can merge below without losing the merge signal.)
 				zn.heat -= z.cfg.HeatAlpha * zn.heat
 				zn.misses++
+				// Classify the miss for the why-not-skipped trace: a hull
+				// the predicate fully covers means only NULL rows blocked
+				// the coverage proof; a loosened hull means the miss may be
+				// stale metadata; otherwise the bounds genuinely straddle.
+				var coversHull bool
+				if single {
+					coversHull = rlo <= zn.min && zn.max <= rhi
+				} else {
+					coversHull = r.Covers(zn.min, zn.max)
+				}
+				switch {
+				case coversHull:
+					z.lastNullStraddle++
+				case zn.widened:
+					z.lastWidened++
+				default:
+					z.lastOverlap++
+				}
 				if zn.statSkip > 0 {
 					zn.statSkip--
 				} else if parts := z.statParts(zn); parts >= 2 {
@@ -495,6 +599,8 @@ func (z *Zonemap) Prune(r expr.Ranges) core.PruneResult {
 	if z.rows > z.tailLo {
 		res.Zones = append(res.Zones, core.CandidateZone{ID: core.NoZoneID, Lo: z.tailLo, Hi: z.rows})
 	}
+	z.cumRowsSkipped += int64(res.RowsSkipped)
+	z.cumZoneProbes += int64(res.ZonesProbed)
 	return res
 }
 
@@ -545,6 +651,8 @@ func (z *Zonemap) PruneNulls() core.PruneResult {
 	if z.rows > z.tailLo {
 		res.Zones = append(res.Zones, core.CandidateZone{ID: core.NoZoneID, Lo: z.tailLo, Hi: z.rows})
 	}
+	z.cumRowsSkipped += int64(res.RowsSkipped)
+	z.cumZoneProbes += int64(res.ZonesProbed)
 	return res
 }
 
@@ -575,10 +683,35 @@ func (z *Zonemap) FoldTail(codes []int64, nulls *bitvec.BitVec) {
 	}
 	z.flushBlockHits()
 	before := len(z.zones)
+	foldLo := z.tailLo
 	z.appendZones(codes, nulls, z.tailLo, z.rows)
 	z.tailLo = z.rows
 	z.rebuildBlocks()
+	z.maintZones += int64(len(z.zones) - before)
 	z.emit(obs.EventTailFold, len(z.zones)-before)
+	rec := obs.LedgerRecord{
+		Kind: obs.EventTailFold, Cause: "append-fold",
+		ZonesBefore: before, ZonesAfter: len(z.zones),
+		RowLo: foldLo, RowHi: z.rows,
+	}
+	// The folded region's hull: the tail had no metadata before.
+	for i := before; i < len(z.zones); i++ {
+		zn := &z.zones[i]
+		if zn.nonNull == 0 {
+			continue
+		}
+		if rec.MinAfter == 0 && rec.MaxAfter == 0 && i == before {
+			rec.MinAfter, rec.MaxAfter = zn.min, zn.max
+			continue
+		}
+		if zn.min < rec.MinAfter {
+			rec.MinAfter = zn.min
+		}
+		if zn.max > rec.MaxAfter {
+			rec.MaxAfter = zn.max
+		}
+	}
+	z.ledgerEmit(rec)
 }
 
 // Widen implements core.Skipper: loosen the enclosing zone's bounds so an
@@ -600,11 +733,28 @@ func (z *Zonemap) Widen(row int, code int64) {
 		zn.min, zn.max = code, code
 		return
 	}
+	if code >= zn.min && code <= zn.max {
+		return // inside the hull; nothing loosened
+	}
+	minBefore, maxBefore := zn.min, zn.max
 	if code < zn.min {
 		zn.min = code
 	}
 	if code > zn.max {
 		zn.max = code
+	}
+	// Journal only the first loosening since the zone's last rebuild:
+	// the flag is what the why-not-skipped classifier reads, and one
+	// record per zone generation bounds ledger churn under update floods.
+	if !zn.widened {
+		zn.widened = true
+		z.ledgerEmit(obs.LedgerRecord{
+			Kind: obs.EventWiden, Cause: "update-widen",
+			ZonesBefore: len(z.zones), ZonesAfter: len(z.zones),
+			RowLo: zn.lo, RowHi: zn.hi,
+			MinBefore: minBefore, MaxBefore: maxBefore,
+			MinAfter: zn.min, MaxAfter: zn.max,
+		})
 	}
 }
 
@@ -725,4 +875,7 @@ var (
 	_ core.HealthChecker    = (*Zonemap)(nil)
 	_ core.InvariantChecker = (*Zonemap)(nil)
 	_ core.ZoneIntrospector = (*Zonemap)(nil)
+	_ core.LedgerEmitter    = (*Zonemap)(nil)
+	_ core.PruneReasoner    = (*Zonemap)(nil)
+	_ core.ROIReporter      = (*Zonemap)(nil)
 )

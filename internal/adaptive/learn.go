@@ -33,6 +33,11 @@ func (z *Zonemap) Observe(res core.PruneResult, zobs []core.ZoneObservation) {
 		z.disabledQueries = 0
 		z.disables++
 		z.emit(obs.EventDisable, 0)
+		z.ledgerEmit(obs.LedgerRecord{
+			Kind: obs.EventDisable, Cause: "net-benefit",
+			ZonesBefore: len(z.zones), ZonesAfter: len(z.zones),
+			RowLo: 0, RowHi: z.tailLo,
+		})
 		return // structure frozen while disabled
 	}
 
@@ -160,8 +165,37 @@ func (z *Zonemap) applySplits(plans []splitPlan) {
 	out := z.scratch[:0]
 	for i := range z.zones {
 		if subs, ok := byIdx[i]; ok {
+			// One ledger record per refined zone: the parent's window and
+			// (possibly loosened) hull before, the children's exact hull
+			// after — the journal shows each split re-tightening metadata.
+			parent := &z.zones[i]
+			rec := obs.LedgerRecord{
+				Kind: obs.EventSplit, Cause: "split-gain",
+				ZonesBefore: 1, ZonesAfter: len(subs),
+				RowLo: parent.lo, RowHi: parent.hi,
+				MinBefore: parent.min, MaxBefore: parent.max,
+			}
+			hullSet := false
+			for k := range subs {
+				if subs[k].nonNull == 0 {
+					continue
+				}
+				if !hullSet {
+					rec.MinAfter, rec.MaxAfter = subs[k].min, subs[k].max
+					hullSet = true
+					continue
+				}
+				if subs[k].min < rec.MinAfter {
+					rec.MinAfter = subs[k].min
+				}
+				if subs[k].max > rec.MaxAfter {
+					rec.MaxAfter = subs[k].max
+				}
+			}
+			z.ledgerEmit(rec)
 			out = append(out, subs...)
 			z.splits += len(subs) - 1
+			z.maintZones += int64(len(subs))
 		} else {
 			out = append(out, z.zones[i])
 		}
@@ -183,8 +217,14 @@ type splitPlan struct {
 // bounds remain sound.
 func (z *Zonemap) mergeSweep() {
 	z.flushBlockHits()
+	before := len(z.zones)
 	out := z.zones[:0]
 	i := 0
+	// One summary ledger record per sweep covering every coalesced run:
+	// the affected row span and the union hull of the merged zones.
+	spanLo, spanHi := -1, 0
+	var hullMin, hullMax int64
+	hullSet := false
 	for i < len(z.zones) {
 		cur := z.zones[i]
 		j := i + 1
@@ -197,11 +237,39 @@ func (z *Zonemap) mergeSweep() {
 			cur = mergeZones(cur, nxt)
 			j++
 		}
+		if j-i > 1 {
+			if spanLo < 0 {
+				spanLo = cur.lo
+			}
+			spanHi = cur.hi
+			if cur.nonNull > 0 {
+				if !hullSet {
+					hullMin, hullMax, hullSet = cur.min, cur.max, true
+				} else {
+					if cur.min < hullMin {
+						hullMin = cur.min
+					}
+					if cur.max > hullMax {
+						hullMax = cur.max
+					}
+				}
+			}
+		}
 		z.merges += j - i - 1
 		out = append(out, cur)
 		i = j
 	}
 	z.zones = out
+	if removed := before - len(out); removed > 0 {
+		z.maintZones += int64(removed)
+		z.ledgerEmit(obs.LedgerRecord{
+			Kind: obs.EventMerge, Cause: "merge-cold",
+			ZonesBefore: before, ZonesAfter: len(out),
+			RowLo: spanLo, RowHi: spanHi,
+			MinBefore: hullMin, MaxBefore: hullMax,
+			MinAfter: hullMin, MaxAfter: hullMax,
+		})
+	}
 }
 
 // boundsCompatible reports whether merging a and b loses little pruning
@@ -234,7 +302,8 @@ func boundsCompatible(a, b *zone) bool {
 // prune counters sum: the union inherits both sides' history.
 func mergeZones(a, b zone) zone {
 	m := zone{lo: a.lo, hi: b.hi, nonNull: a.nonNull + b.nonNull,
-		hits: a.hits + b.hits, misses: a.misses + b.misses}
+		hits: a.hits + b.hits, misses: a.misses + b.misses,
+		widened: a.widened || b.widened}
 	switch {
 	case a.nonNull == 0:
 		m.min, m.max = b.min, b.max
@@ -278,5 +347,10 @@ func (z *Zonemap) shadowProbe(r expr.Ranges) {
 		z.enabled = true
 		z.enables++
 		z.emit(obs.EventEnable, 0)
+		z.ledgerEmit(obs.LedgerRecord{
+			Kind: obs.EventEnable, Cause: "shadow-probe",
+			ZonesBefore: len(z.zones), ZonesAfter: len(z.zones),
+			RowLo: 0, RowHi: z.tailLo,
+		})
 	}
 }

@@ -132,6 +132,40 @@ type EventEmitter interface {
 	SetEventSink(sink func(obs.Event))
 }
 
+// LedgerEmitter is implemented by skippers that journal their zone
+// lifecycle with provenance: each record carries the change's cause and
+// the before/after shape of the affected metadata. The engine installs
+// the sink at registration and stamps table/shard identity plus the
+// triggering query fingerprint, none of which the skipper knows.
+// Records are emitted only on structural change — never per probe — so
+// the sink stays off the scan hot path.
+type LedgerEmitter interface {
+	SetLedgerSink(sink func(obs.LedgerRecord))
+}
+
+// PruneReasoner is implemented by skippers that classify why candidate
+// zones failed to prune on the most recent Prune call: genuine value
+// overlap, bounds widened by appends/updates since the zone was last
+// rebuilt, or a coverage proof blocked by NULLs. The engine reads the
+// counts right after Prune (probes are serialized per column) and
+// stamps them into the query's predicate trace.
+type PruneReasoner interface {
+	// LastPruneReasons returns the miss classification of the most recent
+	// Prune: zones left as candidates because of genuine bounds overlap,
+	// because their hull was widened since last rebuild, and because NULL
+	// rows blocked an otherwise-complete coverage proof.
+	LastPruneReasons() (overlap, widened, nullStraddle int)
+}
+
+// ROIReporter is implemented by skippers that can account for their own
+// return on investment: pruning credit versus probe and maintenance
+// debit under the structure's cost model, plus the dead zones whose
+// metadata never pruned. The engine stamps table/shard/column identity.
+// maxDead caps the per-zone dead-zone detail (<= 0 omits detail).
+type ROIReporter interface {
+	SnapshotROI(maxDead int) obs.ColumnROI
+}
+
 // ---------------------------------------------------------------------------
 // Policy: no skipping.
 

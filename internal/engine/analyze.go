@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"adskip/internal/obs"
 )
@@ -34,6 +35,9 @@ func (e *Engine) ExplainAnalyzeContext(ctx context.Context, q Query) ([]string, 
 	if wl := e.workloadLine(res.Trace); wl != "" {
 		lines = append(lines, wl)
 	}
+	if ll := e.ledgerLine(); ll != "" {
+		lines = append(lines, ll)
+	}
 	return lines, res, nil
 }
 
@@ -49,6 +53,24 @@ func (e *Engine) workloadLine(tr *obs.QueryTrace) string {
 	}
 	return fmt.Sprintf("workload: template %q — %d calls (%d errors, %d cache hits), mean %.0fµs, p95 %.0fµs, %.1f%% rows skipped",
 		ts.Fingerprint, ts.Calls, ts.Errors, ts.CacheHits, ts.MeanUS, ts.P95US, 100*ts.SkipRatio)
+}
+
+// ledgerLine renders the adaptation-ledger footer: the table's lifetime
+// ledger totals (events since the table was loaded, split count, and the
+// template behind the most recent split), or "" before any ledger
+// activity. Shown next to the workload footer so an analyzed query also
+// reports how much structural churn its table has seen.
+func (e *Engine) ledgerLine() string {
+	lt := e.ledger.Totals(e.tbl.Name())
+	if lt.Events == 0 {
+		return ""
+	}
+	line := fmt.Sprintf("ledger: %d adaptation events (%d splits)", lt.Events, lt.Splits)
+	if !lt.LastSplit.IsZero() {
+		line += fmt.Sprintf(", last split %s ago by %q",
+			time.Since(lt.LastSplit).Round(time.Millisecond), lt.LastSplitCause)
+	}
+	return line
 }
 
 // AnalyzeLines renders an executed query's trace in EXPLAIN ANALYZE form.

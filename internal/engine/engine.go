@@ -78,6 +78,13 @@ type Options struct {
 	// Events receives adaptation events (splits, merges, arbitration
 	// flips). When nil, the engine creates a private log.
 	Events *obs.EventLog
+	// Ledger receives zone-lifecycle provenance records: every structural
+	// change with its cause, the fingerprint of the query that triggered
+	// it, and the before/after bounds. When nil, the engine creates a
+	// private ledger. Share one ledger across engines (the DB facade does)
+	// so /adaptation sees catalog-wide history; per-shard records stay
+	// distinguishable by their shard stamp.
+	Ledger *obs.Ledger
 	// Limits bounds each query's resource consumption (zero value = no
 	// limits). Enforced at cooperative checkpoints; see Limits.
 	Limits Limits
@@ -154,6 +161,7 @@ type Engine struct {
 	// a running query's hold of mu.
 	reg    *obs.Registry
 	events *obs.EventLog
+	ledger *obs.Ledger
 	m      engMetrics
 	colMu  sync.Mutex
 	colM   map[string]*colMetrics
@@ -193,6 +201,10 @@ func New(tbl *table.Table, opts Options) *Engine {
 	if e.events == nil {
 		e.events = obs.NewEventLog(0)
 	}
+	e.ledger = opts.Ledger
+	if e.ledger == nil {
+		e.ledger = obs.NewLedger(0)
+	}
 	e.traces = opts.Traces
 	if e.traces == nil {
 		e.traces = obs.NewTraceRing(0)
@@ -216,6 +228,9 @@ func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
 // Events returns a chronological copy of the retained adaptation events.
 func (e *Engine) Events() []obs.Event { return e.events.Events() }
+
+// Ledger returns the adaptation ledger this engine journals into.
+func (e *Engine) Ledger() *obs.Ledger { return e.ledger }
 
 // Traces returns the ring of recently completed query traces.
 func (e *Engine) Traces() *obs.TraceRing { return e.traces }
@@ -282,9 +297,30 @@ func (e *Engine) registerSkipper(name string, kind obs.EventKind) {
 	if em, ok := s.(core.EventEmitter); ok {
 		em.SetEventSink(e.eventSink(name))
 	}
+	if le, ok := s.(core.LedgerEmitter); ok {
+		le.SetLedgerSink(e.ledgerSink(name))
+	}
 	md := s.Metadata()
 	e.eventSink(name)(obs.Event{Kind: kind, Zones: md.Zones})
+	e.ledgerSink(name)(obs.LedgerRecord{
+		Kind: kind, Cause: lifecycleCause(kind),
+		ZonesAfter: md.Zones, RowHi: s.Rows(),
+	})
 	e.colMetrics(name).refreshGauges(s)
+}
+
+// lifecycleCause maps engine-level lifecycle kinds to ledger causes.
+func lifecycleCause(kind obs.EventKind) string {
+	switch kind {
+	case obs.EventSkipperBuilt:
+		return "build"
+	case obs.EventSkipperLoad:
+		return "snapshot"
+	case obs.EventRebuild:
+		return "manual"
+	default:
+		return kind.String()
+	}
 }
 
 // Skipper returns the skipper for a column, or nil if none is registered.

@@ -177,6 +177,7 @@ func (e *Engine) queryOnce(ctx context.Context, q Query) (out *Result, err error
 	qc := e.newQctx(ctx)
 	root := obs.NewSpan("query")
 	tr := &obs.QueryTrace{Table: e.tbl.Name(), Start: root.Start, Root: root,
+		Shard:       e.opts.Shard,
 		Session:     obs.SessionFromContext(ctx),
 		TraceID:     obs.TraceFromContext(ctx),
 		Fingerprint: obs.TemplateFromContext(ctx),

@@ -33,6 +33,7 @@ func (e *Engine) FillHistory(s *obs.HistorySample) {
 		}
 		s.Columns = append(s.Columns, obs.HistoryColumn{
 			Table:     table,
+			Shard:     e.opts.Shard,
 			Column:    name,
 			SkipRatio: ratio,
 			Zones:     cm.zones.Load(),

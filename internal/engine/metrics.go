@@ -178,6 +178,25 @@ func (e *Engine) eventSink(col string) func(obs.Event) {
 	}
 }
 
+// ledgerSink returns the adaptation-ledger sink installed on a column's
+// skipper: it stamps table/shard/column identity and — when the record
+// arrives mid-query — the fingerprint of the query whose feedback
+// triggered the change, bumps the per-kind record counter, and journals
+// the record. Skippers emit only on structural change and are called
+// under the engine mutex, so reading e.trace here is safe.
+func (e *Engine) ledgerSink(col string) func(obs.LedgerRecord) {
+	table, shard := e.tbl.Name(), e.opts.Shard
+	return func(rec obs.LedgerRecord) {
+		rec.Table, rec.Column, rec.Shard = table, col, shard
+		if rec.Fingerprint == "" && e.trace != nil {
+			rec.Fingerprint = e.trace.Fingerprint
+		}
+		e.reg.Counter("adskip_adapt_ledger_records_total", "Adaptation ledger records by kind.",
+			metricLabels(table, shard, obs.L("column", col), obs.L("kind", rec.Kind.String()))...).Inc()
+		e.ledger.Append(rec)
+	}
+}
+
 // tracePredicates fills the trace's per-predicate section from the probed
 // plans and charges the probe outcome to the per-column counters.
 func (e *Engine) tracePredicates(tr *obs.QueryTrace, plans []colPlan) {
@@ -199,6 +218,9 @@ func (e *Engine) tracePredicates(tr *obs.QueryTrace, plans []colPlan) {
 		pt.Active = p.active
 		pt.ZonesProbed = p.res.ZonesProbed
 		pt.EstRowsSkipped = p.res.RowsSkipped
+		if pr, ok := p.skipper.(core.PruneReasoner); ok && p.active {
+			pt.NotSkippedOverlap, pt.NotSkippedWidened, pt.NotSkippedNullStraddle = pr.LastPruneReasons()
+		}
 		for _, z := range p.res.Zones {
 			pt.Windows++
 			pt.CandidateRows += z.Hi - z.Lo

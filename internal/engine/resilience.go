@@ -294,6 +294,12 @@ func (e *Engine) quarantineLocked(col string, cause error) {
 		zones = s.Metadata().Zones
 	}()
 	e.eventSink(col)(obs.Event{Kind: obs.EventQuarantine, Zones: zones})
+	qcause := "corruption"
+	var pe *panicError
+	if errors.As(cause, &pe) {
+		qcause = "panic"
+	}
+	e.ledgerSink(col)(obs.LedgerRecord{Kind: obs.EventQuarantine, Cause: qcause, ZonesBefore: zones})
 	if e.log != nil {
 		e.log.Error("skipper quarantined: column falls back to full scans",
 			"table", e.tbl.Name(), "column", col, "cause", cause.Error())

@@ -59,3 +59,35 @@ func (e *Engine) Skipmap(maxZones int) obs.SkipmapTable {
 	}
 	return st
 }
+
+// AdaptationROI assembles the table's per-column return-on-investment
+// rows for /adaptation: each ROI-reporting skipper's lifetime credit
+// (rows pruned) against its debit (probe and maintenance work), joined
+// with the engine's per-column prune counters. Dead-zone detail is
+// capped at maxDead entries per column. Taken under the engine mutex,
+// like Skipmap, so the view is consistent with in-flight queries.
+func (e *Engine) AdaptationROI(maxDead int) []obs.ColumnROI {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.skippers))
+	for name := range e.skippers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []obs.ColumnROI
+	for _, name := range names {
+		rr, ok := e.skippers[name].(core.ROIReporter)
+		if !ok {
+			continue
+		}
+		roi := rr.SnapshotROI(maxDead)
+		roi.Table, roi.Shard, roi.Column = e.tbl.Name(), e.opts.Shard, name
+		cm := e.colMetrics(name)
+		roi.RowsCovered = cm.coveredRows.Load()
+		roi.CandidateRows = cm.candidateRows.Load()
+		// One int64 code per row: the bytes a pruned scan never touched.
+		roi.BytesSkipped = roi.RowsSkipped * 8
+		out = append(out, roi)
+	}
+	return out
+}

@@ -46,16 +46,37 @@ const (
 	// it under the commit window; sustained growth means the disk cannot
 	// keep up and acknowledged-write latency is climbing.
 	SignalWALLag Signal = "wal_lag"
+	// SignalSkipRegression is the worst per-template skip-rate regression
+	// at tick time: max over templates of (learned baseline − fast EWMA)
+	// of the template's skip rate. Where skip_rate alerts on the absolute
+	// level, skip_regression alerts on *decay relative to the template's
+	// own history* — it fires when pruning that used to work stops
+	// working (stale metadata after appends, merged-away zones,
+	// arbitration flips), even on workloads whose natural skip rate would
+	// never trip an absolute threshold. Instantaneous, like queue depth.
+	// Requires workload stats (the signal reads per-template EWMAs).
+	SignalSkipRegression Signal = "skip_regression"
 )
 
 // LowerIsBad reports the breach direction: skip rate breaches when it
-// falls below its threshold, every other signal when it rises above.
+// falls below its threshold, every other signal (including
+// skip_regression, which measures a gap that grows as pruning decays)
+// when it rises above.
 func (s Signal) LowerIsBad() bool { return s == SignalSkipRate }
+
+// ShedExempt reports whether the signal is exempt from load shedding.
+// A skip_regression breach means pruning quality degraded, not that the
+// server is overloaded — refusing queries would not relieve it (and
+// would turn an efficiency alert into an availability incident). The
+// query server's refuse-on-critical gate reads Monitor.ShedStatus,
+// which skips exempt signals.
+func (s Signal) ShedExempt() bool { return s == SignalSkipRegression }
 
 // valid reports whether s is one of the supported signals.
 func (s Signal) valid() bool {
 	switch s {
-	case SignalLatencyP50, SignalLatencyP95, SignalErrorRate, SignalSkipRate, SignalQueueDepth, SignalWALLag:
+	case SignalLatencyP50, SignalLatencyP95, SignalErrorRate, SignalSkipRate,
+		SignalQueueDepth, SignalWALLag, SignalSkipRegression:
 		return true
 	}
 	return false

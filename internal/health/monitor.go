@@ -41,8 +41,12 @@ type Monitor struct {
 	latScratch []int64
 
 	// status mirrors overall for lock-free readers: the query server's
-	// refuse-on-burn gate reads it per request.
-	status atomic.Int32
+	// refuse-on-burn gate reads it per request. shedStatus is the same
+	// aggregate restricted to shed-eligible objectives (signals whose
+	// ShedExempt() is false) — the gate reads this one, so a metadata-
+	// quality alert like skip_regression never refuses queries.
+	status     atomic.Int32
+	shedStatus atomic.Int32
 
 	log *slog.Logger
 
@@ -181,6 +185,14 @@ func windowTicks(w, interval time.Duration) int {
 // Status returns the overall severity without locking.
 func (m *Monitor) Status() Severity { return Severity(m.status.Load()) }
 
+// ShedStatus returns the overall severity over shed-eligible objectives
+// only — every objective except those on shed-exempt signals (see
+// Signal.ShedExempt). This is the status the query server's
+// refuse-on-critical gate should consult: a skip_regression alert means
+// pruning got worse, not that the server is drowning, and shedding load
+// for it would manufacture an outage out of an efficiency report.
+func (m *Monitor) ShedStatus() Severity { return Severity(m.shedStatus.Load()) }
+
 // Interval returns the tick interval the monitor was built for.
 func (m *Monitor) Interval() time.Duration { return m.interval }
 
@@ -199,13 +211,17 @@ func (m *Monitor) OnSample(s *obs.HistorySample) {
 		m.noteEval(t0)
 		return
 	}
-	overall := SevOK
+	overall, shed := SevOK, SevOK
 	for _, os := range m.objs {
 		m.evalObjective(os, s.Time)
 		if os.state > overall {
 			overall = os.state
 		}
+		if !os.obj.Signal.ShedExempt() && os.state > shed {
+			shed = os.state
+		}
 	}
+	m.shedStatus.Store(int32(shed))
 	if overall != m.overall {
 		m.overall = overall
 		m.since = s.Time
@@ -410,6 +426,23 @@ func (m *Monitor) windowValue(sig Signal, w int) (value float64, ok bool) {
 		for back := 0; back < w; back++ {
 			if lag := m.ticks.at(back).walLag; lag > max {
 				max = lag
+			}
+		}
+		return max, true
+	case SignalSkipRegression:
+		// Instantaneous like queue depth: the stats layer already smooths
+		// the series (fast vs slow EWMA), so the per-tick verdict reads the
+		// tick's value and the window aggregate is the worst gap seen.
+		if w <= 1 {
+			return now.skipReg, true
+		}
+		if w > m.ticks.n-1 {
+			w = m.ticks.n - 1
+		}
+		max := 0.0
+		for back := 0; back < w; back++ {
+			if g := m.ticks.at(back).skipReg; g > max {
+				max = g
 			}
 		}
 		return max, true

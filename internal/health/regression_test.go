@@ -1,0 +1,123 @@
+package health
+
+import (
+	"testing"
+
+	"adskip/internal/obs"
+)
+
+// The skip_regression signal follows the queue-depth shape (instantaneous
+// value, max over a window) but is shed-exempt: it may turn /health red
+// without ever refusing traffic.
+
+func TestSkipRegressionSignalFires(t *testing.T) {
+	obj := Objective{Signal: SignalSkipRegression, Threshold: 0.3}
+	m, f := testObjectives(t, []Objective{obj}, testConfig())
+	f.tick(nil)
+	// Pruning at or above baseline: gap 0, nothing fires.
+	for i := 0; i < 6; i++ {
+		f.tick(func(s *obs.HistorySample) { s.SkipRegression = 0 })
+	}
+	if m.Status() != SevOK {
+		t.Fatalf("no regression: status = %v, want ok", m.Status())
+	}
+	// A template collapses half a skip-rate below its learned baseline —
+	// well past the 0.3 objective, so ticks go bad and the signal fires.
+	for i := 0; i < 6; i++ {
+		f.tick(func(s *obs.HistorySample) { s.SkipRegression = 0.5 })
+	}
+	if m.Status() != SevCritical {
+		t.Fatalf("sustained regression: status = %v, want critical", m.Status())
+	}
+	// The window aggregate reports the worst gap seen, not an average.
+	snap := m.Snapshot()
+	if v := snap.Objectives[0].Windows[2].Value; v != 0.5 {
+		t.Fatalf("long-window regression value = %v, want 0.5", v)
+	}
+}
+
+// Warn-and-back: a shorter regression burst trips warning, then clears
+// through ClearTicks hysteresis once pruning recovers.
+func TestSkipRegressionWarnsAndClears(t *testing.T) {
+	obj := Objective{Signal: SignalSkipRegression, Threshold: 0.3}
+	m, f := testObjectives(t, []Objective{obj}, testConfig())
+	f.tick(nil)
+	for i := 0; i < 12; i++ {
+		f.tick(func(s *obs.HistorySample) { s.SkipRegression = 0.01 })
+	}
+	if m.Status() != SevOK {
+		t.Fatalf("tiny gap: status = %v, want ok", m.Status())
+	}
+	// Burst: climb at least to warning.
+	for i := 0; i < 4 && m.Status() == SevOK; i++ {
+		f.tick(func(s *obs.HistorySample) { s.SkipRegression = 0.8 })
+	}
+	if m.Status() == SevOK {
+		t.Fatal("regression burst never left ok")
+	}
+	// Recovery: hysteresis holds the state for ClearTicks before any step
+	// down, then the breach ages out of the windows entirely.
+	f.tick(func(s *obs.HistorySample) { s.SkipRegression = 0 })
+	if m.Status() == SevOK {
+		t.Fatal("single good tick cleared the alert — hysteresis missing")
+	}
+	for i := 0; i < 30 && m.Status() != SevOK; i++ {
+		f.tick(func(s *obs.HistorySample) { s.SkipRegression = 0 })
+	}
+	if m.Status() != SevOK {
+		t.Fatalf("regression alert never resolved: %v", m.Status())
+	}
+	// The alert history recorded the round trip.
+	hist := m.Alerts().History
+	if len(hist) < 2 {
+		t.Fatalf("alert history = %+v, want at least fire + clear", hist)
+	}
+	if hist[len(hist)-1].To != SevOK {
+		t.Fatalf("final transition = %+v, want back to ok", hist[len(hist)-1])
+	}
+}
+
+// A burning skip_regression objective must never raise the shed status:
+// the breach means pruning quality degraded, not overload, so refusing
+// traffic would only hide the evidence.
+func TestSkipRegressionIsShedExempt(t *testing.T) {
+	if !SignalSkipRegression.ShedExempt() {
+		t.Fatal("SignalSkipRegression.ShedExempt() = false")
+	}
+	for _, sig := range []Signal{SignalLatencyP50, SignalLatencyP95, SignalErrorRate,
+		SignalQueueDepth, SignalSkipRate, SignalWALLag} {
+		if sig.ShedExempt() {
+			t.Fatalf("%s.ShedExempt() = true, want false", sig)
+		}
+	}
+
+	objs := []Objective{
+		{Signal: SignalSkipRegression, Threshold: 0.3},
+		{Signal: SignalQueueDepth, Threshold: 8},
+	}
+	m, f := testObjectives(t, objs, testConfig())
+	f.tick(nil)
+	// Only the exempt objective burns.
+	for i := 0; i < 6; i++ {
+		f.tick(func(s *obs.HistorySample) {
+			s.SkipRegression = 0.9
+			s.QueueDepth = 1
+		})
+	}
+	if m.Status() != SevCritical {
+		t.Fatalf("overall status = %v, want critical (regression burning)", m.Status())
+	}
+	if m.ShedStatus() != SevOK {
+		t.Fatalf("ShedStatus = %v, want ok — skip_regression must not shed load", m.ShedStatus())
+	}
+	// A shed-eligible objective burning must still raise the shed status.
+	for i := 0; i < 6; i++ {
+		f.tick(func(s *obs.HistorySample) {
+			s.SkipRegression = 0.9
+			s.QueueDepth = 40
+		})
+	}
+	if m.ShedStatus() != SevCritical {
+		t.Fatalf("ShedStatus = %v, want critical once queue depth burns", m.ShedStatus())
+	}
+}

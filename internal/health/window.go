@@ -21,6 +21,7 @@ type tickPoint struct {
 	scanned int64
 	queue   int64
 	walLag  float64
+	skipReg float64
 	buckets []int64 // cumulative latency histogram; slot slice is reused
 }
 
@@ -46,6 +47,7 @@ func (r *tickRing) push(s *obs.HistorySample) {
 	slot.scanned = s.RowsScanned
 	slot.queue = s.QueueDepth
 	slot.walLag = s.WALLagSeconds
+	slot.skipReg = s.SkipRegression
 	slot.buckets = append(slot.buckets[:0], s.LatencyBuckets...)
 	r.next = (r.next + 1) % len(r.buf)
 	if r.n < len(r.buf) {

@@ -23,10 +23,27 @@ const (
 	EventSkipperLoad                   // learned metadata restored from snapshot
 	EventQuarantine                    // skipper failed (panic/corruption); column falls back to full scans
 	EventRebuild                       // quarantined metadata rebuilt from base data
+	EventWiden                         // a zone's value hull loosened in place by an append/update
 )
 
 // MarshalJSON renders the kind by name so event JSON is self-describing.
 func (k EventKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON parses the name form, so clients of /events and
+// /adaptation can decode records back into the exported types.
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for c := EventSplit; c <= EventWiden; c++ {
+		if c.String() == name {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown event kind %q", name)
+}
 
 // String names the kind.
 func (k EventKind) String() string {
@@ -49,6 +66,8 @@ func (k EventKind) String() string {
 		return "quarantine"
 	case EventRebuild:
 		return "rebuild"
+	case EventWiden:
+		return "widen"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}

@@ -19,7 +19,10 @@ import (
 
 // HistoryColumn is one column's skipping state at sample time.
 type HistoryColumn struct {
-	Table  string `json:"table"`
+	Table string `json:"table"`
+	// Shard is the 1-based shard the column state came from (0 =
+	// unsharded). /history?shard=N filters per-sample columns on it.
+	Shard  int    `json:"shard,omitempty"`
 	Column string `json:"column"`
 	// SkipRatio is the cumulative fraction of probed rows the column's
 	// metadata pruned: skipped / (skipped + candidate).
@@ -59,6 +62,11 @@ type HistorySample struct {
 	// yet fsynced (0 when no WAL is configured or nothing is pending).
 	// Instantaneous, like QueueDepth.
 	WALLagSeconds float64 `json:"wal_lag_seconds"`
+	// SkipRegression is the worst per-template skip-rate regression at
+	// sample time: max over templates of (learned baseline − fast EWMA)
+	// of the template's skip rate, clamped at 0. Instantaneous, like
+	// QueueDepth; feeds the skip_regression health signal.
+	SkipRegression float64 `json:"skip_regression"`
 
 	Columns []HistoryColumn `json:"columns"`
 
@@ -226,7 +234,10 @@ func columnLess(a, b *HistoryColumn) bool {
 	if a.Table != b.Table {
 		return a.Table < b.Table
 	}
-	return a.Column < b.Column
+	if a.Column != b.Column {
+		return a.Column < b.Column
+	}
+	return a.Shard < b.Shard
 }
 
 // Snapshot returns a deep copy of the retained samples oldest-first

@@ -112,6 +112,7 @@ func TestHistorySampleGoldenJSON(t *testing.T) {
   "latency_p95_seconds": 0.002,
   "adapt_events": 17,
   "wal_lag_seconds": 0.004,
+  "skip_regression": 0,
   "columns": [
     {
       "table": "data",

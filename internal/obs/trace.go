@@ -58,6 +58,16 @@ type QueryTrace struct {
 	ShardsScanned int `json:"shards_scanned,omitempty"`
 	ShardsPruned  int `json:"shards_pruned,omitempty"`
 
+	// Shard is the 1-based shard whose engine executed this trace
+	// (0 = unsharded, and for a sharded table's merged logical trace).
+	// /slow?shard=N filters on it.
+	Shard int `json:"shard,omitempty"`
+	// Shards lists the 1-based shards a merged logical trace actually
+	// scanned (empty elsewhere). /slow?shard=N also matches on it, so a
+	// sharded table's slow queries are attributable to the shards that
+	// served them.
+	Shards []int `json:"shards,omitempty"`
+
 	Predicates []PredicateTrace `json:"predicates,omitempty"`
 
 	// Root is the hierarchical span tree covering parse → plan → prune →
@@ -90,6 +100,22 @@ type PredicateTrace struct {
 	// attribute it to this predicate alone (single-predicate fast path);
 	// -1 when unattributable (multi-column intersection).
 	Matched int `json:"matched"`
+
+	// Why-not-skipped reason counts: how the zones that stayed candidates
+	// (neither skipped nor covered) failed to prune, classified by the
+	// skipper during the probe. Only introspectable skippers (adaptive
+	// zonemaps) report them; all zero otherwise.
+	//
+	// NotSkippedOverlap: the zone's value hull genuinely straddles the
+	// predicate boundary — finer zones might help, wider ones won't.
+	// NotSkippedWidened: the hull was loosened by appends/updates since
+	// the zone was last rebuilt, so the miss may be stale metadata, not
+	// data distribution — a fold or split would re-tighten it.
+	// NotSkippedNullStraddle: the hull is fully covered by the predicate
+	// but NULL rows inside the zone block the coverage proof.
+	NotSkippedOverlap      int `json:"not_skipped_overlap,omitempty"`
+	NotSkippedWidened      int `json:"not_skipped_widened,omitempty"`
+	NotSkippedNullStraddle int `json:"not_skipped_null_straddle,omitempty"`
 }
 
 // Lines renders the trace as aligned human-readable lines. Durations are
@@ -143,6 +169,10 @@ func (t *QueryTrace) Lines(withTimings bool) []string {
 			}
 		}
 		out = append(out, line)
+		if n := p.NotSkippedOverlap + p.NotSkippedWidened + p.NotSkippedNullStraddle; n > 0 {
+			out = append(out, fmt.Sprintf("  not skipped: %d zones — %d bounds-overlap, %d widened-by-recent-append, %d null-straddle",
+				n, p.NotSkippedOverlap, p.NotSkippedWidened, p.NotSkippedNullStraddle))
+		}
 	}
 	return out
 }

@@ -60,8 +60,10 @@ type Options struct {
 	// reports critical burn: query and exec requests are answered with
 	// ErrKindUnavailable instead of executing, so a saturated server stops
 	// digging. Ping, catalog, and prepare stay up — load balancers keep
-	// probing and clients keep their statements warm for recovery. No-op
-	// unless the DB declared health objectives.
+	// probing and clients keep their statements warm for recovery. The
+	// gate reads the DB's shed status, which excludes shed-exempt signals
+	// (skip_regression — a pruning-quality alert, not overload — never
+	// refuses traffic). No-op unless the DB declared health objectives.
 	RefuseOnCritical bool
 }
 
@@ -439,10 +441,13 @@ func (ss *session) dispatch(ctx context.Context, req *proto.Request, tm *proto.T
 // during replay precisely so clients can park in a retry loop instead
 // of failing over. After recovery, the load-shedding gate applies: when
 // RefuseOnCritical is set and the DB's health monitor is in critical
-// burn, traffic is answered with a retryable unavailable error. Both
-// checks are one atomic load, so the healthy path pays nothing
-// measurable. Ping, catalog, and prepare bypass both gates — load
-// balancers keep probing and clients keep their statements warm.
+// burn on a shed-eligible objective, traffic is answered with a
+// retryable unavailable error (ShedStatus, not HealthStatus: a
+// skip_regression alert means pruning decayed, not overload, and must
+// never turn into refused queries). Both checks are one atomic load, so
+// the healthy path pays nothing measurable. Ping, catalog, and prepare
+// bypass both gates — load balancers keep probing and clients keep
+// their statements warm.
 func (s *Server) gate() (proto.Response, bool) {
 	if s.db.Recovering() {
 		s.m.recovering.Inc()
@@ -450,7 +455,7 @@ func (s *Server) gate() (proto.Response, bool) {
 		return errResp(proto.ErrKindRecovering,
 			"server recovering: WAL replay in progress; retry shortly"), true
 	}
-	if !s.opts.RefuseOnCritical || s.db.HealthStatus() != adskip.HealthCritical {
+	if !s.opts.RefuseOnCritical || s.db.ShedStatus() != adskip.HealthCritical {
 		return proto.Response{}, false
 	}
 	s.m.rejected.Inc()

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 
 	"adskip/internal/core"
 	"adskip/internal/obs"
@@ -111,7 +110,10 @@ func (m *Manager) Skipmaps(maxZones int) []obs.SkipmapTable {
 // sample. Row totals sum across shards; query, slow-query, and error
 // counts come from the Manager's logical counters (each logical query
 // runs up to Shards shard scans — counting those would inflate the
-// timeline); per-column state merges by column name.
+// timeline); per-column state stays per shard (each engine stamps its
+// 1-based shard number into its HistoryColumns), so the timeline — and
+// the /history?shard=N filter — can tell one shard's structure from
+// another's. The sampler sorts the merged columns.
 func (m *Manager) FillHistory(s *obs.HistorySample) {
 	var scratch obs.HistorySample
 	for _, sh := range m.shards {
@@ -123,40 +125,18 @@ func (m *Manager) FillHistory(s *obs.HistorySample) {
 	s.Queries += m.mQueries.Load()
 	s.SlowQueries += m.mSlow.Load()
 	s.Errors += m.errQueries.Load()
+	s.Columns = append(s.Columns, scratch.Columns...)
+}
 
-	type colAgg struct {
-		zones    int64
-		enabled  bool
-		ratioSum float64
-		n        int
+// AdaptationROI returns every shard's per-column adaptation ROI rows
+// (each engine stamps its own 1-based shard number). maxDead caps the
+// per-column dead-zone detail.
+func (m *Manager) AdaptationROI(maxDead int) []obs.ColumnROI {
+	var out []obs.ColumnROI
+	for _, s := range m.shards {
+		out = append(out, s.eng.AdaptationROI(maxDead)...)
 	}
-	byCol := make(map[string]*colAgg)
-	for _, hc := range scratch.Columns {
-		a, ok := byCol[hc.Column]
-		if !ok {
-			a = &colAgg{}
-			byCol[hc.Column] = a
-		}
-		a.zones += hc.Zones
-		a.enabled = a.enabled || hc.Enabled
-		a.ratioSum += hc.SkipRatio
-		a.n++
-	}
-	cols := make([]string, 0, len(byCol))
-	for col := range byCol {
-		cols = append(cols, col)
-	}
-	sort.Strings(cols)
-	for _, col := range cols {
-		a := byCol[col]
-		s.Columns = append(s.Columns, obs.HistoryColumn{
-			Table:     m.name,
-			Column:    col,
-			SkipRatio: a.ratioSum / float64(a.n), // mean over shards
-			Zones:     a.zones,
-			Enabled:   a.enabled,
-		})
-	}
+	return out
 }
 
 // LatencyBounds returns the logical latency histogram's bucket bounds.

@@ -102,6 +102,9 @@ func (m *Manager) queryOnce(ctx context.Context, q engine.Query) (*engine.Result
 	targets, pruned := m.pruneShards(q.Where)
 	tr.ShardPrune = time.Since(tPrune)
 	tr.ShardsScanned, tr.ShardsPruned = len(targets), pruned
+	for _, ti := range targets {
+		tr.Shards = append(tr.Shards, m.shards[ti].id)
+	}
 	spPrune.FinishRows(len(m.shards), len(targets), pruned)
 	m.mPruned.Add(int64(pruned))
 	m.mQueries.Inc()

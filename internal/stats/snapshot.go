@@ -52,6 +52,13 @@ type TemplateSnapshot struct {
 	ZonesPruned  int64   `json:"zones_pruned"`
 	BytesScanned int64   `json:"bytes_scanned"`
 
+	// Skip-regression detector view: the fast EWMA and slow learned
+	// baseline of this template's per-query skip rate, and their positive
+	// gap (0 when the template prunes at or above its own history).
+	SkipFast       float64 `json:"skip_fast"`
+	SkipBase       float64 `json:"skip_base"`
+	SkipRegression float64 `json:"skip_regression"`
+
 	// ZoneTouch is the bounded zone-touch sketch: per column, the sorted
 	// IDs of zones this template has read. ZoneTouchDropped counts IDs
 	// that did not fit the sketch bound.
@@ -169,6 +176,10 @@ func (t *Table) snapshotEntryLocked(e *entry) TemplateSnapshot {
 	}
 	if denom := e.rowsSkipped + e.rowsRead; denom > 0 {
 		ts.SkipRatio = float64(e.rowsSkipped) / float64(denom)
+	}
+	ts.SkipFast, ts.SkipBase = e.skipFast, e.skipBase
+	if gap := e.skipBase - e.skipFast; gap > 0 {
+		ts.SkipRegression = gap
 	}
 	if len(e.zones) > 0 {
 		ts.ZoneTouch = make(map[string][]int, len(e.zones))

@@ -44,6 +44,16 @@ type Options struct {
 	Registry *obs.Registry
 }
 
+// Skip-regression EWMA steps. The fast average converges in a few
+// queries (α=0.3 → ~5-query window) so a genuine regression is visible
+// quickly; the baseline moves two orders slower (α=0.02 → ~100-query
+// window) so it remembers what the template achieved before the drop
+// instead of chasing it down.
+const (
+	skipFastAlpha = 0.3
+	skipBaseAlpha = 0.02
+)
+
 // Sample is one executed (or failed) query, already attributed to a
 // template by the caller.
 type Sample struct {
@@ -85,6 +95,15 @@ type entry struct {
 	shardsScanned, shardsPruned         int64
 	shards                              map[int]struct{} // 1-based shard numbers ever scanned
 
+	// Skip-regression detector state: two EWMAs of the template's
+	// per-query skip rate. skipFast tracks recent behavior; skipBase is
+	// the slow learned baseline of what the template used to achieve.
+	// A positive (base − fast) gap means pruning has degraded — stale
+	// metadata after appends, merged-away zones, or arbitration flips —
+	// and feeds the skip_regression health signal via RegressionGap.
+	skipFast, skipBase float64
+	skipSeen           bool
+
 	zones       map[string]map[int]struct{} // column -> touched zone IDs
 	zoneCount   int                         // total IDs across columns
 	zoneDropped int64                       // IDs dropped at the sketch cap
@@ -109,6 +128,7 @@ type Table struct {
 	mErrors      *obs.Counter
 	mEvicted     *obs.Counter
 	mZoneDropped *obs.Counter
+	mSkipReg     *obs.Gauge
 }
 
 // New builds a stats table. Options zero values take the defaults above.
@@ -136,6 +156,8 @@ func New(opts Options) *Table {
 			"Templates evicted from the workload stats table (LRU bound).")
 		t.mZoneDropped = reg.Counter("adskip_stats_zone_ids_dropped_total",
 			"Zone IDs dropped from zone-touch sketches at the per-template cap.")
+		t.mSkipReg = reg.Gauge("adskip_adapt_skip_regression_ppm",
+			"Worst per-template skip-rate regression (baseline minus fast EWMA), parts per million.")
 	}
 	return t
 }
@@ -191,6 +213,17 @@ func (t *Table) Record(s Sample) {
 		e.bytesScanned += s.BytesScanned
 		e.shardsScanned += s.ShardsScanned
 		e.shardsPruned += s.ShardsPruned
+		if denom := s.RowsSkipped + s.RowsRead; denom > 0 {
+			rate := float64(s.RowsSkipped) / float64(denom)
+			if !e.skipSeen {
+				// Warm start: the first observation seeds both averages so
+				// a fresh template never reports a spurious gap.
+				e.skipFast, e.skipBase, e.skipSeen = rate, rate, true
+			} else {
+				e.skipFast += skipFastAlpha * (rate - e.skipFast)
+				e.skipBase += skipBaseAlpha * (rate - e.skipBase)
+			}
+		}
 		for _, sh := range s.Shards {
 			if sh <= 0 {
 				continue
@@ -253,6 +286,33 @@ func (t *Table) sketchLocked(e *entry, zoneIDs map[string][]int) {
 			e.zoneCount++
 		}
 	}
+}
+
+// RegressionGap returns the worst per-template skip-rate regression
+// currently tracked: max over templates of (learned baseline − fast
+// EWMA), clamped at 0. Zero means no template prunes worse than its own
+// history. The health monitor samples this once per tick as the
+// skip_regression signal; the call also refreshes the
+// adskip_adapt_skip_regression_ppm gauge.
+func (t *Table) RegressionGap() float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	worst := 0.0
+	for _, e := range t.byFP {
+		if !e.skipSeen {
+			continue
+		}
+		if gap := e.skipBase - e.skipFast; gap > worst {
+			worst = gap
+		}
+	}
+	t.mu.Unlock()
+	if t.mSkipReg != nil {
+		t.mSkipReg.Set(int64(worst * 1e6))
+	}
+	return worst
 }
 
 // Len reports how many templates are currently tracked.

@@ -3,12 +3,14 @@ package telemetry
 import "net/http"
 
 // The live dashboard: one embedded, dependency-free HTML page that polls
-// /history, /metrics.json, and /skipmap and renders the adaptation story
-// the paper tells in figures — the convergence curve (skip ratio and
-// latency quantiles improving as the zonemaps learn the workload) and a
-// per-zone effectiveness heatmap. Everything is inline SVG drawn by
-// vanilla JS, so the page works from a file:// save or an air-gapped
-// host; there is no external CSS, JS, or font.
+// /history, /skipmap, /health, /workload, and /adaptation and renders
+// the adaptation story the paper tells in figures — the convergence
+// curve (skip ratio and latency quantiles improving as the zonemaps
+// learn the workload), a per-zone effectiveness heatmap, and the
+// adaptation-ledger timeline (zone-lifecycle events with provenance plus
+// per-column skip ROI). Everything is inline SVG drawn by vanilla JS, so
+// the page works from a file:// save or an air-gapped host; there is no
+// external CSS, JS, or font.
 
 // handleDash serves the dashboard page.
 func (s *Server) handleDash(w http.ResponseWriter, _ *http.Request) {
@@ -158,6 +160,11 @@ td:first-child, th:first-child { text-align: left; }
 <div class="card">
   <h2>Hottest query templates</h2>
   <div id="workload"><div class="err">waiting for workload&hellip;</div></div>
+</div>
+
+<div class="card">
+  <h2>Adaptation timeline — zone lifecycle &amp; skip ROI</h2>
+  <div id="adaptation"><div class="err">waiting for adaptation ledger&hellip;</div></div>
 </div>
 
 <div class="card" id="health-card" style="display:none">
@@ -375,6 +382,47 @@ function renderWorkload(w) {
     fmtCount(w.recorded_calls) + " calls recorded · sorted by " + w.sorted_by + "</div>";
 }
 
+// renderAdaptation paints the adaptation-ledger panel from /adaptation:
+// each column's skip ROI (rows skipped earned vs probe + maintenance
+// work paid, with dead-zone counts), then the most recent zone-lifecycle
+// events — what changed, why, and which query template triggered it.
+function renderAdaptation(a) {
+  const el = document.getElementById("adaptation");
+  const evs = (a && a.events) || [], roi = (a && a.roi) || [];
+  if (!evs.length && !roi.length) {
+    el.innerHTML = '<div class="err">no adaptation events recorded yet</div>';
+    return;
+  }
+  const esc = s => String(s).replace(/&/g, "&amp;").replace(/</g, "&lt;");
+  let html = "";
+  if (roi.length) {
+    html += "<table><tr><th>column</th><th>kind</th><th>zones</th><th>rows skipped</th><th>probes</th><th>maint zones</th><th>net rows</th><th>dead</th></tr>";
+    for (const r of roi) {
+      const label = r.table + (r.shard ? "/s" + r.shard : "") + "." + r.column;
+      html += "<tr><td>" + esc(label) + "</td><td>" + esc(r.kind) + "</td><td>" + fmtCount(r.zones) +
+        "</td><td>" + fmtCount(r.rows_skipped) + "</td><td>" + fmtCount(r.zone_probes) +
+        "</td><td>" + fmtCount(r.maintenance_zones) + "</td><td>" + fmtCount(Math.round(r.net_benefit_rows)) +
+        "</td><td>" + (r.dead_zones ? fmtCount(r.dead_zones) : "–") + "</td></tr>";
+    }
+    html += "</table>";
+  }
+  if (evs.length) {
+    const recent = evs.slice(-12).reverse();
+    html += "<table><tr><th>time</th><th>column</th><th>event</th><th>cause</th><th>zones</th><th>triggered by</th></tr>";
+    for (const e of recent) {
+      html += "<tr><td>" + fmtTime(e.time) + "</td><td>" +
+        esc(e.table + (e.shard ? "/s" + e.shard : "") + "." + e.column) +
+        "</td><td>" + esc(e.kind) + "</td><td>" + esc(e.cause) +
+        "</td><td>" + e.zones_before + "&rarr;" + e.zones_after +
+        "</td><td>" + (e.fingerprint ? esc(e.fingerprint) : "–") + "</td></tr>";
+    }
+    html += "</table>";
+  }
+  html += '<div class="err">' + (a.total || 0) + " ledger events recorded · " +
+    (a.dropped || 0) + " dropped from the ring</div>";
+  el.innerHTML = html;
+}
+
 function renderLatest(s) {
   if (!s) return;
   const rows = [
@@ -398,13 +446,15 @@ function renderLatest(s) {
 
 async function refresh() {
   try {
-    const [histR, skipR, healthR, wlR] = await Promise.all(
-      [fetch("/history"), fetch("/skipmap?zones=256"), fetch("/health"), fetch("/workload?k=10")]);
+    const [histR, skipR, healthR, wlR, adaptR] = await Promise.all(
+      [fetch("/history"), fetch("/skipmap?zones=256"), fetch("/health"), fetch("/workload?k=10"),
+       fetch("/adaptation?dead=8")]);
     const hist = await histR.json();
     const skip = await skipR.json();
     // /health answers 503 while critical — that is still a JSON body.
     const health = await healthR.json();
     const wl = await wlR.json();
+    const adapt = await adaptR.json();
     const samples = hist.samples || [];
     const latest = samples[samples.length - 1];
     if (latest) {
@@ -424,6 +474,7 @@ async function refresh() {
     renderHeatmap(skip);
     renderHealth(health);
     renderWorkload(wl);
+    renderAdaptation(adapt);
     renderLatest(latest);
     document.getElementById("status").textContent =
       "sampling every " + (hist.interval_ns / 1e9).toFixed(1) + "s · " +

@@ -13,8 +13,10 @@ package telemetry
 
 import (
 	"context"
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -55,6 +57,11 @@ type Source struct {
 	// Workload is the per-template workload stats table behind /workload.
 	// Optional: when nil, /workload serves an empty snapshot.
 	Workload *stats.Table
+	// Adaptation returns the adaptation-ledger snapshot (zone-lifecycle
+	// records plus per-column ROI rows) behind /adaptation, with at most
+	// maxDead dead zones of per-column detail. Optional: when nil,
+	// /adaptation serves an empty snapshot.
+	Adaptation func(maxDead int) obs.AdaptationSnapshot
 }
 
 // Options tunes the server.
@@ -139,6 +146,7 @@ func (s *Server) mux() *http.ServeMux {
 	m.HandleFunc("/health", s.handleHealth)
 	m.HandleFunc("/alerts", s.handleAlerts)
 	m.HandleFunc("/workload", s.handleWorkload)
+	m.HandleFunc("/adaptation", s.handleAdaptation)
 	m.HandleFunc("/dash", s.handleDash)
 	m.HandleFunc("/debug/pprof/", pprof.Index)
 	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -168,6 +176,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/health">/health</a> — SLO snapshot / readiness probe (503 while any objective is critical)</li>
 <li><a href="/alerts">/alerts</a> — firing objectives + alert-transition history</li>
 <li><a href="/workload">/workload</a> — per-template workload stats (add <code>?sort=time|calls|bytes</code>, <code>?k=N</code>, <code>?format=csv</code>)</li>
+<li><a href="/adaptation">/adaptation</a> — adaptation ledger: zone-lifecycle provenance + per-column skip ROI (add <code>?table=</code>, <code>?shard=N</code>, <code>?dead=N</code>, <code>?format=csv</code>)</li>
 <li><a href="/dash">/dash</a> — live dashboard (convergence curve + zone heatmap)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — pprof profiles</li>
 </ul></body></html>`)
@@ -195,22 +204,71 @@ type traceListing struct {
 // handleTraces serves the trace ring: JSON by default, Chrome trace_event
 // format (downloadable, loads in chrome://tracing) with ?format=chrome.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	serveTraceRing(w, r, s.src.Traces, "adskip-trace.json")
+	ring := s.src.Traces
+	serveTraces(w, r, ring, ring.Snapshot(), "adskip-trace.json")
 }
 
 // handleSlow serves the slow-query log in the same formats as /traces.
+// ?shard=N keeps only traces served by that 1-based shard — a per-shard
+// trace's own shard stamp, or membership in a merged logical trace's
+// scanned-shard list. Out-of-range shards are a 400.
 func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
 	ring := s.src.SlowTraces
 	if ring == nil {
 		writeJSON(w, traceListing{Traces: []*obs.QueryTrace{}})
 		return
 	}
-	serveTraceRing(w, r, ring, "adskip-slow-trace.json")
+	shard, hasShard, err := parseShard(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	traces := ring.Snapshot()
+	if hasShard {
+		maxShard := 0
+		for _, t := range traces {
+			if t.Shard > maxShard {
+				maxShard = t.Shard
+			}
+			for _, sh := range t.Shards {
+				if sh > maxShard {
+					maxShard = sh
+				}
+			}
+		}
+		if shard < 1 || shard > maxShard {
+			http.Error(w, fmt.Sprintf("shard %d out of range (slow log has shards 1..%d)", shard, maxShard),
+				http.StatusBadRequest)
+			return
+		}
+		kept := make([]*obs.QueryTrace, 0, len(traces))
+		for _, t := range traces {
+			if traceTouchesShard(t, shard) {
+				kept = append(kept, t)
+			}
+		}
+		traces = kept
+	}
+	serveTraces(w, r, ring, traces, "adskip-slow-trace.json")
 }
 
-// serveTraceRing renders one trace ring in the requested format.
-func serveTraceRing(w http.ResponseWriter, r *http.Request, ring *obs.TraceRing, filename string) {
-	traces := ring.Snapshot()
+// traceTouchesShard reports whether a trace was served by the given
+// 1-based shard.
+func traceTouchesShard(t *obs.QueryTrace, shard int) bool {
+	if t.Shard == shard {
+		return true
+	}
+	for _, sh := range t.Shards {
+		if sh == shard {
+			return true
+		}
+	}
+	return false
+}
+
+// serveTraces renders an already-filtered trace list in the requested
+// format. Total/Dropped report the ring, not the filtered view.
+func serveTraces(w http.ResponseWriter, r *http.Request, ring *obs.TraceRing, traces []*obs.QueryTrace, filename string) {
 	if r.URL.Query().Get("format") == "chrome" {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="`+filename+`"`)
@@ -319,16 +377,50 @@ type historyListing struct {
 	Samples    []obs.HistorySample `json:"samples"`
 }
 
-// handleHistory serves the adaptation timeline oldest-first.
-func (s *Server) handleHistory(w http.ResponseWriter, _ *http.Request) {
+// handleHistory serves the adaptation timeline oldest-first. ?shard=N
+// narrows each sample's per-column series to one 1-based shard
+// (engine-wide totals stay catalog-wide); out-of-range shards are a 400.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	if s.src.History == nil {
 		writeJSON(w, historyListing{Samples: []obs.HistorySample{}})
 		return
 	}
+	shard, hasShard, err := parseShard(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	samples := s.src.History.Snapshot()
+	if hasShard {
+		maxShard := 0
+		for i := range samples {
+			for _, c := range samples[i].Columns {
+				if c.Shard > maxShard {
+					maxShard = c.Shard
+				}
+			}
+		}
+		if shard < 1 || shard > maxShard {
+			http.Error(w, fmt.Sprintf("shard %d out of range (timeline has shards 1..%d)", shard, maxShard),
+				http.StatusBadRequest)
+			return
+		}
+		// Filter into fresh slices: the snapshot's column slices are never
+		// mutated in place.
+		for i := range samples {
+			var cols []obs.HistoryColumn
+			for _, c := range samples[i].Columns {
+				if c.Shard == shard {
+					cols = append(cols, c)
+				}
+			}
+			samples[i].Columns = cols
+		}
+	}
 	writeJSON(w, historyListing{
 		IntervalNS: int64(s.src.History.Interval()),
 		Total:      s.src.History.Total(),
-		Samples:    s.src.History.Snapshot(),
+		Samples:    samples,
 	})
 }
 
@@ -421,6 +513,156 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, snap)
+}
+
+// handleAdaptation serves the adaptation ledger: the retained
+// zone-lifecycle records with provenance plus per-column skip-ROI rows.
+// ?table= narrows to one table (unknown tables are a 400), ?shard=N to
+// one 1-based shard (out of range is a 400), ?dead=N caps per-column
+// dead-zone detail (default 16; dead=0 keeps the counts but omits the
+// detail), ?format=csv downloads the ROI rows as CSV. Total/Dropped
+// always report the whole ledger, not the filtered view.
+func (s *Server) handleAdaptation(w http.ResponseWriter, r *http.Request) {
+	if s.src.Adaptation == nil {
+		writeJSON(w, obs.AdaptationSnapshot{Events: []obs.LedgerRecord{}, ROI: []obs.ColumnROI{}})
+		return
+	}
+	q := r.URL.Query()
+	maxDead := 16
+	if v := q.Get("dead"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad dead parameter (want a non-negative count)", http.StatusBadRequest)
+			return
+		}
+		maxDead = n
+	}
+	shard, hasShard, err := parseShard(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	snap := s.src.Adaptation(maxDead)
+	if snap.Events == nil {
+		snap.Events = []obs.LedgerRecord{}
+	}
+	if snap.ROI == nil {
+		snap.ROI = []obs.ColumnROI{}
+	}
+	if table := q.Get("table"); table != "" {
+		known := false
+		for i := range snap.ROI {
+			if snap.ROI[i].Table == table {
+				known = true
+				break
+			}
+		}
+		if !known {
+			for i := range snap.Events {
+				if snap.Events[i].Table == table {
+					known = true
+					break
+				}
+			}
+		}
+		if !known {
+			http.Error(w, fmt.Sprintf("unknown table %q", table), http.StatusBadRequest)
+			return
+		}
+		events := snap.Events[:0]
+		for _, ev := range snap.Events {
+			if ev.Table == table {
+				events = append(events, ev)
+			}
+		}
+		snap.Events = events
+		roi := snap.ROI[:0]
+		for _, row := range snap.ROI {
+			if row.Table == table {
+				roi = append(roi, row)
+			}
+		}
+		snap.ROI = roi
+	}
+	if hasShard {
+		maxShard := 0
+		for i := range snap.ROI {
+			if snap.ROI[i].Shard > maxShard {
+				maxShard = snap.ROI[i].Shard
+			}
+		}
+		for i := range snap.Events {
+			if snap.Events[i].Shard > maxShard {
+				maxShard = snap.Events[i].Shard
+			}
+		}
+		if shard < 1 || shard > maxShard {
+			http.Error(w, fmt.Sprintf("shard %d out of range (ledger has shards 1..%d)", shard, maxShard),
+				http.StatusBadRequest)
+			return
+		}
+		events := snap.Events[:0]
+		for _, ev := range snap.Events {
+			if ev.Shard == shard {
+				events = append(events, ev)
+			}
+		}
+		snap.Events = events
+		roi := snap.ROI[:0]
+		for _, row := range snap.ROI {
+			if row.Shard == shard {
+				roi = append(roi, row)
+			}
+		}
+		snap.ROI = roi
+	}
+	if q.Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="adskip-adaptation.csv"`)
+		_ = writeAdaptationCSV(w, snap)
+		return
+	}
+	writeJSON(w, snap)
+}
+
+// writeAdaptationCSV writes the snapshot's ROI rows as CSV — the tabular
+// half of /adaptation (the event journal stays JSON-only). The header is
+// golden-locked by telemetry tests; appending columns is fine, renaming
+// or removing them is not.
+func writeAdaptationCSV(w io.Writer, snap obs.AdaptationSnapshot) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"table", "shard", "column", "kind", "zones", "bytes",
+		"rows_skipped", "rows_covered", "bytes_skipped", "candidate_rows",
+		"zone_probes", "maintenance_events", "maintenance_zones",
+		"net_benefit_rows", "dead_zones",
+	}); err != nil {
+		return err
+	}
+	for _, row := range snap.ROI {
+		rec := []string{
+			row.Table,
+			strconv.Itoa(row.Shard),
+			row.Column,
+			row.Kind,
+			strconv.Itoa(row.Zones),
+			strconv.Itoa(row.Bytes),
+			strconv.FormatInt(row.RowsSkipped, 10),
+			strconv.FormatInt(row.RowsCovered, 10),
+			strconv.FormatInt(row.BytesSkipped, 10),
+			strconv.FormatInt(row.CandidateRows, 10),
+			strconv.FormatInt(row.ZoneProbes, 10),
+			strconv.FormatInt(row.MaintEvents, 10),
+			strconv.FormatInt(row.MaintZones, 10),
+			strconv.FormatFloat(row.NetRows, 'f', 1, 64),
+			strconv.Itoa(row.DeadZones),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // writeJSON writes v as indented JSON.

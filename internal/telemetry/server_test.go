@@ -248,7 +248,7 @@ func TestDashEndpoint(t *testing.T) {
 		t.Fatalf("/dash Content-Type = %q, want text/html", ct)
 	}
 	page := string(body)
-	for _, want := range []string{"<!DOCTYPE html>", "/history", "/skipmap", "prefers-color-scheme"} {
+	for _, want := range []string{"<!DOCTYPE html>", "/history", "/skipmap", "/adaptation", "renderAdaptation", "prefers-color-scheme"} {
 		if !strings.Contains(page, want) {
 			t.Fatalf("/dash page missing %q", want)
 		}

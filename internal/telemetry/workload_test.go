@@ -68,7 +68,8 @@ func TestWorkloadEndpointSchema(t *testing.T) {
 	wantTemplate := []string{
 		"bytes_scanned", "cache_hits", "calls", "errors", "fingerprint",
 		"first_seen", "last_seen", "mean_us", "p50_us", "p95_us",
-		"rows_read", "rows_returned", "rows_skipped", "skip_ratio",
+		"rows_read", "rows_returned", "rows_skipped", "skip_base",
+		"skip_fast", "skip_ratio", "skip_regression",
 		"table", "total_seconds", "zone_touch", "zones_pruned", "zones_read",
 	}
 	if got := sortedKeys(templates[0]); !equalStrings(got, wantTemplate) {

@@ -91,6 +91,8 @@ check_json /runtime
 check_json /history
 check_json /alerts
 check_json '/workload?sort=calls&k=5'
+check_json /adaptation
+check_json '/adaptation?dead=0'
 
 # /workload must attribute the two COUNT queries above to one template
 # with ? in place of the literals.
@@ -121,10 +123,50 @@ if [ "$code" != "400" ]; then
 fi
 echo "GET /workload -> CSV export + 400 on bad sort"
 
+# /adaptation: hammer one hot range template until the adaptive zonemap
+# splits, then assert the ledger journaled the split with the triggering
+# template and the ROI row credits nonzero skipped rows.
+AD=$(mktemp)
+ok=""
+for _ in $(seq 1 40); do
+  printf 'SELECT COUNT(*) FROM data WHERE v BETWEEN 1000 AND 5000;\n' >&9
+  curl -sS -o "$AD" "$URL/adaptation"
+  if python3 - "$AD" <<'PY'
+import json, sys
+a = json.load(open(sys.argv[1]))
+splits = [e for e in a["events"] if e["kind"] == "split"]
+ok = (splits
+      and any(e.get("fingerprint") for e in splits)
+      and any(r["rows_skipped"] > 0 for r in a["roi"]))
+sys.exit(0 if ok else 1)
+PY
+  then ok=1; break; fi
+  sleep 0.2
+done
+if [ -z "$ok" ]; then
+  echo "/adaptation never showed a fingerprinted split + nonzero ROI:" >&2
+  cat "$AD" >&2
+  exit 1
+fi
+rm -f "$AD"
+ADCSV=$(check_status '/adaptation?format=csv')
+head -1 "$ADCSV" | grep -q '^table,shard,column,kind,' || {
+  echo "/adaptation?format=csv missing header" >&2
+  cat "$ADCSV" >&2
+  exit 1
+}
+rm -f "$ADCSV"
+code=$(curl -sS -o /dev/null -w '%{http_code}' "$URL/adaptation?shard=abc")
+if [ "$code" != "400" ]; then
+  echo "GET /adaptation?shard=abc -> $code, want 400" >&2
+  exit 1
+fi
+echo "GET /adaptation -> split events with template provenance, nonzero ROI, CSV export, 400 on bad shard"
+
 # The dashboard is a self-contained HTML page (the demo serves it even
 # without an adaptation sampler; the charts just stay empty).
 DASH=$(check_status /dash 1000)
-for needle in '<!DOCTYPE html>' '/history' '/skipmap' '/health' '/workload' 'prefers-color-scheme'; do
+for needle in '<!DOCTYPE html>' '/history' '/skipmap' '/health' '/workload' '/adaptation' 'prefers-color-scheme'; do
   grep -qF "$needle" "$DASH" || {
     echo "/dash page missing $needle" >&2
     rm -f "$DASH"
